@@ -1,0 +1,30 @@
+"""Shared helpers for the figure/table regeneration benchmarks.
+
+Each benchmark regenerates one of the paper's tables or figures, prints
+the rendered rows/series (captured into ``bench_output.txt`` by the
+harness invocation) and archives them under ``benchmarks/out/`` so
+EXPERIMENTS.md can reference exact reproduced numbers.
+"""
+
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture()
+def archive(out_dir, capsys):
+    """Return a writer that prints and persists a rendered result."""
+
+    def _archive(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (out_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _archive

@@ -1,0 +1,21 @@
+"""Figure 3: raw charging gap vs. iperf background traffic.
+
+Paper values (MB/hr): WebCam RTSP 8.28 → 98.16, WebCam UDP 59.04 → 252,
+VRidge GVSP 80.64 → 982.8 across 0 → 160 Mbps background.
+"""
+
+from repro.experiments.figures import figure3
+
+
+def test_figure3_congestion_gap(benchmark, archive):
+    table = benchmark.pedantic(figure3, kwargs={"n_cycles": 4}, rounds=1, iterations=1)
+    archive("figure03", table.render())
+
+    by_app = {row[0]: row[1:] for row in table.rows}
+    # Clean-radio gaps land near the paper's §3.2 numbers.
+    assert 4 <= by_app["webcam-rtsp-ul"][0] <= 16
+    assert 35 <= by_app["webcam-udp-ul"][0] <= 90
+    assert 50 <= by_app["vridge-gvsp-dl"][0] <= 130
+    # Congestion amplifies the gap (the figure's headline shape).
+    for app, values in by_app.items():
+        assert values[-1] > 3 * values[0], f"{app}: no congestion amplification"

@@ -1,0 +1,26 @@
+"""Figure 4: per-second time series under intermittent connectivity.
+
+Paper: mean outage 1.93 s produces a 10.6 MB gap in 300 s of downlink
+UDP WebCam; buffering recovers part of an outage; RSS collapses to
+≈ −125 dBm in the gray (disconnected) regions.
+"""
+
+from repro.experiments.figures import figure4
+
+
+def test_figure4_intermittent_connectivity(benchmark, archive):
+    series = benchmark.pedantic(
+        figure4, kwargs={"duration_s": 300.0}, rounds=1, iterations=1
+    )
+    archive("figure04", series.render())
+
+    assert 0.8 <= series.mean_outage_s <= 4.0
+    assert 3.0 <= series.total_gap_mb <= 25.0  # paper: 10.6 MB
+    # RSS floor during outages (the gray areas of the figure).
+    disconnected_rss = [
+        rss for rss, up in zip(series.rss_dbm, series.connected) if not up
+    ]
+    assert disconnected_rss and max(disconnected_rss) <= -120.0
+    # The network keeps charging while the device receives nothing.
+    gap_grew = series.cumulative_gap_mb[-1] > 1.0
+    assert gap_grew

@@ -1,0 +1,23 @@
+"""Figure 12: CDFs of the per-cycle charging gap, legacy vs. TLC.
+
+Paper shape (c = 0.5): TLC-optimal's CDF dominates TLC-random's, which
+dominates legacy 4G/5G's, for all four applications.
+"""
+
+import statistics
+
+from repro.experiments.figures import figure12
+
+
+def test_figure12_gap_cdfs(benchmark, archive):
+    result = benchmark.pedantic(figure12, kwargs={"n_cycles": 4}, rounds=1, iterations=1)
+    archive("figure12", result.render())
+
+    for app, schemes in result.cdfs.items():
+        means = {
+            scheme: statistics.mean(v for v, _ in points)
+            for scheme, points in schemes.items()
+        }
+        assert means["tlc-optimal"] < means["legacy"], app
+        # Random selfish play sits at or below legacy on average too.
+        assert means["tlc-random"] < means["legacy"] * 1.2, app

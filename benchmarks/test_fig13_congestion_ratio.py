@@ -1,0 +1,26 @@
+"""Figure 13: charging-gap ratio vs. congestion, per scheme.
+
+Paper shape: legacy's ratio climbs toward ~30 % at 160 Mbps background
+while TLC-optimal stays flat; QCI-7 gaming is insulated throughout.
+"""
+
+from repro.experiments.figures import figure13
+
+
+def test_figure13_gap_ratio_under_congestion(benchmark, archive):
+    table = benchmark.pedantic(figure13, kwargs={"n_cycles": 3}, rounds=1, iterations=1)
+    archive("figure13", table.render())
+
+    by_key = {(row[0], row[1]): row[2:] for row in table.rows}
+    for app in ("webcam-rtsp-ul", "webcam-udp-ul", "vridge-gvsp-dl"):
+        legacy = by_key[(app, "legacy")]
+        optimal = by_key[(app, "tlc-optimal")]
+        # Legacy blows up with congestion; optimal stays flat and low.
+        assert legacy[-1] > 10.0, f"{app}: legacy ratio too low at 160 Mbps"
+        assert legacy[-1] > 4 * legacy[0] or legacy[0] > 2.0
+        assert max(optimal) < 6.0, f"{app}: optimal ratio not flat"
+        assert optimal[-1] < legacy[-1]
+
+    # Gaming rides QCI 7: congestion barely moves any scheme.
+    gaming_legacy = by_key[("gaming-qci7-dl", "legacy")]
+    assert max(gaming_legacy) < 8.0

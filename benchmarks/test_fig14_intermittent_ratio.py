@@ -1,0 +1,22 @@
+"""Figure 14: charging-gap ratio vs. intermittent disconnectivity η.
+
+Paper shape: legacy's ratio grows with η (up to ~17 % at η = 15 %);
+TLC reduces more gap the heavier the intermittent connectivity.
+"""
+
+from repro.experiments.figures import figure14
+
+
+def test_figure14_gap_vs_disconnectivity(benchmark, archive):
+    table = benchmark.pedantic(figure14, kwargs={"n_cycles": 4}, rounds=1, iterations=1)
+    archive("figure14", table.render())
+
+    rows = {row[0]: row[1:] for row in table.rows}
+    legacy, optimal = rows["legacy"], rows["tlc-optimal"]
+
+    # Legacy grows with η; roughly monotone across the sweep ends.
+    assert legacy[-1] > 1.5 * legacy[0]
+    assert legacy[-1] > 6.0  # percent at η = 15 %
+    # TLC-optimal stays low and below legacy everywhere.
+    assert all(o < l for o, l in zip(optimal, legacy))
+    assert max(optimal) < 4.0

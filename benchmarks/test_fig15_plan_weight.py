@@ -1,0 +1,22 @@
+"""Figure 15: TLC-optimal's charge reduction μ across data plans c.
+
+Paper shape: smaller c ⇒ larger reductions over legacy (legacy
+over-charges lost downlink data that a small-c plan doesn't bill);
+at c = 1 TLC coincides with honest legacy and μ ≈ 0.
+"""
+
+from repro.experiments.figures import figure15, render_figure15
+
+
+def _median(points):
+    return points[len(points) // 2][0] if points else 0.0
+
+
+def test_figure15_plan_weight_sweep(benchmark, archive):
+    curves = benchmark.pedantic(figure15, kwargs={"n_cycles": 3}, rounds=1, iterations=1)
+    archive("figure15", render_figure15(curves))
+
+    medians = {c: _median(points) for c, points in curves.items()}
+    assert medians[0.0] > medians[0.25] > medians[0.5] > medians[0.75]
+    assert abs(medians[1.0]) < 2.0  # c = 1: TLC ≈ honest legacy
+    assert medians[0.0] > 3.0  # percent: c = 0 reduces the most

@@ -1,0 +1,96 @@
+"""Theorem 1's loss-latency trade-off, made concrete.
+
+The paper proves (§3.3, Appendix A) that any design closing the
+loss-induced gap by synchronizing charging records must delay traffic.
+This benchmark runs the same lossy uplink twice:
+
+* **UDP** — the edge-native choice: low latency, but the gateway counts
+  less than the app sent (a charging gap proportional to the loss);
+* **TCP-like ARQ** — recovery closes the sent-vs-received gap, but mean
+  delivery latency grows by the retransmission delays, and the gateway
+  additionally charges every retransmission (spurious ones included —
+  the [12] over-charging vector).
+
+TLC's answer is to accept the gap during the cycle and cancel it at the
+end — which is why the UDP row plus TLC is the paper's operating point.
+"""
+
+from repro.cellular import CellularNetwork, RadioProfile, make_test_imsi
+from repro.edge import EdgeDevice, EdgeServer, ReliableUplinkSession
+from repro.netsim import Direction, EventLoop, StreamRegistry
+
+PAYLOAD = 600_000
+LOSS = 0.15
+
+
+def _run_udp():
+    loop = EventLoop()
+    net = CellularNetwork(loop, StreamRegistry(7))
+    imsi = make_test_imsi(1)
+    device = EdgeDevice(loop, imsi, "udp-app")
+    access = net.attach_device(imsi, RadioProfile(base_loss=LOSS), deliver=device.deliver)
+    device.bind(access)
+    net.create_bearer(imsi, "udp-app")
+    server = EdgeServer(loop, net, "udp-app")
+    for i in range(PAYLOAD // 1400):
+        loop.schedule_at(i * 0.002, device.send, 1400)
+    loop.run_until(10.0)
+    sent = device.ul_monitor.total
+    received = net.gateway_usage("udp-app", 0, loop.now(), Direction.UPLINK)
+    latencies = server.stats.latencies
+    return {
+        "sent": sent,
+        "goodput": received,
+        "gap": sent - received,
+        "charged": received,
+        "latency_ms": 1000 * sum(latencies) / max(1, len(latencies)),
+    }
+
+
+def _run_tcp():
+    loop = EventLoop()
+    net = CellularNetwork(loop, StreamRegistry(7))
+    imsi = make_test_imsi(1)
+    device = EdgeDevice(loop, imsi, "tcp-app")
+    access = net.attach_device(imsi, RadioProfile(base_loss=LOSS), deliver=device.deliver)
+    device.bind(access)
+    net.create_bearer(imsi, "tcp-app")
+    server = EdgeServer(loop, net, "tcp-app")
+    session = ReliableUplinkSession(loop, device, server, rto_s=0.15)
+    session.offer(PAYLOAD)
+    loop.run_until(30.0)
+    charged = net.gateway_usage("tcp-app", 0, loop.now(), Direction.UPLINK)
+    return {
+        "sent": device.ul_monitor.total,
+        "goodput": session.goodput_bytes,
+        "gap": PAYLOAD - session.goodput_bytes,
+        "charged": charged,
+        "latency_ms": 1000 * session.mean_delivery_latency(),
+        "spurious": session.sender.spurious_retransmissions,
+        "overhead": session.sender.overhead_ratio,
+    }
+
+
+def test_theorem1_loss_latency_tradeoff(benchmark, archive):
+    udp, tcp = benchmark.pedantic(lambda: (_run_udp(), _run_tcp()), rounds=1, iterations=1)
+
+    archive(
+        "theorem1_tradeoff",
+        "Theorem 1: loss-latency trade-off on a 15%-loss uplink\n"
+        f"  UDP: gap {udp['gap'] / 1e3:7.1f} kB "
+        f"({udp['gap'] / udp['sent']:.1%} of sent), "
+        f"mean latency {udp['latency_ms']:5.1f} ms\n"
+        f"  TCP: gap {tcp['gap'] / 1e3:7.1f} kB, "
+        f"mean latency {tcp['latency_ms']:5.1f} ms, "
+        f"charged/goodput {tcp['charged'] / max(1, tcp['goodput']):.2f}x "
+        f"({tcp['spurious']} spurious retransmissions)",
+    )
+
+    # UDP leaves a loss-proportional gap at low latency.
+    assert udp["gap"] / udp["sent"] > 0.08
+    # TCP closes the gap...
+    assert tcp["gap"] == 0
+    # ...but delays delivery...
+    assert tcp["latency_ms"] > 2 * udp["latency_ms"]
+    # ...and the gateway charges the recovery traffic on top of goodput.
+    assert tcp["charged"] > tcp["goodput"] * 1.05

@@ -1,0 +1,113 @@
+"""A billing dispute: selfish charging, the Theorem-2 bound, and the audit.
+
+Reconstructs the situations behind the paper's motivating lawsuit
+(§3.3): an operator inflates its records to over-bill, an edge vendor
+doctors ``netstat`` to under-pay, and both meet TLC's negotiation.
+Then a forged PoC and a replayed PoC land on the public verifier's
+desk, and Algorithm 2 catches both.
+
+Run:  python examples/dispute_audit.py
+"""
+
+import random
+
+from repro.core import (
+    DataPlan,
+    HonestStrategy,
+    NegotiationEngine,
+    OptimalStrategy,
+    PartyKnowledge,
+    PartyRole,
+)
+from repro.crypto import generate_keypair
+from repro.poc import (
+    NegotiationDriver,
+    PlanParams,
+    Poc,
+    PublicVerifier,
+)
+
+SENT, RECEIVED = 1_000_000_000, 930_000_000  # 1 GB sent, 7% lost
+PLAN = DataPlan(c=0.5, cycle_duration_s=3600.0)
+EXPECTED = PLAN.expected_charge(SENT, RECEIVED)
+
+
+def negotiate(edge, operator):
+    return NegotiationEngine(PLAN, edge, operator, max_rounds=32).run()
+
+
+def scenario_overbilling_operator() -> None:
+    print("— Scenario 1: the operator inflates its CDRs by 40% —")
+    inflated = int(RECEIVED * 1.4)
+    result = negotiate(
+        HonestStrategy(PartyKnowledge(PartyRole.EDGE, SENT, RECEIVED), accept_tolerance=0.02),
+        OptimalStrategy(PartyKnowledge(PartyRole.OPERATOR, inflated, inflated), accept_tolerance=0.02),
+    )
+    print(f"  legacy 4G/5G would bill : {inflated:,} B (nothing checks the CDR)")
+    if result.converged:
+        print(f"  TLC settles at          : {result.volume:,} B "
+              f"(edge's sent record caps the claim: ≤ {SENT:,})")
+        assert result.volume <= SENT * 1.03
+    else:
+        print("  TLC: no agreement — the honest edge kept rejecting, the "
+              "operator holds no PoC and cannot collect")
+
+
+def scenario_underpaying_edge() -> None:
+    print("\n— Scenario 2: the edge halves its netstat numbers —")
+    doctored = SENT // 2
+    result = negotiate(
+        OptimalStrategy(PartyKnowledge(PartyRole.EDGE, doctored, doctored), accept_tolerance=0.02),
+        HonestStrategy(PartyKnowledge(PartyRole.OPERATOR, RECEIVED, SENT), accept_tolerance=0.02),
+    )
+    if result.converged:
+        print(f"  TLC settles at          : {result.volume:,} B "
+              f"(operator's received record floors it: ≥ {RECEIVED:,})")
+        assert result.volume >= RECEIVED * 0.97
+    else:
+        print("  TLC: no agreement — the operator rejects every low-ball "
+              "claim; the edge gets no PoC and thus no further service")
+
+
+def scenario_forgery_and_replay() -> None:
+    print("\n— Scenario 3: the audit desk (FCC) —")
+    rng = random.Random(99)
+    edge_key = generate_keypair(1024, rng)
+    operator_key = generate_keypair(1024, rng)
+    result = NegotiationDriver(
+        PLAN, 0.0,
+        OptimalStrategy(PartyKnowledge(PartyRole.EDGE, SENT, RECEIVED)),
+        OptimalStrategy(PartyKnowledge(PartyRole.OPERATOR, RECEIVED, SENT)),
+        edge_key, operator_key, rng,
+    ).run()
+    params = PlanParams(0.0, 3600.0, PLAN.c)
+    verifier = PublicVerifier(PLAN)
+
+    genuine = verifier.verify(result.poc, params, edge_key.public, operator_key.public)
+    print(f"  genuine PoC             : ok={genuine.ok}, x={genuine.volume:,} B")
+
+    forged = Poc(
+        result.poc.role, result.poc.plan, result.poc.volume + 50_000_000,
+        result.poc.peer_cda, result.poc.signature,
+        result.poc.nonce_edge, result.poc.nonce_operator,
+    )
+    forged_report = verifier.verify(forged, params, edge_key.public, operator_key.public)
+    print(f"  PoC with +50MB forged   : ok={forged_report.ok} "
+          f"({forged_report.failure.value})")
+
+    replay = verifier.verify(result.poc, params, edge_key.public, operator_key.public)
+    print(f"  same PoC replayed       : ok={replay.ok} ({replay.failure.value})")
+
+
+def main() -> None:
+    print(f"cycle ground truth: sent {SENT:,} B, received {RECEIVED:,} B, "
+          f"fair charge {EXPECTED:,.0f} B (c={PLAN.c})\n")
+    scenario_overbilling_operator()
+    scenario_underpaying_edge()
+    scenario_forgery_and_replay()
+    print("\nTLC bounds what a selfish party can claim, and the PoC makes the "
+          "outcome provable to anyone.")
+
+
+if __name__ == "__main__":
+    main()

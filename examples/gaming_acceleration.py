@@ -1,0 +1,53 @@
+"""Online gaming acceleration: QoS priority vs. the charging gap.
+
+Tencent's King-of-Glory acceleration (§2.2) maps player-control traffic
+onto a dedicated QCI-7 LTE session.  This example runs the same gaming
+trace twice under a saturated cell — once as best-effort QCI 9, once
+accelerated at QCI 7 — and shows both effects the paper reports:
+strict priority protects latency *and* shrinks the loss-induced
+charging gap (Figure 12d: gaming's gap is negligible even congested).
+
+Run:  python examples/gaming_acceleration.py
+"""
+
+from dataclasses import replace
+
+from repro.experiments import run_scenario
+from repro.experiments.scenarios import GAMING_DL
+
+
+def run_variant(qci: int, label: str):
+    workload = replace(GAMING_DL.workload, name=f"gaming-qci{qci}", qci=qci)
+    config = GAMING_DL.with_(
+        name=f"gaming-qci{qci}-dl",
+        workload=workload,
+        n_cycles=4,
+        background_mbps=160.0,  # saturated cell
+        base_loss=0.0,          # isolate the congestion effect
+        seed=3,
+    )
+    result = run_scenario(config)
+    loss = sum(u.loss_bytes for u in result.usages)
+    sent = sum(u.true_sent for u in result.usages) or 1
+    print(f"{label:24s} loss {loss / sent:6.2%}   "
+          f"legacy gap {result.mean_delta_mb_per_hr('legacy'):6.3f} MB/hr "
+          f"(ε {result.mean_epsilon('legacy'):5.2%})   "
+          f"TLC gap {result.mean_delta_mb_per_hr('tlc-optimal'):6.3f} MB/hr")
+    return result
+
+
+def main() -> None:
+    print("King-of-Glory downlink under 160 Mbps background traffic\n")
+    best_effort = run_variant(9, "best-effort (QCI 9)")
+    accelerated = run_variant(7, "accelerated (QCI 7)")
+
+    be_loss = sum(u.loss_bytes for u in best_effort.usages)
+    acc_loss = sum(u.loss_bytes for u in accelerated.usages)
+    print(f"\nQCI-7 priority eliminates {1 - acc_loss / max(be_loss, 1):.0%} of the "
+          "congestion loss the best-effort session suffers —")
+    print("higher QoS keeps both the game playable and the bill honest, "
+          "and TLC closes what little gap remains.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Generic mobile data charging — Appendix D of the paper.
+
+TLC as built targets the cellular *edge*, where the app server is
+co-located with the core.  For an ordinary Internet service, downlink
+data can also be lost between the server and the 4G/5G core, which the
+edge's sent-record cannot distinguish from cellular loss.  Appendix D
+shows the resulting over-charge is still *bounded*: exactly
+``c · (Internet-side loss)`` — unlike legacy 4G/5G's unbounded selfish
+charging.
+
+This example samples cycles with varying Internet loss, negotiates each
+with the paper's rational strategies, and checks the measured over-charge
+against the analytic bound.
+
+Run:  python examples/generic_mobile_charging.py
+"""
+
+import random
+
+from repro.core import (
+    DataPlan,
+    GenericDownlinkInstance,
+    NegotiationEngine,
+    OptimalStrategy,
+    PartyKnowledge,
+    PartyRole,
+)
+
+
+def main() -> None:
+    plan = DataPlan(c=0.5, cycle_duration_s=3600.0)
+    rng = random.Random(8)
+    print("generic downlink charging: server on the public Internet\n")
+    print(f"{'inet loss':>10s} {'cell loss':>10s} {'ideal x̂ (MB)':>13s} "
+          f"{'negotiated (MB)':>16s} {'over-charge':>12s} {'bound':>8s}")
+
+    for internet_loss_pct in (0, 1, 3, 5, 10):
+        internet_sent = 1_000_000_000
+        core_received = int(internet_sent * (1 - internet_loss_pct / 100))
+        cellular_loss = rng.uniform(0.02, 0.06)
+        device_received = int(core_received * (1 - cellular_loss))
+        instance = GenericDownlinkInstance(internet_sent, core_received, device_received)
+
+        # The edge vendor's sent-record is the *Internet* server's count;
+        # the operator's received-record comes from the device as usual.
+        result = NegotiationEngine(
+            plan,
+            OptimalStrategy(PartyKnowledge(PartyRole.EDGE, internet_sent, device_received)),
+            OptimalStrategy(PartyKnowledge(PartyRole.OPERATOR, device_received, internet_sent)),
+        ).run()
+
+        ideal = instance.ideal_charge(plan)
+        overcharge = result.volume - ideal
+        bound = instance.overcharge_bound(plan)
+        print(f"{internet_loss_pct:>9d}% {cellular_loss:>9.1%} {ideal / 1e6:>13.1f} "
+              f"{result.volume / 1e6:>16.1f} {overcharge / 1e6:>10.1f}MB "
+              f"{bound / 1e6:>6.1f}MB")
+        assert overcharge <= bound + 1
+
+    print("\nThe over-charge never exceeds c × (Internet-side loss) — Appendix D's")
+    print("bound — so even outside the edge, TLC beats legacy 4G/5G's unbounded")
+    print("selfish charging.  (Full downlink support is the paper's future work.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""Multi-operator V2X edge (§8's multi-access extension).
+
+A vehicular edge app bonds two operators' networks for coverage.  TLC
+runs one independent negotiation per operator (each with its own
+tamper-resilient monitor), and the per-operator charges must add up to
+the expected total.
+
+Run:  python examples/multi_operator_v2x.py
+"""
+
+from repro.experiments.multi_operator import OperatorShare, run_multi_operator
+from repro.experiments.scenarios import WEBCAM_UDP_UL
+
+
+def main() -> None:
+    shares = [OperatorShare("operator-A", 0.65), OperatorShare("operator-B", 0.35)]
+    config = WEBCAM_UDP_UL.with_(name="v2x-camera", cycle_duration_s=60.0)
+    print("V2X roadside camera splitting uplink across two operators (65/35)\n")
+
+    result = run_multi_operator(config, shares, seed=5, n_cycles=4)
+    for name, scenario in result.per_operator.items():
+        print(f"{name}: {scenario.measured_bitrate_bps / 1e6:.2f} Mbps, "
+              f"legacy gap {scenario.mean_delta_mb_per_hr('legacy'):.2f} MB/hr, "
+              f"TLC gap {scenario.mean_delta_mb_per_hr('tlc-optimal'):.2f} MB/hr, "
+              f"{scenario.mean_rounds('tlc-optimal'):.1f} round(s)")
+
+    print(f"\ncombined expected charge : {result.total_expected() / 1e6:.2f} MB")
+    print(f"combined TLC charge      : {result.total_charged('tlc-optimal') / 1e6:.2f} MB "
+          f"(gap {result.combined_gap_ratio('tlc-optimal'):.2%})")
+    print(f"combined legacy charge   : {result.total_charged('legacy') / 1e6:.2f} MB "
+          f"(gap {result.combined_gap_ratio('legacy'):.2%})")
+    print("\nPer-operator negotiation keeps each bill independently bounded "
+          "and verifiable; the totals reconcile.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Quickstart: negotiate one charging cycle and publicly verify the PoC.
+
+The minimal TLC lifecycle, with no network simulation: two parties hold
+usage records for a cycle, run the loss-selfishness cancellation with
+their rational (minimax/maximin) strategies, produce a signed
+Proof-of-Charging, and a third party verifies it with Algorithm 2.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro import DataPlan, NegotiationDriver, PublicVerifier, Role
+from repro.core import OptimalStrategy, PartyKnowledge, PartyRole
+from repro.crypto import generate_keypair
+from repro.poc import PlanParams
+
+
+def main() -> None:
+    # --- Setup: the data plan and both parties' key pairs (§5.3.1). -----
+    plan = DataPlan(c=0.5, cycle_duration_s=3600.0)  # charge half the lost data
+    rng = random.Random(2019)
+    edge_key = generate_keypair(1024, rng)
+    operator_key = generate_keypair(1024, rng)
+
+    # --- The cycle's records: the edge sent 1 GB, 7% was lost. ----------
+    sent_bytes = 1_000_000_000
+    received_bytes = 930_000_000
+    print(f"edge sent      : {sent_bytes:>13,} B")
+    print(f"network got    : {received_bytes:>13,} B   (loss {sent_bytes - received_bytes:,} B)")
+    expected = plan.expected_charge(sent_bytes, received_bytes)
+    print(f"fair charge x̂  : {expected:>13,.0f} B   (= x̂_o + c·(x̂_e − x̂_o))")
+
+    # --- Negotiation (Algorithm 1 over the CDR/CDA/PoC protocol). -------
+    # Each party claims its *estimate of the other's metric* — the
+    # optimal minimax/maximin play that converges in one round.
+    driver = NegotiationDriver(
+        plan,
+        cycle_start=0.0,
+        edge_strategy=OptimalStrategy(
+            PartyKnowledge(PartyRole.EDGE, sent_bytes, received_bytes)
+        ),
+        operator_strategy=OptimalStrategy(
+            PartyKnowledge(PartyRole.OPERATOR, received_bytes, sent_bytes)
+        ),
+        edge_key=edge_key,
+        operator_key=operator_key,
+        rng=rng,
+        initiator=Role.OPERATOR,
+    )
+    result = driver.run()
+    print(f"\nnegotiated x   : {result.volume:>13,} B in {result.rounds} round(s), "
+          f"{result.messages} messages ({result.bytes_on_wire} B on the wire)")
+    assert result.volume == int(expected)
+
+    # --- Public verification (Algorithm 2), e.g. by the FCC. ------------
+    verifier = PublicVerifier(plan)
+    report = verifier.verify(
+        result.poc,
+        PlanParams(0.0, 3600.0, plan.c),
+        edge_key.public,
+        operator_key.public,
+    )
+    print(f"\nthird-party verification: ok={report.ok}")
+    print(f"  claims recovered from the PoC chain: edge={report.edge_claim:,}, "
+          f"operator={report.operator_claim:,}")
+
+    # A replayed PoC is rejected — the nonce registry catches it.
+    replay = verifier.verify(
+        result.poc, PlanParams(0.0, 3600.0, plan.c), edge_key.public, operator_key.public
+    )
+    print(f"  replaying the same PoC: ok={replay.ok} ({replay.failure.value})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Targeted-advertisement WebCam streaming (§2.2 of the paper).
+
+The Moscow-billboard scenario: roadside cameras stream car images over
+LTE 24×7 to an edge server that picks ads.  The advertiser pays by
+volume, wants no over-billing, and cannot afford added latency.
+
+This example runs the full simulated stack — camera workload, radio,
+eNodeB, SPGW charging, RRC COUNTER CHECK — across several charging
+cycles under congestion, then compares what the vendor pays under
+legacy 4G/5G vs. TLC.
+
+Run:  python examples/targeted_ads_webcam.py
+"""
+
+from repro.experiments import run_scenario
+from repro.experiments.scenarios import WEBCAM_RTSP_UL
+
+
+def main() -> None:
+    config = WEBCAM_RTSP_UL.with_(
+        n_cycles=6,
+        cycle_duration_s=60.0,  # compressed cycles; volumes report as MB/hr
+        background_mbps=140.0,  # a congested cell on the highway
+        seed=7,
+    )
+    print(f"scenario     : {config.name} (RTSP 1080p30 uplink, "
+          f"{config.background_mbps:.0f} Mbps background)")
+    result = run_scenario(config)
+    print(f"stream rate  : {result.measured_bitrate_bps / 1e6:.2f} Mbps "
+          f"({result.measured_bitrate_bps * 3600 / 8 / 1e6:.0f} MB/hr)")
+
+    loss = sum(u.loss_bytes for u in result.usages)
+    sent = sum(u.true_sent for u in result.usages)
+    print(f"data loss    : {loss / 1e6:.2f} MB of {sent / 1e6:.1f} MB "
+          f"({loss / sent:.1%}) — charged by the gateway, never delivered\n")
+
+    print(f"{'scheme':14s} {'gap Δ (MB/hr)':>14s} {'gap ratio ε':>12s} {'rounds':>7s}")
+    for scheme in ("legacy", "tlc-random", "tlc-optimal"):
+        print(
+            f"{scheme:14s} {result.mean_delta_mb_per_hr(scheme):>14.2f} "
+            f"{result.mean_epsilon(scheme):>11.2%} {result.mean_rounds(scheme):>7.1f}"
+        )
+
+    reduction = 1 - (
+        result.mean_delta_mb_per_hr("tlc-optimal") / result.mean_delta_mb_per_hr("legacy")
+    )
+    print(f"\nTLC-optimal cuts the advertiser's charging gap by {reduction:.0%} "
+          f"(paper: 80.2% for RTSP WebCam)")
+
+
+if __name__ == "__main__":
+    main()

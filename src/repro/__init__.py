@@ -1,0 +1,45 @@
+"""TLC: Trusted, Loss-tolerant Charging for the cellular edge.
+
+A full reproduction of "Bridging the Data Charging Gap in the Cellular
+Edge" (Li, Kim, Vlachou, Xie — SIGCOMM 2019): the loss-selfishness
+cancellation game, the publicly verifiable Proof-of-Charging protocol,
+tamper-resilient charging records, and the LTE/EPC + edge simulation
+substrate the evaluation runs on.
+
+Quickstart::
+
+    from repro import DataPlan, NegotiationEngine
+    from repro.core import HonestStrategy, PartyKnowledge, PartyRole
+
+    plan = DataPlan(c=0.5, cycle_duration_s=3600)
+    edge = HonestStrategy(PartyKnowledge(PartyRole.EDGE, 1_000_000, 930_000))
+    operator = HonestStrategy(PartyKnowledge(PartyRole.OPERATOR, 930_000, 1_000_000))
+    result = NegotiationEngine(plan, edge, operator).run()
+    assert result.volume == plan.expected_charge(1_000_000, 930_000)
+
+See ``examples/`` for full scenarios and ``benchmarks/`` for the paper's
+tables and figures.
+"""
+
+from .core import (
+    ChargingCycle,
+    DataPlan,
+    GameInstance,
+    NegotiationEngine,
+    NegotiationResult,
+)
+from .poc import NegotiationDriver, PublicVerifier, Role
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ChargingCycle",
+    "DataPlan",
+    "GameInstance",
+    "NegotiationEngine",
+    "NegotiationResult",
+    "NegotiationDriver",
+    "PublicVerifier",
+    "Role",
+    "__version__",
+]

@@ -1,0 +1,8 @@
+"""Entry point: ``python -m repro`` regenerates the paper's evaluation."""
+
+import sys
+
+from .experiments.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

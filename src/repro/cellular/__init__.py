@@ -1,0 +1,79 @@
+"""4G/5G cellular substrate: RAN + EPC with volume-based charging.
+
+Models the paper's testbed — OpenEPC core (SPGW/OFCS/PCRF/MME/HSS) behind
+a small cell — at the fidelity the charging-gap study needs: the *where*
+of byte counting vs. the *where* of loss.
+"""
+
+from .air import AirInterface, RateWindow
+from .bearer import Bearer, BearerTable
+from .enodeb import ENodeB, ENodeBConfig, UeContext
+from .gateway import Spgw, TokenBucket
+from .hss import Hss, SubscriberProfile
+from .identifiers import ChargingIdAllocator, GatewayAddress, Imsi, make_test_imsi
+from .middlebox import SlaMiddlebox
+from .mme import AttachRecord, Mme
+from .mobility import HandoverConfig, HandoverProcess
+from .network import CellularNetwork, NetworkConfig, UeAccess
+from .ofcs import CdrRecord, Ofcs
+from .pcrf import Pcrf, QciRule, QuotaPolicy
+from .qos import (
+    DEFAULT_QCI,
+    GAMING_GBR_QCI,
+    GAMING_QCI,
+    QCI_TABLE,
+    QosClass,
+    ResourceType,
+    qos_class,
+    scheduler_priority,
+)
+from .radio import GOOD_RSS_DBM, OUTAGE_FLOOR_DBM, RadioChannel, RadioProfile, RssSample
+from .rrc import CounterCheckResponse, HardwareModem, RrcConnectionManager, RrcState
+
+__all__ = [
+    "AirInterface",
+    "RateWindow",
+    "Bearer",
+    "BearerTable",
+    "ENodeB",
+    "ENodeBConfig",
+    "UeContext",
+    "Spgw",
+    "TokenBucket",
+    "Hss",
+    "SubscriberProfile",
+    "ChargingIdAllocator",
+    "GatewayAddress",
+    "Imsi",
+    "make_test_imsi",
+    "SlaMiddlebox",
+    "HandoverConfig",
+    "HandoverProcess",
+    "AttachRecord",
+    "Mme",
+    "CellularNetwork",
+    "NetworkConfig",
+    "UeAccess",
+    "CdrRecord",
+    "Ofcs",
+    "Pcrf",
+    "QciRule",
+    "QuotaPolicy",
+    "DEFAULT_QCI",
+    "GAMING_GBR_QCI",
+    "GAMING_QCI",
+    "QCI_TABLE",
+    "QosClass",
+    "ResourceType",
+    "qos_class",
+    "scheduler_priority",
+    "GOOD_RSS_DBM",
+    "OUTAGE_FLOOR_DBM",
+    "RadioChannel",
+    "RadioProfile",
+    "RssSample",
+    "CounterCheckResponse",
+    "HardwareModem",
+    "RrcConnectionManager",
+    "RrcState",
+]

@@ -1,0 +1,190 @@
+"""The shared air interface: capacity, priority, congestion and delay.
+
+Per-packet simulation of 160 Mbps iperf background traffic would dominate
+run time without changing the physics that matter to charging, so the
+background load is modelled as *fluid*: each direction of the air
+interface has a capacity, a table of virtual background load per QCI, and
+a sliding-window estimate of the real (foreground) traffic per QCI.
+
+Strict priority follows the 3GPP QCI priority order: a packet at QCI ``q``
+competes only with load at priorities at or above its own.  When the
+demand visible to ``q`` exceeds the usable capacity, packets drop with
+probability ``1 − usable/demand`` — the proportional-share saturation that
+produces the paper's Figure 3/13 congestion gaps, and the protection that
+keeps QCI-7 gaming nearly lossless in Figure 12d while QCI-9 background
+saturates the cell.
+
+Queueing delay grows with utilization (capped), so congested cells also
+show higher RTTs (Figure 16a's environment).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from ..netsim.events import EventLoop
+from ..netsim.packet import FlowStats, Packet
+from ..netsim.rng import StreamRegistry
+from .qos import scheduler_priority
+
+Transmit = Callable[[Packet], None]
+
+
+class RateWindow:
+    """Sliding-window bit-rate estimator."""
+
+    def __init__(self, window_s: float = 1.0) -> None:
+        if window_s <= 0:
+            raise ValueError("window must be positive")
+        self.window_s = window_s
+        self._samples: deque[tuple[float, int]] = deque()
+        self._bits = 0
+
+    def observe(self, t: float, nbytes: int) -> None:
+        """Record ``nbytes`` observed at time ``t``."""
+        self._samples.append((t, nbytes * 8))
+        self._bits += nbytes * 8
+        self._expire(t)
+
+    def _expire(self, t: float) -> None:
+        cutoff = t - self.window_s
+        while self._samples and self._samples[0][0] <= cutoff:
+            _, bits = self._samples.popleft()
+            self._bits -= bits
+
+    def rate_bps(self, t: float) -> float:
+        """Current estimate of the offered bit rate."""
+        self._expire(t)
+        return self._bits / self.window_s
+
+
+class AirInterface:
+    """One direction (UL or DL) of the cell's radio capacity."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        rng: StreamRegistry,
+        name: str,
+        capacity_bps: float = 130e6,
+        usable_fraction: float = 0.92,
+        propagation_delay_s: float = 0.004,
+        max_queue_delay_s: float = 0.050,
+        drop_layer: str = "ip-congestion",
+    ) -> None:
+        if capacity_bps <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_bps}")
+        if not 0 < usable_fraction <= 1:
+            raise ValueError(f"usable fraction must be in (0, 1], got {usable_fraction}")
+        self.loop = loop
+        self.name = name
+        self._rng = rng.stream(f"air:{name}")
+        self.capacity_bps = capacity_bps
+        self.usable_fraction = usable_fraction
+        self.propagation_delay_s = propagation_delay_s
+        self.max_queue_delay_s = max_queue_delay_s
+        self.drop_layer = drop_layer
+        self._background: dict[int, float] = {}
+        self._foreground: dict[int, RateWindow] = {}
+        self.offered = FlowStats()
+        self.dropped = FlowStats()
+        self.transmitted = FlowStats()
+
+    # -------------------------------------------------------------- config
+
+    def set_background(self, qci: int, rate_bps: float) -> None:
+        """Install fluid background load at one QCI (0 clears it)."""
+        if rate_bps < 0:
+            raise ValueError(f"background rate must be non-negative, got {rate_bps}")
+        scheduler_priority(qci)  # validate
+        if rate_bps == 0:
+            self._background.pop(qci, None)
+        else:
+            self._background[qci] = rate_bps
+
+    def background_total_bps(self) -> float:
+        """Sum of installed background load."""
+        return sum(self._background.values())
+
+    # -------------------------------------------------------------- demand
+
+    def _foreground_rate(self, qci: int, t: float) -> float:
+        window = self._foreground.get(qci)
+        return window.rate_bps(t) if window is not None else 0.0
+
+    def _demand_split(self, qci: int, t: float) -> tuple[float, float]:
+        """(higher-priority load, same-priority demand) seen by ``qci``."""
+        my_priority = scheduler_priority(qci)
+        higher = 0.0
+        same = 0.0
+        qcis = set(self._background) | set(self._foreground)
+        for other in qcis:
+            load = self._background.get(other, 0.0) + self._foreground_rate(other, t)
+            priority = scheduler_priority(other)
+            if priority < my_priority:
+                higher += load
+            elif priority == my_priority:
+                same += load
+        return higher, same
+
+    def drop_probability(self, qci: int) -> float:
+        """Instantaneous drop probability for a packet at ``qci``."""
+        t = self.loop.now()
+        higher, same = self._demand_split(qci, t)
+        usable = max(0.0, self.capacity_bps * self.usable_fraction - higher)
+        if same <= usable or same <= 0:
+            return 0.0
+        if usable <= 0:
+            return 1.0
+        return 1.0 - usable / same
+
+    def utilization(self) -> float:
+        """Total offered load over capacity (may exceed 1 when saturated)."""
+        t = self.loop.now()
+        total = self.background_total_bps()
+        total += sum(w.rate_bps(t) for w in self._foreground.values())
+        return total / self.capacity_bps
+
+    def queue_delay(self, qci: int | None = None) -> float:
+        """Utilization-driven queueing delay, capped.
+
+        With ``qci`` given, only load at the same or higher priority
+        contributes — strict priority means a QCI-5 signalling packet
+        does not wait behind saturating QCI-9 best-effort traffic.
+        """
+        t = self.loop.now()
+        if qci is None:
+            load = self.background_total_bps()
+            load += sum(w.rate_bps(t) for w in self._foreground.values())
+        else:
+            higher, same = self._demand_split(qci, t)
+            load = higher + same
+        rho = min(0.99, load / self.capacity_bps)
+        if rho < 0.5:
+            return 0.0
+        base = 0.002  # nominal per-packet scheduling latency at mid load
+        return min(self.max_queue_delay_s, base * rho / (1.0 - rho))
+
+    # ---------------------------------------------------------------- data
+
+    def submit(self, packet: Packet, transmit: Transmit) -> None:
+        """Offer a packet to the air; drops or schedules ``transmit``."""
+        t = self.loop.now()
+        window = self._foreground.get(packet.qci)
+        if window is None:
+            window = RateWindow()
+            self._foreground[packet.qci] = window
+        window.observe(t, packet.size)
+        self.offered.count(packet)
+        if self._rng.random() < self.drop_probability(packet.qci):
+            packet.mark_dropped(self.drop_layer)
+            self.dropped.count(packet)
+            return
+        serialization = packet.size * 8.0 / self.capacity_bps
+        delay = self.propagation_delay_s + self.queue_delay(packet.qci) + serialization
+        self.loop.schedule(delay, self._transmit, packet, transmit)
+
+    def _transmit(self, packet: Packet, transmit: Transmit) -> None:
+        self.transmitted.count(packet)
+        transmit(packet)

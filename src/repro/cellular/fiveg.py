@@ -1,0 +1,38 @@
+"""5G system naming for the same network functions.
+
+The paper targets "4G/5G" throughout, noting (footnote 1) that the data
+gateways are S-GW/P-GW in LTE and **UPF** in 5G, the charging function
+CDF in LTE and **CHF** in 5G; base stations are gNBs, the MME's role
+moves to the **AMF**.  The behaviours TLC relies on are identical, so
+the 5G deployment is the same code under its TS 23.501 names.
+
+This module provides those aliases — so 5G-oriented code reads naturally
+(``Upf``, ``Chf``, ``Gnb``) while sharing one implementation — plus the
+name map itself for documentation and tests.
+"""
+
+from __future__ import annotations
+
+from .enodeb import ENodeB, ENodeBConfig
+from .gateway import Spgw
+from .mme import Mme
+from .ofcs import Ofcs
+from .pcrf import Pcrf
+
+# 5G system aliases (TS 23.501 / TS 32.291 naming).
+Upf = Spgw  # User Plane Function     <- S-GW/P-GW
+Chf = Ofcs  # Charging Function       <- CDF/OFCS
+Gnb = ENodeB  # NR NodeB              <- eNodeB
+GnbConfig = ENodeBConfig
+Amf = Mme  # Access & Mobility Mgmt   <- MME
+Pcf = Pcrf  # Policy Control Function <- PCRF
+
+#: 4G → 5G function-name mapping, as the paper's footnote gives it.
+FUNCTION_NAMES_5G: dict[str, str] = {
+    "S-GW/P-GW": "UPF",
+    "CDF/OFCS": "CHF",
+    "eNodeB": "gNB",
+    "MME": "AMF",
+    "PCRF": "PCF",
+    "RRC (TS 36.331)": "RRC (TS 38.331)",
+}

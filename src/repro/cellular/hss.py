@@ -1,0 +1,46 @@
+"""Home Subscriber Server: the subscriber database.
+
+Holds the provisioning state the MME checks at attach: which IMSIs exist,
+which data plan each subscribes to, and a human-readable device label used
+in experiment reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .identifiers import Imsi
+
+
+@dataclass(frozen=True)
+class SubscriberProfile:
+    """Provisioned state of one subscriber."""
+
+    imsi: Imsi
+    device_name: str = "device"
+    plan_id: str = "default"
+
+
+class Hss:
+    """IMSI-keyed subscriber registry."""
+
+    def __init__(self) -> None:
+        self._subscribers: dict[str, SubscriberProfile] = {}
+
+    def provision(self, profile: SubscriberProfile) -> None:
+        """Add (or replace) a subscriber record."""
+        self._subscribers[str(profile.imsi)] = profile
+
+    def lookup(self, imsi: str) -> SubscriberProfile:
+        """Fetch a subscriber; raises KeyError for unknown IMSIs."""
+        try:
+            return self._subscribers[imsi]
+        except KeyError:
+            raise KeyError(f"IMSI {imsi} not provisioned") from None
+
+    def is_provisioned(self, imsi: str) -> bool:
+        """True if the IMSI exists in the registry."""
+        return imsi in self._subscribers
+
+    def __len__(self) -> int:
+        return len(self._subscribers)

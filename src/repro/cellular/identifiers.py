@@ -1,0 +1,83 @@
+"""Cellular identifiers: IMSI, charging IDs and their encodings.
+
+Matches the fields carried by the paper's Trace-1 CDR: a ``servedIMSI``
+(15-digit international mobile subscriber identity, shown by OpenEPC in
+swapped-nibble TBCD hex), the gateway address, and monotonically allocated
+charging identifiers/sequence numbers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Imsi:
+    """A 15-digit IMSI: MCC (3) + MNC (2-3) + MSIN."""
+
+    digits: str
+
+    def __post_init__(self) -> None:
+        if not (self.digits.isdigit() and 6 <= len(self.digits) <= 15):
+            raise ValueError(f"invalid IMSI: {self.digits!r}")
+
+    @property
+    def mcc(self) -> str:
+        """Mobile country code (first three digits)."""
+        return self.digits[:3]
+
+    @property
+    def mnc(self) -> str:
+        """Mobile network code (two digits in this model)."""
+        return self.digits[3:5]
+
+    def tbcd_hex(self) -> str:
+        """TBCD (swapped-nibble) hex encoding, as OpenEPC prints in CDRs.
+
+        Odd-length IMSIs are padded with the filler nibble ``F``.
+        """
+        padded = self.digits + ("F" if len(self.digits) % 2 else "")
+        swapped = [padded[i + 1] + padded[i] for i in range(0, len(padded), 2)]
+        return " ".join(swapped)
+
+    def __str__(self) -> str:
+        return self.digits
+
+
+@dataclass(frozen=True)
+class GatewayAddress:
+    """IPv4 address of the charging gateway, as reported in CDRs."""
+
+    address: str
+
+    def __post_init__(self) -> None:
+        parts = self.address.split(".")
+        if len(parts) != 4 or not all(p.isdigit() and 0 <= int(p) <= 255 for p in parts):
+            raise ValueError(f"invalid IPv4 address: {self.address!r}")
+
+    def __str__(self) -> str:
+        return self.address
+
+
+class ChargingIdAllocator:
+    """Allocates per-session charging IDs and per-record sequence numbers."""
+
+    def __init__(self, first_charging_id: int = 0, first_sequence: int = 1001) -> None:
+        self._charging_ids = itertools.count(first_charging_id)
+        self._sequences = itertools.count(first_sequence)
+
+    def next_charging_id(self) -> int:
+        """Allocate the next charging session identifier."""
+        return next(self._charging_ids)
+
+    def next_sequence(self) -> int:
+        """Allocate the next CDR sequence number."""
+        return next(self._sequences)
+
+
+def make_test_imsi(index: int, mcc: str = "001", mnc: str = "01") -> Imsi:
+    """Build a deterministic test-network IMSI (PLMN 001/01)."""
+    if index < 0:
+        raise ValueError(f"index must be non-negative, got {index}")
+    return Imsi(f"{mcc}{mnc}{index:010d}")

@@ -1,0 +1,48 @@
+"""Application-layer SLA drops (§3.1 loss class 5).
+
+Operators run middleboxes that discard real-time frames which have
+already blown their latency budget or violate a service-level agreement
+(the paper cites Via/Pytheas-style QoE machinery) — *after* the gateway
+charged them.  :class:`SlaMiddlebox` sits between the SPGW and the
+eNodeB on the downlink and enforces a per-flow age budget; expired
+packets drop with the ``app-sla`` taxonomy label.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..netsim.events import EventLoop
+from ..netsim.packet import FlowStats, Packet
+
+Forward = Callable[[str, Packet], None]
+
+
+class SlaMiddlebox:
+    """Latency-budget enforcement point on the downlink path."""
+
+    def __init__(self, loop: EventLoop, forward: Forward) -> None:
+        self.loop = loop
+        self.forward = forward
+        self._budgets: dict[str, float] = {}
+        self.dropped = FlowStats()
+        self.passed = FlowStats()
+
+    def set_budget(self, flow_id: str, budget_s: float | None) -> None:
+        """Set (or clear, with None) the age budget for one flow."""
+        if budget_s is None:
+            self._budgets.pop(flow_id, None)
+            return
+        if budget_s <= 0:
+            raise ValueError(f"SLA budget must be positive, got {budget_s}")
+        self._budgets[flow_id] = budget_s
+
+    def process(self, imsi: str, packet: Packet) -> None:
+        """Forward or drop one charged downlink packet."""
+        budget = self._budgets.get(packet.flow_id)
+        if budget is not None and self.loop.now() - packet.created_at > budget:
+            packet.mark_dropped("app-sla")
+            self.dropped.count(packet)
+            return
+        self.passed.count(packet)
+        self.forward(imsi, packet)

@@ -1,0 +1,78 @@
+"""Policy and Charging Rules Function (PCRF).
+
+Two responsibilities from the paper's setup:
+
+* **QCI assignment**: policy rules map flows to QoS classes — this is how
+  Tencent-style gaming acceleration gets its dedicated QCI 3/7 session
+  while everything else defaults to QCI 9 (§2.2).
+* **Quota / throttling policy**: "unlimited" plans throttle the flow to a
+  configured speed (e.g. 128 Kbps after 15 GB, the AT&T plan the paper
+  cites) once usage passes the quota.  The SPGW consults
+  :meth:`allowed_rate_bps` per packet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fnmatch import fnmatch
+
+from .qos import DEFAULT_QCI, qos_class
+
+
+@dataclass(frozen=True)
+class QciRule:
+    """Map flows whose ID matches ``pattern`` (glob) to ``qci``."""
+
+    pattern: str
+    qci: int
+
+    def __post_init__(self) -> None:
+        qos_class(self.qci)
+
+    def matches(self, flow_id: str) -> bool:
+        """Glob match against the flow identifier."""
+        return fnmatch(flow_id, self.pattern)
+
+
+@dataclass(frozen=True)
+class QuotaPolicy:
+    """Throttle a flow to ``throttle_bps`` after ``quota_bytes`` of usage."""
+
+    quota_bytes: int
+    throttle_bps: float = 128_000.0
+
+    def __post_init__(self) -> None:
+        if self.quota_bytes <= 0:
+            raise ValueError(f"quota must be positive, got {self.quota_bytes}")
+        if self.throttle_bps <= 0:
+            raise ValueError(f"throttle rate must be positive, got {self.throttle_bps}")
+
+
+class Pcrf:
+    """Rule store queried by the SPGW and the bearer-setup path."""
+
+    def __init__(self) -> None:
+        self._qci_rules: list[QciRule] = []
+        self._quotas: dict[str, QuotaPolicy] = {}
+
+    def add_qci_rule(self, pattern: str, qci: int) -> None:
+        """Install a QCI mapping rule (first match wins)."""
+        self._qci_rules.append(QciRule(pattern, qci))
+
+    def qci_for(self, flow_id: str) -> int:
+        """QCI for a new bearer carrying ``flow_id``."""
+        for rule in self._qci_rules:
+            if rule.matches(flow_id):
+                return rule.qci
+        return DEFAULT_QCI
+
+    def set_quota(self, flow_id: str, policy: QuotaPolicy) -> None:
+        """Attach a quota/throttle policy to one flow."""
+        self._quotas[flow_id] = policy
+
+    def allowed_rate_bps(self, flow_id: str, used_bytes: int) -> float | None:
+        """Rate cap for the flow given its usage; None means unthrottled."""
+        policy = self._quotas.get(flow_id)
+        if policy is None or used_bytes <= policy.quota_bytes:
+            return None
+        return policy.throttle_bps

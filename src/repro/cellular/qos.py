@@ -1,0 +1,68 @@
+"""3GPP QoS Class Identifiers (QCI), per TS 23.203 Table 6.1.7.
+
+The paper's experiments rely on three classes: QCI 3 (real-time gaming,
+50 ms delay budget), QCI 7 (voice / interactive gaming, 100 ms) and QCI 9
+(best-effort default).  Tencent's gaming acceleration maps player-control
+traffic to QCI 3/7 while the iperf background stays at QCI 9; strict
+priority between them is what keeps the gaming charging gap small in
+Figure 12d even under congestion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class ResourceType(Enum):
+    """Whether the bearer has a guaranteed bit rate."""
+
+    GBR = "GBR"
+    NON_GBR = "non-GBR"
+
+
+@dataclass(frozen=True)
+class QosClass:
+    """One row of the 3GPP QCI table."""
+
+    qci: int
+    resource_type: ResourceType
+    priority: int
+    packet_delay_budget_ms: int
+    packet_error_loss_rate: float
+    example_services: str
+
+    def outranks(self, other: "QosClass") -> bool:
+        """True if this class is served before ``other`` (lower priority #)."""
+        return self.priority < other.priority
+
+
+# TS 23.203 standardized characteristics (Rel-14 subset used by the paper).
+QCI_TABLE: dict[int, QosClass] = {
+    1: QosClass(1, ResourceType.GBR, 2, 100, 1e-2, "Conversational voice"),
+    2: QosClass(2, ResourceType.GBR, 4, 150, 1e-3, "Conversational video"),
+    3: QosClass(3, ResourceType.GBR, 3, 50, 1e-3, "Real-time gaming"),
+    4: QosClass(4, ResourceType.GBR, 5, 300, 1e-6, "Buffered video"),
+    5: QosClass(5, ResourceType.NON_GBR, 1, 100, 1e-6, "IMS signalling"),
+    6: QosClass(6, ResourceType.NON_GBR, 6, 300, 1e-6, "Buffered video, TCP apps"),
+    7: QosClass(7, ResourceType.NON_GBR, 7, 100, 1e-3, "Voice, video, interactive gaming"),
+    8: QosClass(8, ResourceType.NON_GBR, 8, 300, 1e-6, "TCP apps (premium)"),
+    9: QosClass(9, ResourceType.NON_GBR, 9, 300, 1e-6, "TCP apps (default)"),
+}
+
+DEFAULT_QCI = 9
+GAMING_QCI = 7
+GAMING_GBR_QCI = 3
+
+
+def qos_class(qci: int) -> QosClass:
+    """Look up a QCI row; raises ``KeyError`` with a helpful message."""
+    try:
+        return QCI_TABLE[qci]
+    except KeyError:
+        raise KeyError(f"QCI {qci} is not a standardized class (know {sorted(QCI_TABLE)})") from None
+
+
+def scheduler_priority(qci: int) -> int:
+    """Priority key for strict-priority scheduling (lower serves first)."""
+    return qos_class(qci).priority

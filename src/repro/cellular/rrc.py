@@ -1,0 +1,191 @@
+"""Radio Resource Control: connection state, modem counters, COUNTER CHECK.
+
+This module carries TLC's tamper-resilience argument (§5.4 of the paper):
+
+* :class:`HardwareModem` holds the device's traffic counters *below* the
+  OS.  User-space tamper adversaries (``repro.edge.tamper``) can rewrite
+  what ``TrafficStats``/``netstat`` report, but they hold no reference to
+  the modem's counters — the same trust boundary as a physical baseband.
+* :class:`RrcConnectionManager` (run by the eNodeB) tracks the RRC state
+  of one UE, releases the connection after inactivity, and — exactly as
+  the paper configures — issues an **RRC COUNTER CHECK** before each
+  release plus periodically, reporting the modem-side received volume to
+  the operator's downlink monitor.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable
+
+from ..netsim.counters import CumulativeCounter
+from ..netsim.events import Event, EventLoop
+from ..netsim.packet import Packet
+
+
+class RrcState(enum.Enum):
+    """RRC connection state of a UE (TS 36.331 simplified)."""
+
+    IDLE = "RRC_IDLE"
+    CONNECTED = "RRC_CONNECTED"
+
+
+@dataclass(frozen=True)
+class CounterCheckResponse:
+    """Modem's reply to an RRC COUNTER CHECK: cumulative byte counts."""
+
+    t: float
+    uplink_bytes: int
+    downlink_bytes: int
+
+
+class HardwareModem:
+    """Baseband-held traffic counters; tamper-resistant by construction.
+
+    The modem counts what actually crosses the air interface for this UE.
+    The counters are exposed only through :meth:`counter_check`, mirroring
+    the 3GPP procedure the operator's base station invokes.
+    """
+
+    def __init__(self, loop: EventLoop, name: str = "modem") -> None:
+        self.loop = loop
+        self.name = name
+        self.ul_sent = CumulativeCounter()
+        self.dl_received = CumulativeCounter()
+        self.counter_checks_served = 0
+
+    def count_uplink(self, packet: Packet) -> None:
+        """Record one uplink packet leaving the modem over the air."""
+        self.ul_sent.add(self.loop.now(), packet.size)
+
+    def count_downlink(self, packet: Packet) -> None:
+        """Record one downlink packet received over the air."""
+        self.dl_received.add(self.loop.now(), packet.size)
+
+    def counter_check(self) -> CounterCheckResponse:
+        """Serve an RRC COUNTER CHECK from the base station."""
+        self.counter_checks_served += 1
+        return CounterCheckResponse(
+            t=self.loop.now(),
+            uplink_bytes=self.ul_sent.total,
+            downlink_bytes=self.dl_received.total,
+        )
+
+
+CounterReportSink = Callable[[CounterCheckResponse], None]
+
+
+class RrcConnectionManager:
+    """eNodeB-side RRC state machine for one UE.
+
+    Data activity keeps the connection alive; after
+    ``inactivity_timeout_s`` without traffic the base station performs a
+    COUNTER CHECK and releases the connection (3GPP behaviour: every
+    release is network-initiated).  With ``counter_check_interval_s`` set,
+    additional periodic checks bound how stale the operator's downlink
+    record can get — TLC's configuration.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        modem: HardwareModem,
+        inactivity_timeout_s: float = 10.0,
+        counter_check_interval_s: float | None = 5.0,
+        report_sink: CounterReportSink | None = None,
+    ) -> None:
+        if inactivity_timeout_s <= 0:
+            raise ValueError("inactivity timeout must be positive")
+        self.loop = loop
+        self.modem = modem
+        self.inactivity_timeout_s = inactivity_timeout_s
+        self.counter_check_interval_s = counter_check_interval_s
+        self.report_sink = report_sink
+        self.state = RrcState.IDLE
+        self.setups = 0
+        self.releases = 0
+        self.counter_checks_sent = 0
+        self._release_timer: Event | None = None
+        self._periodic_timer: Event | None = None
+
+    # ------------------------------------------------------------- activity
+
+    def on_data_activity(self) -> None:
+        """Note traffic for this UE; sets up the connection if idle."""
+        if self.state is RrcState.IDLE:
+            self._setup()
+        self._arm_release_timer()
+
+    def _setup(self) -> None:
+        self.state = RrcState.CONNECTED
+        self.setups += 1
+        if self.counter_check_interval_s is not None:
+            self._arm_periodic_timer()
+
+    def _arm_release_timer(self) -> None:
+        if self._release_timer is not None:
+            self._release_timer.cancel()
+        self._release_timer = self.loop.schedule(
+            self.inactivity_timeout_s, self._release_on_inactivity
+        )
+
+    def _arm_periodic_timer(self) -> None:
+        if self._periodic_timer is not None:
+            self._periodic_timer.cancel()
+        assert self.counter_check_interval_s is not None
+        self._periodic_timer = self.loop.schedule(
+            self.counter_check_interval_s, self._periodic_check
+        )
+
+    # ------------------------------------------------------------- release
+
+    def _release_on_inactivity(self) -> None:
+        if self.state is not RrcState.CONNECTED:
+            return
+        self.perform_counter_check()
+        self.release()
+
+    def release(self, counter_check: bool = False) -> None:
+        """Release the RRC connection (optionally checking counters first)."""
+        if self.state is not RrcState.CONNECTED:
+            return
+        if counter_check:
+            self.perform_counter_check()
+        self.state = RrcState.IDLE
+        self.releases += 1
+        if self._release_timer is not None:
+            self._release_timer.cancel()
+            self._release_timer = None
+        if self._periodic_timer is not None:
+            self._periodic_timer.cancel()
+            self._periodic_timer = None
+
+    def abort(self) -> None:
+        """Drop the connection without a counter check (radio link failure)."""
+        if self.state is not RrcState.CONNECTED:
+            return
+        self.state = RrcState.IDLE
+        self.releases += 1
+        if self._release_timer is not None:
+            self._release_timer.cancel()
+            self._release_timer = None
+        if self._periodic_timer is not None:
+            self._periodic_timer.cancel()
+            self._periodic_timer = None
+
+    # -------------------------------------------------------- counter check
+
+    def _periodic_check(self) -> None:
+        if self.state is not RrcState.CONNECTED:
+            return
+        self.perform_counter_check()
+        self._arm_periodic_timer()
+
+    def perform_counter_check(self) -> CounterCheckResponse:
+        """Run the RRC COUNTER CHECK procedure and report the response."""
+        self.counter_checks_sent += 1
+        response = self.modem.counter_check()
+        if self.report_sink is not None:
+            self.report_sink(response)
+        return response

@@ -1,0 +1,98 @@
+"""Alternating-offers bargaining strategies (Rubinstein 1982, Nash 1953).
+
+The paper grounds TLC in bargaining theory (§9, references [55, 56]):
+the negotiation is "inspired by the bargaining theory, but generalizes
+this model from the economics to the cellular edge setting".  This
+module supplies the classic comparators:
+
+* :class:`RubinsteinStrategy` — alternating offers with a per-round
+  discount factor δ: each rejection costs the party a fraction of the
+  surplus, so impatient parties concede toward the Rubinstein split of
+  the contested interval ``[x̂_o, x̂_e]``;
+* :func:`rubinstein_split` — the closed-form first-mover share
+  ``(1 − δ₂) / (1 − δ₁δ₂)`` the infinite-horizon game converges to.
+
+They slot into the same :class:`~repro.core.negotiation.NegotiationEngine`
+as TLC's strategies, which lets the ablation benchmarks compare TLC's
+1-round minimax play against classical concession dynamics.
+"""
+
+from __future__ import annotations
+
+from .strategies import PartyKnowledge, PartyRole, Strategy, clamp_to_bounds
+
+
+def rubinstein_split(delta_proposer: float, delta_responder: float) -> float:
+    """First proposer's equilibrium share of the contested surplus."""
+    for delta in (delta_proposer, delta_responder):
+        if not 0.0 < delta < 1.0:
+            raise ValueError(f"discount factor must be in (0, 1), got {delta}")
+    return (1.0 - delta_responder) / (1.0 - delta_proposer * delta_responder)
+
+
+class RubinsteinStrategy(Strategy):
+    """Discounted alternating-offers play over the claim interval.
+
+    The party starts at its preferred end of the contested interval (the
+    edge at its received estimate, the operator at its sent estimate)
+    and, each round it sees rejected, concedes a δ-driven fraction of
+    the remaining distance toward the counterpart's last claim.  It
+    accepts once the counterpart's claim is within its concession point.
+    """
+
+    def __init__(
+        self,
+        knowledge: PartyKnowledge,
+        delta: float = 0.9,
+        accept_tolerance: float = 0.0,
+    ) -> None:
+        super().__init__(knowledge, accept_tolerance=accept_tolerance)
+        if not 0.0 < delta < 1.0:
+            raise ValueError(f"discount factor must be in (0, 1), got {delta}")
+        self.delta = delta
+        self._round = 0
+
+    def _preferred(self) -> int:
+        if self.knowledge.role is PartyRole.EDGE:
+            return min(self.knowledge.own_record, self.knowledge.other_estimate)
+        return max(self.knowledge.own_record, self.knowledge.other_estimate)
+
+    def _reservation(self) -> int:
+        """The record beyond which the party will not concede."""
+        return self.knowledge.own_record
+
+    def propose(
+        self,
+        x_lower: int,
+        x_upper: int | None,
+        round_index: int,
+        last_other_claim: int | None,
+    ) -> int:
+        self._round = round_index
+        target = self._preferred()
+        if round_index > 0 and last_other_claim is not None:
+            # Concede (1 − δ^round) of the way toward the counterpart.
+            concession = 1.0 - self.delta ** round_index
+            target = int(round(target + (last_other_claim - target) * concession))
+        # Never concede past the provable record.
+        if self.knowledge.role is PartyRole.OPERATOR:
+            target = max(target, self._reservation())
+        else:
+            target = min(target, self._reservation())
+        return clamp_to_bounds(target, x_lower, x_upper)
+
+    def decide(self, other_claim: int, own_claim: int) -> bool:
+        # Accept anything at least as good as our current concession
+        # point; impatience (low δ) widens what counts as acceptable.
+        concession = 1.0 - self.delta ** max(1, self._round + 1)
+        if self.knowledge.role is PartyRole.EDGE:
+            acceptable = own_claim + (self.knowledge.own_record - own_claim) * concession
+            within_record = other_claim <= self.knowledge.own_record * (
+                1.0 + self.accept_tolerance
+            )
+            return within_record and other_claim <= acceptable
+        acceptable = own_claim - (own_claim - self.knowledge.own_record) * concession
+        within_record = other_claim >= self.knowledge.own_record * (
+            1.0 - self.accept_tolerance
+        )
+        return within_record and other_claim >= acceptable

@@ -1,0 +1,147 @@
+"""Economic deployment incentives (§8 of the paper).
+
+The paper argues both sides profit from deploying TLC:
+
+* the **edge** deploys it to escape legacy 4G/5G's unbounded
+  over-charging;
+* the **operator** deploys it for competitive advantage — "if operator A
+  deploys TLC but operator B does not, B's users may switch to A to
+  avoid over-billing", an effect the paper grounds in the up-to-25 %
+  monthly churn of prepaid/MVNO customers.
+
+This module makes that argument executable: a small market of operators
+(with or without TLC, with a selfish over-charging factor) serving
+subscribers who churn away from operators that over-bill them.  The
+simulation is deliberately coarse — monthly rounds, proportional churn —
+because the claim under test is directional: *the TLC operator's revenue
+overtakes the over-charging legacy operator's*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..netsim.rng import StreamRegistry
+
+
+@dataclass
+class OperatorModel:
+    """One operator's market posture."""
+
+    name: str
+    deploys_tlc: bool
+    overcharge_factor: float = 1.0  # legacy selfish markup on usage
+    price_per_gb: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.overcharge_factor < 1.0:
+            raise ValueError("overcharge factor below 1 would be under-billing")
+        if self.deploys_tlc and self.overcharge_factor != 1.0:
+            raise ValueError("a TLC operator cannot sustain an over-charge: "
+                             "the negotiation bound caps it")
+
+    def bill(self, usage_gb: float) -> float:
+        """The monthly bill for one subscriber's usage."""
+        return usage_gb * self.price_per_gb * self.overcharge_factor
+
+
+@dataclass
+class MarketConfig:
+    """Churn dynamics."""
+
+    subscribers: int = 10_000
+    monthly_usage_gb: float = 15.0
+    base_churn: float = 0.05  # background switching (any reason)
+    overbilling_churn: float = 0.25  # the paper's prepaid/MVNO churn ceiling
+    detection_probability: float = 0.3  # chance a user notices over-billing
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.base_churn <= 1 or not 0 <= self.overbilling_churn <= 1:
+            raise ValueError("churn rates must be probabilities")
+
+
+@dataclass
+class MarketState:
+    """Evolving market shares and cumulative revenue."""
+
+    shares: dict[str, int]
+    revenue: dict[str, float] = field(default_factory=dict)
+    months: int = 0
+
+
+class Market:
+    """A churn-driven duopoly/oligopoly of cellular operators."""
+
+    def __init__(
+        self,
+        operators: list[OperatorModel],
+        config: MarketConfig | None = None,
+        rng: StreamRegistry | None = None,
+    ) -> None:
+        if len(operators) < 2:
+            raise ValueError("a market needs at least two operators")
+        names = [op.name for op in operators]
+        if len(set(names)) != len(names):
+            raise ValueError("operator names must be unique")
+        self.operators = {op.name: op for op in operators}
+        self.config = config if config is not None else MarketConfig()
+        self._rng = (rng if rng is not None else StreamRegistry(0)).stream("market")
+        per_operator = self.config.subscribers // len(operators)
+        self.state = MarketState(
+            shares={op.name: per_operator for op in operators},
+            revenue={op.name: 0.0 for op in operators},
+        )
+
+    def _churn_rate(self, operator: OperatorModel) -> float:
+        rate = self.config.base_churn
+        if operator.overcharge_factor > 1.0:
+            # Over-billed users who notice leave at the elevated rate.
+            excess = min(1.0, (operator.overcharge_factor - 1.0) * 10)
+            rate += (
+                self.config.overbilling_churn
+                * self.config.detection_probability
+                * excess
+            )
+        return min(1.0, rate)
+
+    def step_month(self) -> None:
+        """One billing month: revenue accrual, then churn redistribution."""
+        config = self.config
+        leavers: dict[str, int] = {}
+        for name, operator in self.operators.items():
+            subscribers = self.state.shares[name]
+            self.state.revenue[name] += subscribers * operator.bill(config.monthly_usage_gb)
+            expected = subscribers * self._churn_rate(operator)
+            leavers[name] = min(subscribers, round(self._rng.gauss(expected, expected * 0.1)))
+        # Leavers pick a new operator, favouring trusted (TLC) ones.
+        pool = sum(max(0, n) for n in leavers.values())
+        weights = {
+            name: (2.0 if op.deploys_tlc else 1.0) / max(1.0, op.overcharge_factor)
+            for name, op in self.operators.items()
+        }
+        total_weight = sum(weights.values())
+        for name, count in leavers.items():
+            self.state.shares[name] -= max(0, count)
+        assigned = 0
+        names = list(self.operators)
+        for i, name in enumerate(names):
+            if i == len(names) - 1:
+                grant = pool - assigned
+            else:
+                grant = int(pool * weights[name] / total_weight)
+            self.state.shares[name] += grant
+            assigned += grant
+        self.state.months += 1
+
+    def run(self, months: int) -> MarketState:
+        """Simulate ``months`` billing cycles; returns the final state."""
+        if months <= 0:
+            raise ValueError("months must be positive")
+        for _ in range(months):
+            self.step_month()
+        return self.state
+
+    def market_share(self, name: str) -> float:
+        """Current share of the subscriber base."""
+        total = sum(self.state.shares.values())
+        return self.state.shares[name] / total if total else 0.0

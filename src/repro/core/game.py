@@ -1,0 +1,113 @@
+"""Game-theoretic analysis of the loss-selfishness cancellation.
+
+Implements the zero-sum analysis of the paper's Appendix B/C in executable
+form: worst-case charges, minimax/maximin values over the feasible claim
+interval ``[x̂_o, x̂_e]`` (Theorem 2's bound defines the feasible set), and
+a pure-strategy Nash equilibrium checker.  The property-based tests use
+these to verify Theorems 2 and 3 numerically over arbitrary instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .plan import DataPlan
+
+
+@dataclass(frozen=True)
+class GameInstance:
+    """One cycle's game: ground truth and the plan's loss weight."""
+
+    x_hat_e: int
+    x_hat_o: int
+    c: float
+
+    def __post_init__(self) -> None:
+        if self.x_hat_o < 0 or self.x_hat_e < self.x_hat_o:
+            raise ValueError(
+                f"need 0 ≤ x̂_o ≤ x̂_e, got ({self.x_hat_e}, {self.x_hat_o})"
+            )
+        if not 0.0 <= self.c <= 1.0:
+            raise ValueError(f"c must be in [0, 1], got {self.c}")
+
+    @property
+    def plan(self) -> DataPlan:
+        """A plan carrying this instance's loss weight."""
+        return DataPlan(c=self.c, cycle_duration_s=3600.0)
+
+    @property
+    def expected(self) -> float:
+        """The ground-truth charge x̂ = x̂_o + c·(x̂_e − x̂_o)."""
+        return self.x_hat_o + self.c * (self.x_hat_e - self.x_hat_o)
+
+    def charge(self, x_e: float, x_o: float) -> float:
+        """Payoff (the charge) for one claim pair."""
+        return self.plan.charge(x_e, x_o)
+
+    # ----------------------------------------------------- analytic values
+
+    def edge_worst_case(self, x_e: float) -> float:
+        """max over feasible x_o of the charge, for a fixed edge claim.
+
+        Feasible operator claims are ``[x̂_o, x̂_e]`` (Theorem 2).  Per
+        Appendix C the maximum is attained at ``x_o = x̂_e`` whenever
+        ``x_e < x̂_e``, giving ``(1 − c)·x_e + c·x̂_e``.
+        """
+        below = x_e  # best the operator can do with x_o ≤ x_e is x_o = x_e
+        above = (1.0 - self.c) * x_e + self.c * self.x_hat_e
+        return max(below, above)
+
+    def operator_worst_case(self, x_o: float) -> float:
+        """min over feasible x_e of the charge, for a fixed operator claim."""
+        above = x_o  # edge claiming x_e ≥ x_o leaves x = x_o at best
+        below = (1.0 - self.c) * self.x_hat_o + self.c * x_o
+        return min(above, below)
+
+    def edge_minimax_claim(self) -> int:
+        """The edge's optimal claim: x_e = x̂_o (Appendix C, Eq. 5)."""
+        return self.x_hat_o
+
+    def operator_maximin_claim(self) -> int:
+        """The operator's optimal claim: x_o = x̂_e."""
+        return self.x_hat_e
+
+    def minimax_value(self) -> float:
+        """min_x_e max_x_o x — equals x̂ for rational play (Theorem 3)."""
+        return self.edge_worst_case(self.edge_minimax_claim())
+
+    def maximin_value(self) -> float:
+        """max_x_o min_x_e x — equals x̂ for rational play (Theorem 3)."""
+        return self.operator_worst_case(self.operator_maximin_claim())
+
+    # ------------------------------------------------------ grid verifiers
+
+    def _feasible_grid(self, steps: int) -> list[int]:
+        span = self.x_hat_e - self.x_hat_o
+        if span == 0:
+            return [self.x_hat_o]
+        count = min(steps, span + 1)
+        return sorted(
+            {self.x_hat_o + round(i * span / (count - 1)) for i in range(count)}
+        )
+
+    def minimax_value_grid(self, steps: int = 64) -> float:
+        """Brute-force min_x_e max_x_o over a feasible-claim grid."""
+        grid = self._feasible_grid(steps)
+        return min(max(self.charge(xe, xo) for xo in grid) for xe in grid)
+
+    def maximin_value_grid(self, steps: int = 64) -> float:
+        """Brute-force max_x_o min_x_e over a feasible-claim grid."""
+        grid = self._feasible_grid(steps)
+        return max(min(self.charge(xe, xo) for xe in grid) for xo in grid)
+
+    def is_pure_nash(self, x_e: int, x_o: int, steps: int = 64) -> bool:
+        """True if neither party can improve by deviating on the grid.
+
+        The edge improves by lowering the charge; the operator by raising
+        it.  ``(x̂_o, x̂_e)`` is the unique pure equilibrium (Appendix C).
+        """
+        grid = self._feasible_grid(steps)
+        value = self.charge(x_e, x_o)
+        edge_can_improve = any(self.charge(xe, x_o) < value - 1e-9 for xe in grid)
+        operator_can_improve = any(self.charge(x_e, xo) > value + 1e-9 for xo in grid)
+        return not edge_can_improve and not operator_can_improve

@@ -1,0 +1,70 @@
+"""Charging-gap metrics and the legacy 4G/5G baseline.
+
+The paper's three headline metrics:
+
+* absolute gap ``Δ = |x − x̂|`` (Table 2, MB/hr),
+* relative gap ratio ``ε = Δ / x̂`` (Table 2, Figure 13/14),
+* charge-reduction ratio ``μ = (x_legacy − x_TLC) / x_legacy``
+  (Figure 15: how much less the edge pays under TLC than under the
+  gateway-count charging of legacy 4G/5G; 0 when ``c = 1``).
+
+The legacy baseline charges exactly what the gateway counted — which, by
+the *position* of the gateway in the path, equals the received volume for
+uplink and (nearly) the sent volume for downlink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .plan import DataPlan
+from .records import CycleUsage
+
+
+def absolute_gap(charged: float, expected: float) -> float:
+    """Δ = |x − x̂| in bytes."""
+    return abs(charged - expected)
+
+
+def gap_ratio(charged: float, expected: float) -> float:
+    """ε = Δ / x̂; 0 for an idle cycle with a correct zero charge."""
+    if expected == 0:
+        return 0.0 if charged == 0 else float("inf")
+    return absolute_gap(charged, expected) / expected
+
+
+def reduction_ratio(legacy_charge: float, tlc_charge: float) -> float:
+    """μ = (x_legacy − x_TLC) / x_legacy (Figure 15's metric)."""
+    if legacy_charge == 0:
+        return 0.0
+    return (legacy_charge - tlc_charge) / legacy_charge
+
+
+def legacy_charge(usage: CycleUsage) -> int:
+    """What legacy 4G/5G bills: the gateway's own count, unnegotiated."""
+    return usage.gateway_count
+
+
+@dataclass(frozen=True)
+class SchemeOutcome:
+    """One charging scheme's result on one cycle."""
+
+    scheme: str
+    charged: int
+    expected: float
+    rounds: int = 1
+
+    @property
+    def delta(self) -> float:
+        """Absolute charging gap Δ for this cycle."""
+        return absolute_gap(self.charged, self.expected)
+
+    @property
+    def epsilon(self) -> float:
+        """Relative charging-gap ratio ε for this cycle."""
+        return gap_ratio(self.charged, self.expected)
+
+
+def expected_charge(usage: CycleUsage, plan: DataPlan) -> float:
+    """Ground-truth x̂ for a cycle under a plan."""
+    return plan.expected_charge(usage.true_sent, usage.true_received)

@@ -1,0 +1,61 @@
+"""TLC for generic (non-edge) mobile data charging — Appendix D.
+
+When the application server lives on the public Internet rather than
+co-located with the cellular core, downlink data can be lost *between the
+server and the 4G/5G core*.  The edge's sent-record then measures
+``x̂'_e ≥ x̂_e`` (the core-received volume), and negotiating with it
+over-charges by exactly
+
+    x̂' − x̂ = c · (x̂'_e − x̂_e)
+
+— bounded by the Internet-side loss, which still beats legacy 4G/5G's
+unbounded over-charging.  This module makes that bound executable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .plan import DataPlan
+
+
+@dataclass(frozen=True)
+class GenericDownlinkInstance:
+    """Ground truth for one generic-charging downlink cycle.
+
+    ``internet_sent`` is x̂'_e (what the Internet server emitted),
+    ``core_received`` is x̂_e (what reached the 4G/5G core), and
+    ``device_received`` is x̂_o.
+    """
+
+    internet_sent: int
+    core_received: int
+    device_received: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.device_received <= self.core_received <= self.internet_sent:
+            raise ValueError(
+                "need 0 ≤ x̂_o ≤ x̂_e ≤ x̂'_e, got "
+                f"({self.internet_sent}, {self.core_received}, {self.device_received})"
+            )
+
+    @property
+    def internet_loss(self) -> int:
+        """Bytes lost between the Internet server and the cellular core."""
+        return self.internet_sent - self.core_received
+
+    def ideal_charge(self, plan: DataPlan) -> float:
+        """x̂ — the charge if the edge could report the core-received volume."""
+        return plan.expected_charge(self.core_received, self.device_received)
+
+    def negotiated_charge(self, plan: DataPlan) -> float:
+        """x̂' — what rational negotiation reaches with the Internet record."""
+        return plan.expected_charge(self.internet_sent, self.device_received)
+
+    def overcharge(self, plan: DataPlan) -> float:
+        """The over-charge x̂' − x̂ = c·(x̂'_e − x̂_e)."""
+        return self.negotiated_charge(plan) - self.ideal_charge(plan)
+
+    def overcharge_bound(self, plan: DataPlan) -> float:
+        """Appendix D's bound: c times the Internet-side loss."""
+        return plan.c * self.internet_loss

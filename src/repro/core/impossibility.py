@@ -1,0 +1,145 @@
+"""Theorem 1, executable: consistency vs. availability under loss.
+
+Appendix A proves (as a CAP variant) that no charging design can
+guarantee both (1) a consistent view of the traffic counters at the edge
+and the operator and (2) that every charging query eventually returns,
+when the network can lose data arbitrarily: a lost update is
+indistinguishable from no traffic.
+
+This module builds the two ends of the trade-off as tiny distributed
+counters over a lossy one-way channel:
+
+* :class:`ConsistentCounterPair` (the "CP" design) acknowledges every
+  update and *suspends charging queries* while any update is unacked —
+  consistent always, but a partition stalls queries indefinitely and the
+  synchronization traffic delays data;
+* :class:`AvailableCounterPair` (the "AP" design — what 4G/5G and TLC's
+  in-cycle behaviour actually do) answers queries immediately from local
+  state — always available, but the two sides diverge by exactly the
+  lost bytes (the charging gap).
+
+TLC's resolution is neither: accept the in-cycle divergence, then cancel
+it at cycle end via the negotiation — which is why Theorem 1 is bypassed
+rather than violated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..netsim.events import EventLoop
+
+
+@dataclass
+class LossyChannel:
+    """A one-way channel that delivers or silently drops updates."""
+
+    loop: EventLoop
+    deliver: Callable[[int], None]
+    latency_s: float = 0.01
+    partitioned: bool = False
+    dropped: int = 0
+
+    def send(self, nbytes: int) -> None:
+        if self.partitioned:
+            self.dropped += 1
+            return
+        self.loop.schedule(self.latency_s, self.deliver, nbytes)
+
+
+@dataclass
+class QueryOutcome:
+    """Result of one charging query."""
+
+    answered: bool
+    value: int | None = None
+    consistent: bool | None = None
+
+
+class ConsistentCounterPair:
+    """CP design: synchronized counters, blocking queries.
+
+    The sender counts only after the receiver acknowledges, and a query
+    is answered only when no update is in flight — so any answer is
+    consistent, but availability dies with the channel.
+    """
+
+    def __init__(self, loop: EventLoop, latency_s: float = 0.01) -> None:
+        self.loop = loop
+        self.sender_count = 0
+        self.receiver_count = 0
+        self._unacked = 0
+        self.forward = LossyChannel(loop, self._on_receive, latency_s)
+        self._ack_channel = LossyChannel(loop, self._on_ack, latency_s)
+        self.data_delay_total = 0.0
+        self._pending_since: dict[int, float] = {}
+        self._seq = 0
+
+    def transfer(self, nbytes: int) -> None:
+        """Offer one data unit; counting waits for the round trip."""
+        self._unacked += 1
+        self._seq += 1
+        self._pending_since[self._seq] = self.loop.now()
+        self.forward.send(nbytes)
+
+    def _on_receive(self, nbytes: int) -> None:
+        self.receiver_count += nbytes
+        self._ack_channel.send(nbytes)
+
+    def _on_ack(self, nbytes: int) -> None:
+        self.sender_count += nbytes
+        self._unacked -= 1
+        seq, started = next(iter(self._pending_since.items()))
+        del self._pending_since[seq]
+        self.data_delay_total += self.loop.now() - started
+
+    def query(self) -> QueryOutcome:
+        """Charging query: suspended while any update is unacked."""
+        if self._unacked > 0:
+            return QueryOutcome(answered=False)
+        return QueryOutcome(
+            answered=True,
+            value=self.sender_count,
+            consistent=self.sender_count == self.receiver_count,
+        )
+
+    def partition(self, on: bool = True) -> None:
+        """Cut (or restore) both directions of the channel."""
+        self.forward.partitioned = on
+        self._ack_channel.partitioned = on
+
+
+class AvailableCounterPair:
+    """AP design: independent counters, immediate queries."""
+
+    def __init__(self, loop: EventLoop, latency_s: float = 0.01) -> None:
+        self.loop = loop
+        self.sender_count = 0
+        self.receiver_count = 0
+        self.forward = LossyChannel(loop, self._on_receive, latency_s)
+
+    def transfer(self, nbytes: int) -> None:
+        """Offer one data unit; the sender counts unconditionally."""
+        self.sender_count += nbytes
+        self.forward.send(nbytes)
+
+    def _on_receive(self, nbytes: int) -> None:
+        self.receiver_count += nbytes
+
+    def query(self) -> QueryOutcome:
+        """Always answers; consistency is whatever the loss left behind."""
+        return QueryOutcome(
+            answered=True,
+            value=self.sender_count,
+            consistent=self.sender_count == self.receiver_count,
+        )
+
+    @property
+    def divergence(self) -> int:
+        """The charging gap: bytes counted by one side only."""
+        return self.sender_count - self.receiver_count
+
+    def partition(self, on: bool = True) -> None:
+        """Cut (or restore) the data channel."""
+        self.forward.partitioned = on

@@ -1,0 +1,82 @@
+"""Mixed-strategy analysis of the charging game (linear programming).
+
+Theorem 3 rests on Von Neumann's minimax theorem: the discretized
+charging game's value exists and the pure claim pair ``(x̂_o, x̂_e)`` is a
+saddle point.  The paper argues this analytically (Appendix C); here we
+*compute* it — solving the zero-sum matrix game with scipy's LP solver —
+so the property tests can confirm three stronger statements on arbitrary
+instances:
+
+* the LP game value equals ``x̂`` (no mixed strategy does better),
+* the edge's optimal mixture puts (essentially) all mass on ``x̂_o``,
+* the operator's optimal mixture puts all mass on ``x̂_e``.
+
+That is: even allowed to randomize, neither party gains anything over
+TLC's deterministic 1-round claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import linprog
+
+from .game import GameInstance
+
+
+@dataclass(frozen=True)
+class MixedSolution:
+    """Solution of the discretized zero-sum charging game."""
+
+    value: float
+    edge_strategy: np.ndarray  # distribution over edge claims (minimizer)
+    operator_strategy: np.ndarray  # distribution over operator claims
+    claims: np.ndarray  # the discretized claim grid (shared)
+
+
+def solve_mixed(game: GameInstance, grid_points: int = 17) -> MixedSolution:
+    """Solve the matrix game over a feasible-claim grid.
+
+    The edge (row player) picks a distribution over claims minimizing the
+    expected charge; the operator (column player) maximizes it.  Solved
+    as the standard LP: minimize v s.t. for every operator column j,
+    Σ_i p_i · charge(claim_i, claim_j) ≤ v, Σ p = 1, p ≥ 0.
+    """
+    span = game.x_hat_e - game.x_hat_o
+    count = min(grid_points, span + 1) if span else 1
+    claims = np.unique(
+        np.round(np.linspace(game.x_hat_o, game.x_hat_e, count)).astype(np.int64)
+    )
+    n = len(claims)
+    payoff = np.empty((n, n))
+    for i, edge_claim in enumerate(claims):
+        for j, operator_claim in enumerate(claims):
+            payoff[i, j] = game.charge(int(edge_claim), int(operator_claim))
+
+    edge_strategy = _solve_lp(payoff, minimize=True)
+    operator_strategy = _solve_lp(payoff, minimize=False)
+    value = float(edge_strategy @ payoff @ operator_strategy)
+    return MixedSolution(value, edge_strategy, operator_strategy, claims)
+
+
+def _solve_lp(payoff: np.ndarray, minimize: bool) -> np.ndarray:
+    """Optimal mixture for one side of a zero-sum matrix game."""
+    n = payoff.shape[0]
+    # Variables: [p_1..p_n, v].  Minimizer: min v with A^T p ≤ v.
+    # Maximizer: max v (i.e. min −v) with A q ≥ v.
+    c = np.zeros(n + 1)
+    c[-1] = 1.0 if minimize else -1.0
+    matrix = payoff.T if minimize else -payoff
+    a_ub = np.hstack([matrix, (-1.0 if minimize else 1.0) * np.ones((matrix.shape[0], 1))])
+    b_ub = np.zeros(matrix.shape[0])
+    a_eq = np.zeros((1, n + 1))
+    a_eq[0, :n] = 1.0
+    b_eq = np.ones(1)
+    bounds = [(0.0, None)] * n + [(None, None)]
+    result = linprog(c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq, bounds=bounds,
+                     method="highs")
+    if not result.success:  # pragma: no cover - highs is robust on these LPs
+        raise RuntimeError(f"LP solve failed: {result.message}")
+    mixture = np.clip(result.x[:n], 0.0, None)
+    return mixture / mixture.sum()

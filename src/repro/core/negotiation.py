@@ -1,0 +1,182 @@
+"""Algorithm 1: the loss-selfishness cancellation engine.
+
+Runs the paper's negotiation between an edge strategy and an operator
+strategy:
+
+1. both parties claim a volume inside the open bounds ``(x_L, x_U)``;
+2. both decide accept/reject on the counterpart's claim (a claim that
+   violates the bounds is auto-rejected — the constraint is visible to
+   both sides, line 12);
+3. on double accept the charging volume is fixed by line 8 and the
+   negotiation stops;
+4. otherwise the bounds shrink to ``[min claim, max claim]`` and the
+   parties re-claim.
+
+Because volumes are integral and the bounds strictly nest, the engine
+force-converges once the interval has (almost) no interior — mirroring
+the paper's argument that neither party benefits from dragging the
+negotiation out (§5.1).  ``max_rounds`` is a safety valve for adversarial
+strategy pairs; hitting it marks the result as not converged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .plan import DataPlan
+from .strategies import Strategy
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Transcript of one negotiation round."""
+
+    round_index: int
+    x_lower: int
+    x_upper: int | None
+    edge_claim: int
+    operator_claim: int
+    edge_accepts: bool
+    operator_accepts: bool
+    edge_claim_in_bounds: bool
+    operator_claim_in_bounds: bool
+
+
+@dataclass(frozen=True)
+class NegotiationResult:
+    """Outcome of Algorithm 1."""
+
+    volume: int
+    rounds: int
+    converged: bool
+    forced: bool
+    transcript: tuple[RoundRecord, ...] = field(repr=False, default=())
+
+    @property
+    def final_claims(self) -> tuple[int, int]:
+        """The (edge, operator) claims the result was computed from."""
+        last = self.transcript[-1]
+        return last.edge_claim, last.operator_claim
+
+
+def _in_open_bounds(claim: int, x_lower: int, x_upper: int | None) -> bool:
+    if x_upper is None:
+        return claim > x_lower
+    if x_upper - x_lower <= 2:
+        # Degenerate interval: the nearest admissible integers *are* the
+        # bounds; treat boundary claims as conforming.
+        return x_lower <= claim <= x_upper
+    return x_lower < claim < x_upper
+
+
+class NegotiationEngine:
+    """Drives one charging cycle's negotiation to a charging volume."""
+
+    def __init__(
+        self,
+        plan: DataPlan,
+        edge: Strategy,
+        operator: Strategy,
+        max_rounds: int = 64,
+        convergence_slack: int = 1,
+    ) -> None:
+        if max_rounds <= 0:
+            raise ValueError(f"max_rounds must be positive, got {max_rounds}")
+        self.plan = plan
+        self.edge = edge
+        self.operator = operator
+        self.max_rounds = max_rounds
+        self.convergence_slack = convergence_slack
+
+    def run(self) -> NegotiationResult:
+        """Execute Algorithm 1 and return the negotiated volume."""
+        x_lower = -1  # so that a legitimate zero-volume claim is in bounds
+        x_upper: int | None = None
+        transcript: list[RoundRecord] = []
+        last_edge_claim: int | None = None
+        last_operator_claim: int | None = None
+
+        for round_index in range(self.max_rounds):
+            edge_claim = self.edge.propose(
+                x_lower, x_upper, round_index, last_operator_claim
+            )
+            operator_claim = self.operator.propose(
+                x_lower, x_upper, round_index, last_edge_claim
+            )
+            edge_in_bounds = _in_open_bounds(edge_claim, x_lower, x_upper)
+            operator_in_bounds = _in_open_bounds(operator_claim, x_lower, x_upper)
+
+            # A bound-violating claim is rejected outright by the peer.
+            edge_accepts = operator_in_bounds and self.edge.decide(
+                operator_claim, edge_claim
+            )
+            operator_accepts = edge_in_bounds and self.operator.decide(
+                edge_claim, operator_claim
+            )
+
+            transcript.append(
+                RoundRecord(
+                    round_index=round_index,
+                    x_lower=x_lower,
+                    x_upper=x_upper,
+                    edge_claim=edge_claim,
+                    operator_claim=operator_claim,
+                    edge_accepts=edge_accepts,
+                    operator_accepts=operator_accepts,
+                    edge_claim_in_bounds=edge_in_bounds,
+                    operator_claim_in_bounds=operator_in_bounds,
+                )
+            )
+
+            if edge_accepts and operator_accepts:
+                volume = int(round(self.plan.charge(edge_claim, operator_claim)))
+                return NegotiationResult(
+                    volume=volume,
+                    rounds=round_index + 1,
+                    converged=True,
+                    forced=False,
+                    transcript=tuple(transcript),
+                )
+
+            # Line 12: tighten the bounds to the span of this round's claims
+            # (only claims that respected the previous bounds count).
+            claims = [
+                claim
+                for claim, ok in (
+                    (edge_claim, edge_in_bounds),
+                    (operator_claim, operator_in_bounds),
+                )
+                if ok
+            ]
+            if claims:
+                new_lower = min(claims)
+                new_upper = max(claims)
+                x_lower = max(x_lower, new_lower)
+                x_upper = new_upper if x_upper is None else min(x_upper, new_upper)
+                if x_upper < x_lower:
+                    x_upper = x_lower
+
+            # Degenerate interval: neither party can move — settle it.
+            if x_upper is not None and x_upper - x_lower <= self.convergence_slack:
+                volume = int(round(self.plan.charge(edge_claim, operator_claim)))
+                volume = min(max(volume, x_lower), x_upper)
+                return NegotiationResult(
+                    volume=volume,
+                    rounds=round_index + 1,
+                    converged=True,
+                    forced=True,
+                    transcript=tuple(transcript),
+                )
+
+            last_edge_claim = edge_claim
+            last_operator_claim = operator_claim
+
+        # Safety valve: settle on the last claims without convergence.
+        volume = int(round(self.plan.charge(last_edge_claim or 0, last_operator_claim or 0)))
+        return NegotiationResult(
+            volume=volume,
+            rounds=self.max_rounds,
+            converged=False,
+            forced=True,
+            transcript=tuple(transcript),
+        )

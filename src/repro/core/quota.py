@@ -1,0 +1,93 @@
+"""Quota-triggered charging cycles (§5.2).
+
+The paper notes Algorithm 1 "only runs at the end of the cycle (e.g.,
+bill cycle stops, or **the charging volume exceeds a pre-defined
+quota**)".  This module implements the second trigger: a
+:class:`QuotaWatcher` monitors a gateway-side counter and closes the
+charging cycle early when the charged volume crosses the quota — so a
+prepaid edge vendor negotiates (and pays) per quota tranche rather than
+per wall-clock month, and the operator can gate further service on the
+PoC of the previous tranche.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..netsim.counters import CumulativeCounter
+from ..netsim.events import EventLoop
+from .plan import ChargingCycle
+
+CycleClosed = Callable[[ChargingCycle, int], None]
+
+
+@dataclass(frozen=True)
+class QuotaTrigger:
+    """Why a cycle closed."""
+
+    cycle: ChargingCycle
+    charged_bytes: int
+    by_quota: bool  # False = wall-clock cycle end
+
+
+class QuotaWatcher:
+    """Closes charging cycles on quota *or* wall-clock, whichever first."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        counter: CumulativeCounter,
+        quota_bytes: int,
+        max_cycle_s: float,
+        poll_interval_s: float = 1.0,
+    ) -> None:
+        if quota_bytes <= 0:
+            raise ValueError(f"quota must be positive, got {quota_bytes}")
+        if max_cycle_s <= 0 or poll_interval_s <= 0:
+            raise ValueError("cycle length and poll interval must be positive")
+        self.loop = loop
+        self.counter = counter
+        self.quota_bytes = quota_bytes
+        self.max_cycle_s = max_cycle_s
+        self.poll_interval_s = poll_interval_s
+        self.triggers: list[QuotaTrigger] = []
+        self._cycle_started_at = loop.now()
+        self._cycle_base_bytes = counter.total
+        self._running = False
+
+    def start(self) -> None:
+        """Begin watching (idempotent start is an error)."""
+        if self._running:
+            raise RuntimeError("quota watcher already running")
+        self._running = True
+        self._cycle_started_at = self.loop.now()
+        self._cycle_base_bytes = self.counter.total
+        self.loop.schedule(self.poll_interval_s, self._poll)
+
+    def stop(self) -> None:
+        """Stop watching; no further cycles close."""
+        self._running = False
+
+    @property
+    def current_usage(self) -> int:
+        """Bytes charged in the open cycle so far."""
+        return self.counter.total - self._cycle_base_bytes
+
+    def _poll(self) -> None:
+        if not self._running:
+            return
+        now = self.loop.now()
+        usage = self.current_usage
+        elapsed = now - self._cycle_started_at
+        if usage >= self.quota_bytes:
+            self._close(now, usage, by_quota=True)
+        elif elapsed >= self.max_cycle_s:
+            self._close(now, usage, by_quota=False)
+        self.loop.schedule(self.poll_interval_s, self._poll)
+
+    def _close(self, now: float, usage: int, by_quota: bool) -> None:
+        cycle = ChargingCycle(self._cycle_started_at, now)
+        self.triggers.append(QuotaTrigger(cycle, usage, by_quota))
+        self._cycle_started_at = now
+        self._cycle_base_bytes = self.counter.total

@@ -1,0 +1,81 @@
+"""Usage records: what each party knows about one charging cycle.
+
+Ground truth vs. measurement is the crux of this reproduction: the
+simulator knows the exact ``(x̂_e, x̂_o)``, while the negotiating parties
+only hold their measured (skewed, quantized, possibly tampered) views.
+TLC's residual gap in Table 2 is precisely the measurement error, and the
+theorems hold with respect to what the parties can observe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..netsim.packet import Direction
+from .plan import ChargingCycle
+
+
+@dataclass(frozen=True)
+class CycleUsage:
+    """Everything known about one (flow, cycle, direction).
+
+    Ground truth:
+
+    * ``true_sent`` — bytes the edge endpoint actually emitted (x̂_e),
+    * ``true_received`` — bytes the edge endpoint actually received (x̂_o),
+    * ``gateway_count`` — bytes the SPGW counted (the legacy 4G/5G charge).
+
+    Party measurements (what enters the negotiation):
+
+    * ``edge_sent_record`` — edge's record of its own sent volume,
+    * ``edge_received_estimate`` — edge's inference of x̂_o (§5.2),
+    * ``operator_received_record`` — operator's record of the received
+      volume (gateway for UL, RRC COUNTER CHECK for DL),
+    * ``operator_sent_estimate`` — operator's inference of x̂_e.
+    """
+
+    cycle: ChargingCycle
+    direction: Direction
+    flow_id: str
+    true_sent: int
+    true_received: int
+    gateway_count: int
+    edge_sent_record: int
+    edge_received_estimate: int
+    operator_received_record: int
+    operator_sent_estimate: int
+
+    def __post_init__(self) -> None:
+        for name in (
+            "true_sent",
+            "true_received",
+            "gateway_count",
+            "edge_sent_record",
+            "edge_received_estimate",
+            "operator_received_record",
+            "operator_sent_estimate",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.true_received > self.true_sent:
+            raise ValueError(
+                "ground truth violated: received "
+                f"{self.true_received} > sent {self.true_sent}"
+            )
+
+    @property
+    def loss_bytes(self) -> int:
+        """Ground-truth data loss in the cycle: x̂_e − x̂_o."""
+        return self.true_sent - self.true_received
+
+    @property
+    def loss_fraction(self) -> float:
+        """Loss as a fraction of sent bytes (0 for an idle cycle)."""
+        if self.true_sent == 0:
+            return 0.0
+        return self.loss_bytes / self.true_sent
+
+    def scaled_to_hour(self, volume_bytes: float) -> float:
+        """Convert a per-cycle volume to the paper's MB/hr normalization."""
+        hours = self.cycle.duration / 3600.0
+        return volume_bytes / 1e6 / hours

@@ -1,0 +1,241 @@
+"""Negotiation strategies for Algorithm 1.
+
+Every strategy answers two questions each round:
+
+* :meth:`Strategy.propose` — which volume to claim, given the current
+  bounds ``(x_L, x_U)`` and what the counterpart claimed last round;
+* :meth:`Strategy.decide` — whether to accept the counterpart's claim.
+
+The accept/reject rule is the cross-check from the paper's Theorem 2
+proof: the operator rejects any edge claim *below* its own received
+record (it would lose revenue it can prove it is owed), and the edge
+rejects any operator claim *above* its own sent record (it would pay for
+bytes it can prove it never sent).  Everything else is strategy-specific.
+
+Strategies implemented:
+
+* :class:`HonestStrategy` — claim the party's truthful record.
+* :class:`OptimalStrategy` — the paper's minimax/maximin play (§5.1):
+  the edge claims its estimate of the *received* volume, the operator its
+  estimate of the *sent* volume; converges in 1 round (Theorem 4).
+* :class:`RandomSelfishStrategy` — selfish but strategy-unaware play used
+  for the paper's ``TLC-random`` baseline: uniform under-/over-claims,
+  narrowing with the bounds over rounds (Figure 16b's 2.7–4.6 rounds).
+* :class:`StubbornStrategy` — insists on a fixed untruthful claim
+  (the misbehaviour §5.1 discusses: it only prolongs negotiation).
+* :class:`BoundViolatingStrategy` — ignores the line-12 constraint; the
+  engine lets the counterpart detect and reject it.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+
+
+class PartyRole(enum.Enum):
+    """Which side of the negotiation a strategy plays."""
+
+    EDGE = "edge"
+    OPERATOR = "operator"
+
+
+@dataclass(frozen=True)
+class PartyKnowledge:
+    """A party's private information about the cycle.
+
+    ``own_record`` is the volume this party is responsible for reporting
+    (sent for the edge, received for the operator); ``other_estimate`` is
+    its best inference of the counterpart's metric (§5.2: the operator
+    infers x̂_e from its gateway, the edge infers x̂_o from its monitors).
+    """
+
+    role: PartyRole
+    own_record: int
+    other_estimate: int
+
+    def __post_init__(self) -> None:
+        if self.own_record < 0 or self.other_estimate < 0:
+            raise ValueError("party knowledge must be non-negative")
+
+
+def clamp_to_bounds(value: int, x_lower: int, x_upper: int | None) -> int:
+    """Pull a desired claim into the open interval ``(x_L, x_U)``.
+
+    With integer volumes the tightest admissible claims are ``x_L + 1``
+    and ``x_U − 1``; when the interval has no interior the nearer bound is
+    used (the engine force-converges such degenerate intervals).
+    """
+    lo = x_lower + 1
+    if x_upper is None:
+        return max(lo, value)
+    hi = max(lo, x_upper - 1)
+    return min(hi, max(lo, value))
+
+
+class Strategy:
+    """Base class: truthful claim, cross-check acceptance.
+
+    ``accept_tolerance`` relaxes the cross-check by a relative margin: the
+    operator accepts edge claims down to ``record·(1 − tol)`` and the edge
+    accepts operator claims up to ``record·(1 + tol)``.  Zero (default)
+    gives the strict rule of the Theorem 2 proof; deployments set a few
+    percent to absorb charging-record measurement error (Figure 18) and
+    negotiation cost, which is how the paper's prototype converges in one
+    round despite imperfect records.
+    """
+
+    def __init__(self, knowledge: PartyKnowledge, accept_tolerance: float = 0.0) -> None:
+        if accept_tolerance < 0:
+            raise ValueError(f"tolerance must be non-negative, got {accept_tolerance}")
+        self.knowledge = knowledge
+        self.accept_tolerance = accept_tolerance
+
+    # -- claiming -------------------------------------------------------
+
+    def target_claim(self) -> int:
+        """The volume this strategy aims to report (before bounds)."""
+        return self.knowledge.own_record
+
+    def propose(
+        self,
+        x_lower: int,
+        x_upper: int | None,
+        round_index: int,
+        last_other_claim: int | None,
+    ) -> int:
+        """Claim for this round, respecting the current bounds."""
+        return clamp_to_bounds(self.target_claim(), x_lower, x_upper)
+
+    # -- deciding -------------------------------------------------------
+
+    def decide(self, other_claim: int, own_claim: int) -> bool:
+        """Accept or reject the counterpart's claim (cross-check rule)."""
+        record = self.knowledge.own_record
+        if self.knowledge.role is PartyRole.OPERATOR:
+            # Reject edge claims below what we know was received.
+            return other_claim >= record * (1.0 - self.accept_tolerance)
+        # Edge: reject operator claims above what we know was sent.
+        return other_claim <= record * (1.0 + self.accept_tolerance)
+
+
+class HonestStrategy(Strategy):
+    """Reports the truthful record every round."""
+
+
+class OptimalStrategy(Strategy):
+    """The paper's rational play: claim the *counterpart's* metric.
+
+    Edge minimax: claim x̂_o (Appendix C, Eq. 5); operator maximin:
+    claim x̂_e.  Under rejections (possible with noisy records) the claim
+    walks toward the counterpart's last claim, converging geometrically.
+    """
+
+    def target_claim(self) -> int:
+        return self.knowledge.other_estimate
+
+    def propose(
+        self,
+        x_lower: int,
+        x_upper: int | None,
+        round_index: int,
+        last_other_claim: int | None,
+    ) -> int:
+        target = self.target_claim()
+        if round_index > 0 and last_other_claim is not None:
+            target = (target + last_other_claim) // 2
+        # A rational party never concedes past its own provable record:
+        # the operator never claims below what it received, the edge never
+        # above what it sent.  Against a tampering counterpart this keeps
+        # Theorem 2's bound (or stalls the negotiation — no PoC, no pay).
+        if self.knowledge.role is PartyRole.OPERATOR:
+            target = max(target, self.knowledge.own_record)
+        else:
+            target = min(target, self.knowledge.own_record)
+        return clamp_to_bounds(target, x_lower, x_upper)
+
+
+class RandomSelfishStrategy(Strategy):
+    """Selfish but unaware of the optimal strategy (``TLC-random``).
+
+    Each round the edge draws uniformly *below* its sent record and the
+    operator uniformly *above* its received record, clipped to the
+    current bounds; the spread narrows as the bounds do, so rejection
+    rounds converge (2.7–4.6 rounds on the paper's workloads).
+    """
+
+    def __init__(
+        self,
+        knowledge: PartyKnowledge,
+        rng: random.Random,
+        spread: float = 0.12,
+        accept_tolerance: float = 0.015,
+    ) -> None:
+        super().__init__(knowledge, accept_tolerance=accept_tolerance)
+        if not 0.0 < spread <= 1.0:
+            raise ValueError(f"spread must be in (0, 1], got {spread}")
+        self.rng = rng
+        self.spread = spread
+
+    def propose(
+        self,
+        x_lower: int,
+        x_upper: int | None,
+        round_index: int,
+        last_other_claim: int | None,
+    ) -> int:
+        record = self.knowledge.own_record
+        if self.knowledge.role is PartyRole.EDGE:
+            # Under-claim: uniform in [(1 − spread)·record, record] — the
+            # paper's "uniformly chooses the volume smaller than x̂_e".
+            lo = int(record * (1.0 - self.spread))
+            hi = record
+        else:
+            # Over-claim: uniform in [record, (1 + spread)·record].
+            lo = record
+            hi = int(record * (1.0 + self.spread)) + 1
+        draw = self.rng.randint(min(lo, hi), max(lo, hi))
+        return clamp_to_bounds(draw, x_lower, x_upper)
+
+
+class StubbornStrategy(Strategy):
+    """Insists on one fixed claim and rejects everything else.
+
+    Models the misbehaviour of §5.1: the negotiation drags on (the engine
+    eventually force-converges the shrinking bounds), and the stubborn
+    party gains nothing — it only delays its own payment/service.
+    """
+
+    def __init__(self, knowledge: PartyKnowledge, fixed_claim: int) -> None:
+        super().__init__(knowledge)
+        if fixed_claim < 0:
+            raise ValueError(f"claim must be non-negative, got {fixed_claim}")
+        self.fixed_claim = fixed_claim
+
+    def target_claim(self) -> int:
+        return self.fixed_claim
+
+    def decide(self, other_claim: int, own_claim: int) -> bool:
+        return other_claim == self.fixed_claim
+
+
+class BoundViolatingStrategy(Strategy):
+    """Ignores the line-12 bound constraint (buggy or malicious stack).
+
+    The engine does not clamp these claims; the counterpart observes the
+    violation and rejects, as the paper prescribes.
+    """
+
+    def __init__(self, knowledge: PartyKnowledge, fixed_claim: int) -> None:
+        super().__init__(knowledge)
+        self.fixed_claim = fixed_claim
+
+    def propose(
+        self,
+        x_lower: int,
+        x_upper: int | None,
+        round_index: int,
+        last_other_claim: int | None,
+    ) -> int:
+        return self.fixed_claim  # deliberately unclamped

@@ -1,0 +1,53 @@
+"""Cryptographic substrate: RSA key pairs and PKCS#1 v1.5-style signatures.
+
+Built from scratch (Miller–Rabin prime generation, CRT private operations)
+because the reproduction environment ships no crypto libraries.  Mirrors the
+paper's use of ``java.security`` RSA-1024 for Proof-of-Charging messages.
+"""
+
+from .primes import egcd, generate_prime, miller_rabin, modinv
+from .rsa import (
+    PUBLIC_EXPONENT,
+    PrivateKey,
+    PublicKey,
+    bytes_to_int,
+    generate_keypair,
+    int_to_bytes,
+)
+from .keyfiles import (
+    load_private_key,
+    load_public_key,
+    save_private_key,
+    save_public_key,
+)
+from .signing import (
+    SignatureError,
+    deserialize_public_key,
+    require_valid,
+    serialize_public_key,
+    sign,
+    verify,
+)
+
+__all__ = [
+    "egcd",
+    "generate_prime",
+    "miller_rabin",
+    "modinv",
+    "PUBLIC_EXPONENT",
+    "PrivateKey",
+    "PublicKey",
+    "bytes_to_int",
+    "generate_keypair",
+    "int_to_bytes",
+    "load_private_key",
+    "load_public_key",
+    "save_private_key",
+    "save_public_key",
+    "SignatureError",
+    "deserialize_public_key",
+    "require_valid",
+    "serialize_public_key",
+    "sign",
+    "verify",
+]

@@ -1,0 +1,75 @@
+"""Key files: how parties publish keys and auditors load them.
+
+The paper's setup phase (§5.3.1) has each party publicize its RSA public
+key.  This module gives that a concrete form — a small ASCII armor around
+the portable encoding of :mod:`repro.crypto.signing` — plus private-key
+persistence for the parties' own storage.  Formats are this project's
+own (the offline environment has no PEM/ASN.1 tooling); they are explicit
+and versioned.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from pathlib import Path
+
+from .rsa import PrivateKey, PublicKey
+from .signing import SignatureError, deserialize_public_key, serialize_public_key
+
+PUBLIC_HEADER = "-----BEGIN TLC PUBLIC KEY-----"
+PUBLIC_FOOTER = "-----END TLC PUBLIC KEY-----"
+
+
+def save_public_key(key: PublicKey, path: str | Path) -> Path:
+    """Write an ASCII-armored public key file."""
+    path = Path(path)
+    body = base64.b64encode(serialize_public_key(key)).decode("ascii")
+    wrapped = "\n".join(body[i : i + 64] for i in range(0, len(body), 64))
+    path.write_text(f"{PUBLIC_HEADER}\n{wrapped}\n{PUBLIC_FOOTER}\n")
+    return path
+
+
+def load_public_key(path: str | Path) -> PublicKey:
+    """Read an ASCII-armored public key file."""
+    lines = Path(path).read_text().strip().splitlines()
+    if not lines or lines[0] != PUBLIC_HEADER or lines[-1] != PUBLIC_FOOTER:
+        raise SignatureError(f"{path}: not a TLC public key file")
+    body = "".join(line.strip() for line in lines[1:-1])
+    try:
+        blob = base64.b64decode(body, validate=True)
+    except (ValueError, base64.binascii.Error) as exc:
+        raise SignatureError(f"{path}: corrupted armor: {exc}") from exc
+    return deserialize_public_key(blob)
+
+
+def save_private_key(key: PrivateKey, path: str | Path) -> Path:
+    """Persist a private key (plaintext JSON — protect the file itself)."""
+    path = Path(path)
+    payload = {
+        "format": "tlc-private-key-v1",
+        "n": key.n, "e": key.e, "d": key.d,
+        "p": key.p, "q": key.q,
+        "dp": key.dp, "dq": key.dq, "qinv": key.qinv,
+    }
+    path.write_text(json.dumps(payload))
+    try:
+        path.chmod(0o600)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    return path
+
+
+def load_private_key(path: str | Path) -> PrivateKey:
+    """Reload a private key saved by :func:`save_private_key`."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise SignatureError(f"{path}: not a key file: {exc}") from exc
+    if payload.get("format") != "tlc-private-key-v1":
+        raise SignatureError(f"{path}: unknown key format")
+    fields = ("n", "e", "d", "p", "q", "dp", "dq", "qinv")
+    missing = [f for f in fields if f not in payload]
+    if missing:
+        raise SignatureError(f"{path}: missing fields {missing}")
+    return PrivateKey(**{f: int(payload[f]) for f in fields})

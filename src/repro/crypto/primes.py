@@ -1,0 +1,99 @@
+"""Prime generation for RSA key material.
+
+Implements deterministic trial division over small primes followed by
+Miller–Rabin probabilistic primality testing.  Randomness comes from a
+caller-provided ``random.Random`` so key generation is reproducible in
+tests while remaining well-distributed.
+
+This module exists because the reproduction environment has no crypto
+libraries; it is written for protocol fidelity, not production hardening.
+"""
+
+from __future__ import annotations
+
+import random
+
+# Primes below 1000, used for fast trial-division rejection.
+_SMALL_PRIMES: list[int] = []
+
+
+def _sieve(limit: int) -> list[int]:
+    flags = bytearray([1]) * (limit + 1)
+    flags[0] = flags[1] = 0
+    for n in range(2, int(limit**0.5) + 1):
+        if flags[n]:
+            flags[n * n :: n] = bytearray(len(flags[n * n :: n]))
+    return [n for n, flag in enumerate(flags) if flag]
+
+
+_SMALL_PRIMES = _sieve(1000)
+
+
+def miller_rabin(n: int, rounds: int = 40, rng: random.Random | None = None) -> bool:
+    """Return True if ``n`` is (probably) prime.
+
+    Uses ``rounds`` random bases; the error probability is at most
+    ``4**-rounds`` for composite ``n``.
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    rng = rng if rng is not None else random.Random()
+    # Write n - 1 = d * 2^r with d odd.
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def generate_prime(bits: int, rng: random.Random) -> int:
+    """Generate a random prime with exactly ``bits`` bits.
+
+    The top two bits are forced to 1 so that the product of two such primes
+    has exactly ``2 * bits`` bits, and the low bit is forced to 1 (odd).
+    """
+    if bits < 8:
+        raise ValueError(f"prime size too small: {bits} bits")
+    while True:
+        candidate = rng.getrandbits(bits)
+        candidate |= (1 << (bits - 1)) | (1 << (bits - 2)) | 1
+        if miller_rabin(candidate, rng=rng):
+            return candidate
+
+
+def egcd(a: int, b: int) -> tuple[int, int, int]:
+    """Extended Euclid: returns (g, x, y) with a*x + b*y == g == gcd(a, b)."""
+    old_r, r = a, b
+    old_s, s = 1, 0
+    old_t, t = 0, 1
+    while r:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_s, s = s, old_s - q * s
+        old_t, t = t, old_t - q * t
+    return old_r, old_s, old_t
+
+
+def modinv(a: int, m: int) -> int:
+    """Modular inverse of ``a`` modulo ``m``; raises if not coprime."""
+    g, x, _ = egcd(a % m, m)
+    if g != 1:
+        raise ValueError(f"{a} has no inverse modulo {m}")
+    return x % m

@@ -1,0 +1,123 @@
+"""RSA key generation and raw modular operations.
+
+The paper's prototype uses ``java.security`` RSA-1024 for CDR/CDA/PoC
+signatures.  We implement the equivalent here from first principles:
+two-prime key generation with public exponent 65537, CRT-accelerated
+private operations, and big-endian integer/byte conversions.
+
+Security note: textbook parameter sizes mirror the paper (RSA-1024) for
+fidelity of message sizes and CPU costs; this is a research artifact, not
+a hardened crypto library.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .primes import generate_prime, modinv
+
+PUBLIC_EXPONENT = 65537
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    """An RSA public key ``(n, e)``."""
+
+    n: int
+    e: int = PUBLIC_EXPONENT
+
+    @property
+    def bits(self) -> int:
+        """Modulus size in bits."""
+        return self.n.bit_length()
+
+    @property
+    def byte_length(self) -> int:
+        """Modulus size in whole bytes (signature length)."""
+        return (self.n.bit_length() + 7) // 8
+
+    def encrypt_int(self, m: int) -> int:
+        """Raw public operation ``m^e mod n`` (also signature verification)."""
+        if not 0 <= m < self.n:
+            raise ValueError("message representative out of range")
+        return pow(m, self.e, self.n)
+
+    def fingerprint(self) -> str:
+        """Short stable identifier for logs and key registries."""
+        import hashlib
+
+        return hashlib.sha256(int_to_bytes(self.n, self.byte_length)).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class PrivateKey:
+    """An RSA private key with CRT parameters."""
+
+    n: int
+    e: int
+    d: int
+    p: int
+    q: int
+    dp: int
+    dq: int
+    qinv: int
+
+    @property
+    def public(self) -> PublicKey:
+        """The matching public key."""
+        return PublicKey(n=self.n, e=self.e)
+
+    @property
+    def byte_length(self) -> int:
+        """Modulus size in whole bytes."""
+        return (self.n.bit_length() + 7) // 8
+
+    def decrypt_int(self, c: int) -> int:
+        """Raw private operation ``c^d mod n`` via CRT (also signing)."""
+        if not 0 <= c < self.n:
+            raise ValueError("ciphertext representative out of range")
+        m1 = pow(c, self.dp, self.p)
+        m2 = pow(c, self.dq, self.q)
+        h = (self.qinv * (m1 - m2)) % self.p
+        return m2 + h * self.q
+
+
+def generate_keypair(bits: int = 1024, rng: random.Random | None = None) -> PrivateKey:
+    """Generate an RSA key pair with a ``bits``-bit modulus."""
+    if bits < 256:
+        raise ValueError(f"modulus too small for PKCS#1-style padding: {bits} bits")
+    if bits % 2:
+        raise ValueError(f"modulus bit length must be even, got {bits}")
+    rng = rng if rng is not None else random.Random()
+    half = bits // 2
+    while True:
+        p = generate_prime(half, rng)
+        q = generate_prime(half, rng)
+        if p == q:
+            continue
+        n = p * q
+        phi = (p - 1) * (q - 1)
+        if phi % PUBLIC_EXPONENT == 0:
+            continue
+        d = modinv(PUBLIC_EXPONENT, phi)
+        return PrivateKey(
+            n=n,
+            e=PUBLIC_EXPONENT,
+            d=d,
+            p=p,
+            q=q,
+            dp=d % (p - 1),
+            dq=d % (q - 1),
+            qinv=modinv(q, p),
+        )
+
+
+def int_to_bytes(value: int, length: int) -> bytes:
+    """Big-endian fixed-length encoding (I2OSP)."""
+    return value.to_bytes(length, "big")
+
+
+def bytes_to_int(data: bytes) -> int:
+    """Big-endian decoding (OS2IP)."""
+    return int.from_bytes(data, "big")

@@ -1,0 +1,87 @@
+"""Message signing in the PKCS#1 v1.5 style over SHA-256.
+
+This is the signature primitive under every TLC message: CDRs, CDAs and
+PoCs are byte strings signed by the edge app vendor's or the cellular
+operator's private key and verified by anyone holding the public key —
+including independent third parties (Algorithm 2 of the paper).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from .rsa import PrivateKey, PublicKey, bytes_to_int, int_to_bytes
+
+# DER prefix for a SHA-256 DigestInfo, per RFC 8017 §9.2.
+_SHA256_DIGESTINFO_PREFIX = bytes.fromhex(
+    "3031300d060960864801650304020105000420"
+)
+
+
+class SignatureError(ValueError):
+    """Raised when a signature fails structural checks or verification."""
+
+
+def _emsa_pkcs1_v15_encode(message: bytes, em_len: int) -> bytes:
+    """EMSA-PKCS1-v1_5 encoding of SHA-256(message) into ``em_len`` bytes."""
+    digest = hashlib.sha256(message).digest()
+    t = _SHA256_DIGESTINFO_PREFIX + digest
+    if em_len < len(t) + 11:
+        raise SignatureError(f"modulus too short for SHA-256 signatures ({em_len} bytes)")
+    padding = b"\xff" * (em_len - len(t) - 3)
+    return b"\x00\x01" + padding + b"\x00" + t
+
+
+def sign(message: bytes, key: PrivateKey) -> bytes:
+    """Sign ``message`` with ``key``; returns a modulus-length signature."""
+    em = _emsa_pkcs1_v15_encode(message, key.byte_length)
+    signature = key.decrypt_int(bytes_to_int(em))
+    return int_to_bytes(signature, key.byte_length)
+
+
+def verify(message: bytes, signature: bytes, key: PublicKey) -> bool:
+    """Return True iff ``signature`` is a valid signature of ``message``."""
+    if len(signature) != key.byte_length:
+        return False
+    try:
+        em = int_to_bytes(key.encrypt_int(bytes_to_int(signature)), key.byte_length)
+    except ValueError:
+        return False
+    expected = _emsa_pkcs1_v15_encode(message, key.byte_length)
+    return em == expected
+
+
+def require_valid(message: bytes, signature: bytes, key: PublicKey) -> None:
+    """Verify, raising :class:`SignatureError` instead of returning False."""
+    if not verify(message, signature, key):
+        raise SignatureError("signature verification failed")
+
+
+def serialize_public_key(key: PublicKey) -> bytes:
+    """Portable encoding of a public key: 4-byte lengths + big-endian ints."""
+    n_bytes = int_to_bytes(key.n, key.byte_length)
+    e_bytes = key.e.to_bytes((key.e.bit_length() + 7) // 8 or 1, "big")
+    return (
+        len(n_bytes).to_bytes(4, "big")
+        + n_bytes
+        + len(e_bytes).to_bytes(4, "big")
+        + e_bytes
+    )
+
+
+def deserialize_public_key(blob: bytes) -> PublicKey:
+    """Inverse of :func:`serialize_public_key`."""
+    if len(blob) < 8:
+        raise SignatureError("public key blob too short")
+    n_len = int.from_bytes(blob[:4], "big")
+    if len(blob) < 4 + n_len + 4:
+        raise SignatureError("truncated public key blob (modulus)")
+    n = bytes_to_int(blob[4 : 4 + n_len])
+    offset = 4 + n_len
+    e_len = int.from_bytes(blob[offset : offset + 4], "big")
+    if len(blob) != offset + 4 + e_len:
+        raise SignatureError("truncated public key blob (exponent)")
+    e = bytes_to_int(blob[offset + 4 : offset + 4 + e_len])
+    if n <= 0 or e <= 0:
+        raise SignatureError("degenerate public key")
+    return PublicKey(n=n, e=e)

@@ -1,0 +1,35 @@
+"""Edge-side substrate: devices, servers, traffic monitors and adversaries."""
+
+from .device import (
+    DEVICE_PROFILES,
+    EL20,
+    PIXEL_2XL,
+    S7_EDGE,
+    Z840,
+    DeviceProfile,
+    EdgeDevice,
+)
+from .monitors import CounterCheckMonitor, TrafficMonitor, record_error_ratio
+from .server import EdgeServer, ServerStats
+from .transport_session import ReliableUplinkSession
+from .tamper import BillCycleResetTamper, CdrInflationTamper, ScalingTamper, UsageView
+
+__all__ = [
+    "DEVICE_PROFILES",
+    "EL20",
+    "PIXEL_2XL",
+    "S7_EDGE",
+    "Z840",
+    "DeviceProfile",
+    "EdgeDevice",
+    "CounterCheckMonitor",
+    "TrafficMonitor",
+    "record_error_ratio",
+    "EdgeServer",
+    "ServerStats",
+    "BillCycleResetTamper",
+    "CdrInflationTamper",
+    "ScalingTamper",
+    "UsageView",
+    "ReliableUplinkSession",
+]

@@ -1,0 +1,111 @@
+"""Edge devices: the app-side endpoint on the cellular network.
+
+An :class:`EdgeDevice` owns the app-layer traffic monitors (uplink sent /
+downlink received, the edge vendor's view) and sits on a
+:class:`~repro.cellular.network.UeAccess` for actual transmission.  The
+hardware modem below it belongs to the cellular trust domain and is *not*
+reachable from device user space — see :mod:`repro.edge.tamper`.
+
+Device profiles model the paper's hardware (HPE EL20 IoT gateway, Google
+Pixel 2 XL, Samsung S7 Edge, HP Z840 workstation) as per-operation crypto
+costs and processing delays, calibrated to Figure 16a/17's reported
+timings.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable
+
+from ..cellular.identifiers import Imsi
+from ..cellular.network import UeAccess
+from ..netsim.events import EventLoop
+from ..netsim.packet import Direction, Packet, Transport
+from .monitors import TrafficMonitor
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Compute characteristics of one device model.
+
+    ``sign_ms``/``verify_ms`` are mean RSA-1024 operation times and
+    ``crypto_jitter`` their relative spread; ``rtt_ms`` is the device's
+    baseline round-trip to the LTE core.  Values are calibrated so the PoC
+    negotiation/verification distributions land near Figure 17.
+    """
+
+    name: str
+    sign_ms: float
+    verify_ms: float
+    rtt_ms: float
+    negotiation_rtt_ms: float
+    crypto_jitter: float = 0.25
+
+
+# Profiles for the paper's testbed hardware (Figure 11b, Figure 16a/17).
+# ``rtt_ms`` is the user-plane ping RTT (Figure 16a); ``negotiation_rtt_ms``
+# the app-layer RTT the end-of-cycle protocol sees (Figure 17's 45.1 %
+# round-trip share).
+EL20 = DeviceProfile("HPE EL20", sign_ms=13.0, verify_ms=4.5, rtt_ms=30.0, negotiation_rtt_ms=20.0)
+PIXEL_2XL = DeviceProfile("Pixel 2 XL", sign_ms=24.0, verify_ms=9.0, rtt_ms=47.0, negotiation_rtt_ms=32.0)
+S7_EDGE = DeviceProfile("S7 Edge", sign_ms=20.0, verify_ms=8.0, rtt_ms=42.0, negotiation_rtt_ms=28.0)
+Z840 = DeviceProfile("HP Z840", sign_ms=6.0, verify_ms=3.9, rtt_ms=2.0, negotiation_rtt_ms=2.0)
+
+DEVICE_PROFILES: dict[str, DeviceProfile] = {
+    p.name: p for p in (EL20, PIXEL_2XL, S7_EDGE, Z840)
+}
+
+
+class EdgeDevice:
+    """A device running one edge application over the cellular network."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        imsi: Imsi,
+        flow_id: str,
+        profile: DeviceProfile = EL20,
+        on_receive: Callable[[Packet], None] | None = None,
+    ) -> None:
+        self.loop = loop
+        self.imsi = imsi
+        self.flow_id = flow_id
+        self.profile = profile
+        self.ul_monitor = TrafficMonitor(loop, f"{flow_id}:device-ul")
+        self.dl_monitor = TrafficMonitor(loop, f"{flow_id}:device-dl")
+        self.on_receive = on_receive
+        self.access: UeAccess | None = None
+        self._seq = itertools.count()
+
+    def bind(self, access: UeAccess) -> None:
+        """Attach the device to its network access (after attach)."""
+        self.access = access
+
+    def send(self, size: int, qci: int = 9, transport: Transport = Transport.UDP) -> Packet:
+        """Send one uplink packet; the app monitor counts it as *sent*.
+
+        The count happens regardless of whether the radio can deliver it —
+        this is exactly the edge's ``x̂_e`` view that diverges from the
+        gateway under loss.
+        """
+        if self.access is None:
+            raise RuntimeError(f"device {self.flow_id!r} is not bound to the network")
+        packet = Packet(
+            size=size,
+            flow_id=self.flow_id,
+            direction=Direction.UPLINK,
+            qci=qci,
+            transport=transport,
+            created_at=self.loop.now(),
+            seq=next(self._seq),
+        )
+        self.ul_monitor.observe(packet)
+        self.access.send_uplink(packet)
+        return packet
+
+    def deliver(self, packet: Packet) -> None:
+        """Network-side delivery callback: count and hand to the app."""
+        self.dl_monitor.observe(packet)
+        if self.on_receive is not None:
+            self.on_receive(packet)

@@ -1,0 +1,71 @@
+"""The edge server: the vendor-side endpoint co-located with the core.
+
+Sends downlink traffic into the network (counted by its own monitor — the
+edge vendor's ``x̂_e`` for downlink) and receives uplink traffic forwarded
+by the SPGW.  In the paper's testbed the server is co-located with the LTE
+core over gigabit Ethernet, so the server→gateway hop is lossless; the
+generic-Internet case where it is not is modelled in
+:mod:`repro.core.generic`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..cellular.network import CellularNetwork
+from ..netsim.events import EventLoop
+from ..netsim.packet import Direction, Packet, Transport
+from .monitors import TrafficMonitor
+
+
+@dataclass
+class ServerStats:
+    """Application-visible delivery statistics (latency bookkeeping)."""
+
+    received: int = 0
+    latencies: list[float] = field(default_factory=list)
+
+
+class EdgeServer:
+    """An edge application server attached to the operator's LAN."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        network: CellularNetwork,
+        flow_id: str,
+        on_receive: Callable[[Packet], None] | None = None,
+    ) -> None:
+        self.loop = loop
+        self.network = network
+        self.flow_id = flow_id
+        self.dl_monitor = TrafficMonitor(loop, f"{flow_id}:server-dl")
+        self.ul_monitor = TrafficMonitor(loop, f"{flow_id}:server-ul")
+        self.on_receive = on_receive
+        self.stats = ServerStats()
+        self._seq = itertools.count()
+        network.register_uplink_sink(flow_id, self._receive_uplink)
+
+    def send(self, size: int, qci: int = 9, transport: Transport = Transport.UDP) -> Packet:
+        """Send one downlink packet; the server monitor counts it as sent."""
+        packet = Packet(
+            size=size,
+            flow_id=self.flow_id,
+            direction=Direction.DOWNLINK,
+            qci=qci,
+            transport=transport,
+            created_at=self.loop.now(),
+            seq=next(self._seq),
+        )
+        self.dl_monitor.observe(packet)
+        self.network.send_downlink(packet)
+        return packet
+
+    def _receive_uplink(self, packet: Packet) -> None:
+        self.ul_monitor.observe(packet)
+        self.stats.received += 1
+        self.stats.latencies.append(self.loop.now() - packet.created_at)
+        if self.on_receive is not None:
+            self.on_receive(packet)

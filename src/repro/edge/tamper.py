@@ -1,0 +1,86 @@
+"""Tamper adversaries against charging records (§5.4 of the paper).
+
+The paper's threat analysis distinguishes what each party *can* reach:
+
+* a selfish **edge** controls device/server user space: it can rewrite
+  what ``TrafficStats``/``netstat`` report (:class:`ScalingTamper`),
+  or reset the bill-cycle statistics (:class:`BillCycleResetTamper`,
+  the no-root trick of the paper's reference [31]);
+* a selfish **operator** controls the OFCS and can inflate CDR volumes
+  (:class:`CdrInflationTamper`);
+* **nobody** in user space can alter the hardware modem's counters — the
+  RRC COUNTER CHECK record survives every adversary here, which is the
+  design argument for TLC's downlink monitor.  The type system mirrors
+  the trust boundary: tamper classes wrap monitor *query interfaces* and
+  there is deliberately no adapter for :class:`~repro.cellular.rrc.HardwareModem`.
+
+These classes produce the *claimed* usage views fed into the negotiation
+strategies; the negotiation game is what bounds the damage they can do.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+
+class UsageView(Protocol):
+    """Anything that can answer a cycle-usage query."""
+
+    def reported_usage(self, t1: float, t2: float) -> int: ...
+
+
+class ScalingTamper:
+    """Multiply the reported usage by a factor.
+
+    ``factor < 1`` models the selfish edge shrinking its ``netstat``
+    numbers; ``factor > 1`` models an operator inflating a record.
+    """
+
+    def __init__(self, inner: UsageView, factor: float) -> None:
+        if factor < 0:
+            raise ValueError(f"tamper factor must be non-negative, got {factor}")
+        self.inner = inner
+        self.factor = factor
+
+    def reported_usage(self, t1: float, t2: float) -> int:
+        """The tampered usage claim."""
+        return int(self.inner.reported_usage(t1, t2) * self.factor)
+
+
+class BillCycleResetTamper:
+    """Discard all usage before a reset point inside the cycle.
+
+    Models the Android "clear data usage" trick: statistics restart at
+    ``reset_at``, so the cycle's report only covers the tail.
+    """
+
+    def __init__(self, inner: UsageView, reset_at: float) -> None:
+        if reset_at < 0:
+            raise ValueError(f"reset time must be non-negative, got {reset_at}")
+        self.inner = inner
+        self.reset_at = reset_at
+
+    def reported_usage(self, t1: float, t2: float) -> int:
+        """Usage with everything before the reset erased."""
+        start = max(t1, self.reset_at)
+        if start >= t2:
+            return 0
+        return self.inner.reported_usage(start, t2)
+
+
+class CdrInflationTamper:
+    """Add a flat number of bytes to every cycle's record.
+
+    Models an operator editing CDR volumes upward (validated as feasible
+    on the paper's carrier-grade LTE core).
+    """
+
+    def __init__(self, inner: UsageView, extra_bytes: int) -> None:
+        if extra_bytes < 0:
+            raise ValueError(f"inflation must be non-negative, got {extra_bytes}")
+        self.inner = inner
+        self.extra_bytes = extra_bytes
+
+    def reported_usage(self, t1: float, t2: float) -> int:
+        """The inflated usage claim."""
+        return self.inner.reported_usage(t1, t2) + self.extra_bytes

@@ -1,0 +1,81 @@
+"""Reliable (TCP-like) application sessions over the cellular path.
+
+Most traditional mobile apps ride TCP, which recovers losses and keeps
+the loss-induced charging gap small — at a latency cost the delay-
+sensitive edge cannot pay (the paper's Theorem-1 trade-off, §3.3).
+:class:`ReliableUplinkSession` runs a :class:`~repro.netsim.transport`
+sender/receiver pair across an :class:`EdgeDevice` and its
+:class:`EdgeServer`: data segments go uplink, ACKs come back downlink,
+retransmissions are real packets the gateway charges again.
+"""
+
+from __future__ import annotations
+
+from ..netsim.events import EventLoop
+from ..netsim.packet import Packet, Transport
+from ..netsim.transport import TcpLikeReceiver, TcpLikeSender
+from .device import EdgeDevice
+from .server import EdgeServer
+
+ACK_BYTES = 64
+
+
+class ReliableUplinkSession:
+    """One TCP-like uplink flow between a device and its edge server."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        device: EdgeDevice,
+        server: EdgeServer,
+        mss: int = 1400,
+        rto_s: float = 0.2,
+        max_retries: int = 6,
+    ) -> None:
+        self.loop = loop
+        self.device = device
+        self.server = server
+        self.sender = TcpLikeSender(loop, self._transmit, mss=mss, rto_s=rto_s,
+                                    max_retries=max_retries)
+        self.receiver = TcpLikeReceiver(loop, self._send_ack)
+        self._first_sent_at: dict[int, float] = {}
+        device.on_receive = self._on_device_receive
+        server.on_receive = self._on_server_receive
+
+    # -------------------------------------------------------------- sending
+
+    def offer(self, nbytes: int) -> None:
+        """Hand application bytes to the reliable sender."""
+        self.sender.offer(nbytes)
+
+    def _transmit(self, size: int, seq: int) -> None:
+        packet = self.device.send(size, transport=Transport.TCP)
+        packet.seq = seq
+        self._first_sent_at.setdefault(seq, packet.created_at)
+
+    # ------------------------------------------------------------ receiving
+
+    def _on_server_receive(self, packet: Packet) -> None:
+        sent_at = self._first_sent_at.get(packet.seq, packet.created_at)
+        self.receiver.on_segment(packet.size, packet.seq, sent_at)
+
+    def _send_ack(self, seq: int) -> None:
+        ack = self.server.send(ACK_BYTES, transport=Transport.TCP)
+        ack.seq = seq
+
+    def _on_device_receive(self, packet: Packet) -> None:
+        self.sender.on_ack(packet.seq)
+
+    # ------------------------------------------------------------- analysis
+
+    @property
+    def goodput_bytes(self) -> int:
+        """Distinct application bytes delivered to the server."""
+        return self.receiver.delivered_bytes
+
+    def mean_delivery_latency(self) -> float:
+        """Mean first-offer-to-delivery latency (retransmissions included)."""
+        latencies = self.receiver.delivery_latencies
+        if not latencies:
+            return 0.0
+        return sum(latencies) / len(latencies)

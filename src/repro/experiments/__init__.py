@@ -1,0 +1,37 @@
+"""Evaluation harness: scenarios, runner, and the per-figure generators."""
+
+from .latency import measure_rtt
+from .multi_operator import MultiOperatorResult, OperatorShare, run_multi_operator
+from .runner import SCHEMES, ScenarioResult, ScenarioRunner, run_scenario
+from .scenarios import (
+    ALL_APPS,
+    FIG3_APPS,
+    GAMING_DL,
+    VRIDGE_DL,
+    WEBCAM_RTSP_UL,
+    WEBCAM_UDP_UL,
+    ScenarioConfig,
+)
+from .stats import Summary, cdf_points, mb, percentile
+
+__all__ = [
+    "measure_rtt",
+    "MultiOperatorResult",
+    "OperatorShare",
+    "run_multi_operator",
+    "SCHEMES",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "run_scenario",
+    "ALL_APPS",
+    "FIG3_APPS",
+    "GAMING_DL",
+    "VRIDGE_DL",
+    "WEBCAM_RTSP_UL",
+    "WEBCAM_UDP_UL",
+    "ScenarioConfig",
+    "Summary",
+    "cdf_points",
+    "mb",
+    "percentile",
+]

@@ -1,0 +1,216 @@
+"""Command-line interface: regenerate the paper's evaluation.
+
+``python -m repro list`` shows the available experiments;
+``python -m repro run figure3 table2 ...`` regenerates them (or ``all``),
+and ``--csv DIR`` additionally exports plot-ready CSV data.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from . import export, figures
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible evaluation artifact."""
+
+    description: str
+    run: Callable[[], object]
+    render: Callable[[object], str]
+    to_csv: Callable[[object, Path], None] | None = None
+
+
+def _table_csv(name: str):
+    def write(result, directory: Path) -> None:
+        export.export_table(result, directory / f"{name}.csv")
+
+    return write
+
+
+EXPERIMENTS: dict[str, Experiment] = {
+    "figure3": Experiment(
+        "gap vs congestion (MB/hr)", figures.figure3,
+        lambda r: r.render(), _table_csv("figure3"),
+    ),
+    "figure4": Experiment(
+        "intermittent-connectivity time series", figures.figure4,
+        lambda r: r.render(),
+        lambda r, d: export.export_figure4(r, d / "figure4.csv"),
+    ),
+    "figure12": Experiment(
+        "gap CDFs per scheme", figures.figure12,
+        lambda r: r.render(),
+        lambda r, d: export.export_cdfs(r, d),
+    ),
+    "table2": Experiment(
+        "average charging gap", figures.table2,
+        lambda r: r.render(), _table_csv("table2"),
+    ),
+    "figure13": Experiment(
+        "gap ratio vs congestion", figures.figure13,
+        lambda r: r.render(), _table_csv("figure13"),
+    ),
+    "figure14": Experiment(
+        "gap ratio vs disconnectivity η", figures.figure14,
+        lambda r: r.render(), _table_csv("figure14"),
+    ),
+    "figure15": Experiment(
+        "charge reduction vs plan c", figures.figure15,
+        figures.render_figure15,
+        lambda r, d: export.export_curves(r, d / "figure15.csv", "mu_percent"),
+    ),
+    "figure16a": Experiment(
+        "in-cycle RTT with/without TLC", figures.figure16a,
+        lambda r: r.render(), _table_csv("figure16a"),
+    ),
+    "figure16b": Experiment(
+        "negotiation rounds", figures.figure16b,
+        lambda r: r.render(), _table_csv("figure16b"),
+    ),
+    "figure17": Experiment(
+        "PoC negotiation/verification cost", figures.figure17,
+        lambda r: r.render(), _table_csv("figure17"),
+    ),
+    "figure18": Experiment(
+        "charging-record accuracy", figures.figure18,
+        lambda r: r.render(), _table_csv("figure18"),
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TLC (SIGCOMM'19) reproduction: regenerate evaluation figures/tables.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    report = sub.add_parser(
+        "report", help="run every experiment and write a markdown report"
+    )
+    report.add_argument(
+        "--out", metavar="FILE", default="REPORT.md",
+        help="report path (default: REPORT.md)",
+    )
+    verify = sub.add_parser(
+        "verify", help="audit a saved PoC ledger as an independent third party"
+    )
+    verify.add_argument("ledger", help="ledger file (JSON lines of PoC receipts)")
+    verify.add_argument("--edge-key", required=True, help="edge vendor's public key file")
+    verify.add_argument("--operator-key", required=True, help="operator's public key file")
+    verify.add_argument("--c", type=float, default=0.5, help="data plan's lost-data weight")
+    verify.add_argument(
+        "--cycle-seconds", type=float, default=3600.0, help="charging cycle length"
+    )
+    run = sub.add_parser("run", help="run one or more experiments")
+    run.add_argument(
+        "experiments",
+        nargs="+",
+        help=f"experiment names ({', '.join(EXPERIMENTS)}) or 'all'",
+    )
+    run.add_argument(
+        "--csv",
+        metavar="DIR",
+        default=None,
+        help="also export plot-ready CSV data into DIR",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        width = max(len(name) for name in EXPERIMENTS)
+        for name, experiment in EXPERIMENTS.items():
+            print(f"{name:<{width}}  {experiment.description}")
+        return 0
+
+    if args.command == "report":
+        return _write_report(Path(args.out))
+    if args.command == "verify":
+        return _verify_ledger(args)
+
+    names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    csv_dir = Path(args.csv) if args.csv else None
+    for name in names:
+        experiment = EXPERIMENTS[name]
+        started = time.time()
+        print(f"=== {name} ===")
+        result = experiment.run()
+        print(experiment.render(result))
+        if csv_dir is not None and experiment.to_csv is not None:
+            experiment.to_csv(result, csv_dir)
+            print(f"[csv -> {csv_dir}]")
+        print(f"[{time.time() - started:.1f}s]\n")
+    return 0
+
+
+def _verify_ledger(args) -> int:
+    """The auditor's path: load keys + ledger, run Algorithm 2 over all."""
+    from ..core.plan import DataPlan
+    from ..crypto.keyfiles import load_public_key
+    from ..crypto.signing import SignatureError
+    from ..poc.ledger import PocLedger
+    from ..poc.messages import MessageError
+
+    try:
+        edge_key = load_public_key(args.edge_key)
+        operator_key = load_public_key(args.operator_key)
+    except (SignatureError, OSError) as exc:
+        print(f"cannot load keys: {exc}", file=sys.stderr)
+        return 2
+    plan = DataPlan(c=args.c, cycle_duration_s=args.cycle_seconds)
+    try:
+        ledger = PocLedger.load(args.ledger, plan)
+    except (ValueError, MessageError, OSError) as exc:
+        print(f"ledger rejected: {exc}", file=sys.stderr)
+        return 1
+    report = ledger.audit(edge_key, operator_key)
+    print(f"receipts checked : {report.entries_checked}")
+    print(f"verified volume  : {report.total_volume:,} bytes")
+    if report.ok:
+        print("audit            : OK — every receipt verifies (Algorithm 2)")
+        return 0
+    print("audit            : FAILED")
+    for cycle_index, failure in report.failures:
+        print(f"  cycle {cycle_index}: {failure.value}")
+    return 1
+
+
+def _write_report(path: Path) -> int:
+    """Run every experiment and assemble a single markdown report."""
+    sections = [
+        "# TLC reproduction report",
+        "",
+        "Auto-generated by `python -m repro report`: every table and figure",
+        "of the paper's evaluation, regenerated on this machine.  Compare",
+        "against the paper-vs-measured bands in EXPERIMENTS.md.",
+        "",
+    ]
+    for name, experiment in EXPERIMENTS.items():
+        started = time.time()
+        print(f"running {name} ...", flush=True)
+        rendered = experiment.render(experiment.run())
+        sections.append(f"## {name} — {experiment.description}")
+        sections.append("")
+        sections.append("```")
+        sections.append(rendered)
+        sections.append("```")
+        sections.append(f"*({time.time() - started:.1f}s)*")
+        sections.append("")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text("\n".join(sections))
+    print(f"report written to {path}")
+    return 0

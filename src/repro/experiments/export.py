@@ -1,0 +1,79 @@
+"""CSV export of figure data — plotting input for downstream users.
+
+Each helper turns a figure generator's structured result into one or
+more CSV files, so the paper's plots can be regenerated with any
+plotting stack.  The CLI exposes this via ``python -m repro run
+<experiment> --csv <dir>``.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from .figures import Figure4Series, Figure12Result, TableResult
+
+
+def export_table(table: TableResult, path: str | Path) -> Path:
+    """Write a TableResult as one CSV (header + rows)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.header)
+        writer.writerows(table.rows)
+    return path
+
+
+def export_figure4(series: Figure4Series, path: str | Path) -> Path:
+    """Write the Figure 4 time series as per-second CSV rows."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["t_s", "device_rate_mbps", "network_rate_mbps",
+             "cumulative_gap_mb", "rss_dbm", "connected"]
+        )
+        for row in zip(
+            series.times,
+            series.device_rate_mbps,
+            series.network_rate_mbps,
+            series.cumulative_gap_mb,
+            series.rss_dbm,
+            series.connected,
+        ):
+            writer.writerow(row)
+    return path
+
+
+def export_cdfs(result: Figure12Result, directory: str | Path) -> list[Path]:
+    """Write Figure 12's CDFs: one CSV per (app, scheme) curve."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for app, schemes in result.cdfs.items():
+        for scheme, points in schemes.items():
+            path = directory / f"figure12_{app}_{scheme}.csv"
+            with path.open("w", newline="") as handle:
+                writer = csv.writer(handle)
+                writer.writerow(["gap_mb_per_hr", "percentile"])
+                writer.writerows(points)
+            written.append(path)
+    return written
+
+
+def export_curves(
+    curves: dict[float, list[tuple[float, float]]], path: str | Path,
+    value_name: str = "value",
+) -> Path:
+    """Write a {parameter: cdf points} family (Figure 15) as long-form CSV."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["parameter", value_name, "percentile"])
+        for parameter, points in sorted(curves.items()):
+            for value, pct in points:
+                writer.writerow([parameter, value, pct])
+    return path

@@ -1,0 +1,100 @@
+"""In-cycle latency measurement (Figure 16a).
+
+Sends ping probes through the full simulated data path (device → air →
+eNodeB → backhaul → SPGW → server and back) and reports round-trip times.
+TLC runs only at the end of the charging cycle and adds no per-packet
+processing, so the "with TLC" arm runs the identical path — the paper's
+point is precisely that the two distributions coincide.
+
+Simulated RTTs are offset by the device profile's processing overhead so
+the absolute values land near the hardware-specific RTTs of Figure 16a.
+"""
+
+from __future__ import annotations
+
+from ..cellular import CellularNetwork, NetworkConfig, RadioProfile, make_test_imsi
+from ..core import DataPlan, OptimalStrategy, PartyKnowledge, PartyRole
+from ..edge import EdgeDevice, EdgeServer
+from ..edge.device import DeviceProfile
+from ..netsim import EventLoop, Packet, StreamRegistry
+
+#: Baseline simulated network RTT (propagation + backhaul + LAN, both ways);
+#: the device profile's excess over this is host-side processing.
+SIM_BASE_RTT_MS = 13.0
+
+
+def measure_rtt(
+    profile: DeviceProfile,
+    seed: int = 1,
+    pings: int = 200,
+    interval_s: float = 0.05,
+    tlc_enabled: bool = False,
+    background_mbps: float = 0.0,
+    ping_bytes: int = 64,
+) -> list[float]:
+    """RTTs (ms) of ``pings`` probes through the simulated network."""
+    loop = EventLoop()
+    rng = StreamRegistry(seed)
+    network = CellularNetwork(loop, rng, NetworkConfig())
+    imsi = make_test_imsi(9)
+    flow_id = f"ping:{profile.name}"
+    rtts_ms: list[float] = []
+    sent_at: dict[int, float] = {}
+    jitter_rng = rng.stream("device-processing")
+    processing_ms = max(0.0, profile.rtt_ms - SIM_BASE_RTT_MS)
+
+    device = EdgeDevice(loop, imsi, flow_id, profile=profile)
+
+    def on_echo(packet: Packet) -> None:
+        t0 = sent_at.pop(packet.seq, None)
+        if t0 is None:
+            return
+        network_ms = (loop.now() - t0) * 1000.0
+        host_ms = max(0.0, jitter_rng.gauss(processing_ms, processing_ms * 0.15))
+        rtts_ms.append(network_ms + host_ms)
+
+    device.on_receive = on_echo
+    access = network.attach_device(imsi, RadioProfile(), deliver=device.deliver)
+    device.bind(access)
+    network.create_bearer(imsi, flow_id)
+    server = EdgeServer(loop, network, flow_id)
+
+    def echo(packet: Packet) -> None:
+        # Carry the probe's sequence number back so the device can match.
+        reply = server.send(packet.size)
+        reply.seq = packet.seq
+
+    server.on_receive = echo
+    if background_mbps > 0:
+        network.set_background_load(background_mbps * 1e6, background_mbps * 1e6)
+
+    def send_ping(index: int) -> None:
+        packet = device.send(ping_bytes)
+        sent_at[packet.seq] = loop.now()
+
+    for i in range(pings):
+        loop.schedule_at(0.1 + i * interval_s, send_ping, i)
+    horizon = 0.1 + pings * interval_s + 1.0
+    loop.run_until(horizon)
+
+    if tlc_enabled:
+        # End-of-cycle negotiation: happens after the probes, touching
+        # nothing in the data path (the property under test).
+        import random as _random
+
+        from ..crypto import generate_keypair
+        from ..poc import NegotiationDriver
+
+        proto_rng = _random.Random(seed)
+        plan = DataPlan(c=0.5, cycle_duration_s=horizon)
+        edge_key = generate_keypair(512, proto_rng)
+        operator_key = generate_keypair(512, proto_rng)
+        ul = device.ul_monitor.total
+        driver = NegotiationDriver(
+            plan, 0.0,
+            OptimalStrategy(PartyKnowledge(PartyRole.EDGE, ul, server.ul_monitor.total)),
+            OptimalStrategy(PartyKnowledge(PartyRole.OPERATOR, server.ul_monitor.total, ul)),
+            edge_key, operator_key, proto_rng, edge_profile=profile,
+        )
+        driver.run()
+    return rtts_ms

@@ -1,0 +1,55 @@
+"""Small statistics helpers for the evaluation harness."""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+def cdf_points(values: Iterable[float]) -> list[tuple[float, float]]:
+    """Empirical CDF as ``(value, percentile)`` pairs, percentile in [0, 100]."""
+    ordered = sorted(values)
+    n = len(ordered)
+    if n == 0:
+        return []
+    return [(v, 100.0 * (i + 1) / n) for i, v in enumerate(ordered)]
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile (pct in [0, 100])."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {pct}")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean / p95 / max triple, the shape the paper reports for errors."""
+
+    mean: float
+    p95: float
+    max: float
+    n: int
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "Summary":
+        """Summarize a non-empty sequence."""
+        if not values:
+            raise ValueError("cannot summarize an empty sequence")
+        return cls(
+            mean=statistics.mean(values),
+            p95=percentile(values, 95.0),
+            max=max(values),
+            n=len(values),
+        )
+
+
+def mb(value_bytes: float) -> float:
+    """Bytes → megabytes (decimal, as the paper reports)."""
+    return value_bytes / 1e6

@@ -1,0 +1,37 @@
+"""Discrete-event network simulation substrate.
+
+Provides the virtual clock, event loop, seeded random streams, packets,
+links, queues and trace record/replay that the cellular and edge models are
+built on.
+"""
+
+from .clock import Clock, SkewedClock
+from .events import Event, EventLoop
+from .link import Link
+from .packet import Direction, FlowStats, Packet, Transport
+from .pcap import TraceEntry, TraceRecorder, TraceReplayer, load_trace
+from .queueing import DropTailQueue, PriorityScheduler
+from .rng import StreamRegistry
+from .transport import Segment, TcpLikeReceiver, TcpLikeSender
+
+__all__ = [
+    "Clock",
+    "SkewedClock",
+    "Event",
+    "EventLoop",
+    "Link",
+    "Direction",
+    "FlowStats",
+    "Packet",
+    "Transport",
+    "TraceEntry",
+    "TraceRecorder",
+    "TraceReplayer",
+    "load_trace",
+    "DropTailQueue",
+    "PriorityScheduler",
+    "StreamRegistry",
+    "Segment",
+    "TcpLikeReceiver",
+    "TcpLikeSender",
+]

@@ -1,0 +1,63 @@
+"""Time-indexed byte counters.
+
+Every charging observation point (gateway, device modem, app monitor,
+server monitor) records bytes against virtual time so that, at the end of a
+charging cycle ``[t1, t2)``, the volume attributable to the cycle can be
+queried.  The counter is the primitive behind both the *ground-truth* usage
+pairs ``(x̂_e, x̂_o)`` and the *measured* (possibly skewed or quantized)
+records the parties actually negotiate with.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+
+class CumulativeCounter:
+    """Monotone cumulative byte counter sampled at event times.
+
+    Stores a sorted sequence of ``(t, cumulative_bytes)`` points; queries
+    interpolate step-wise (bytes counted exactly at their event time).
+    """
+
+    def __init__(self) -> None:
+        self._times: list[float] = []
+        self._cums: list[int] = []
+        self._total = 0
+
+    @property
+    def total(self) -> int:
+        """All bytes ever counted."""
+        return self._total
+
+    @property
+    def events(self) -> int:
+        """Number of counted increments."""
+        return len(self._times)
+
+    def add(self, t: float, nbytes: int) -> None:
+        """Count ``nbytes`` at time ``t`` (times must be non-decreasing)."""
+        if nbytes < 0:
+            raise ValueError(f"cannot count negative bytes: {nbytes}")
+        if self._times and t < self._times[-1]:
+            raise ValueError(f"counter time went backwards: {t} < {self._times[-1]}")
+        self._total += nbytes
+        if self._times and t == self._times[-1]:
+            self._cums[-1] = self._total
+        else:
+            self._times.append(t)
+            self._cums.append(self._total)
+
+    def cumulative_at(self, t: float) -> int:
+        """Bytes counted at times ``<= t``."""
+        idx = bisect.bisect_right(self._times, t)
+        return self._cums[idx - 1] if idx else 0
+
+    def bytes_between(self, t1: float, t2: float) -> int:
+        """Bytes counted in the half-open window ``(t1, t2]``."""
+        if t2 < t1:
+            raise ValueError(f"empty window: ({t1}, {t2}]")
+        return self.cumulative_at(t2) - self.cumulative_at(t1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CumulativeCounter(total={self._total}, events={self.events})"

@@ -1,0 +1,92 @@
+"""Point-to-point links with rate, propagation delay and loss.
+
+A :class:`Link` models one hop: packets are serialized at ``rate_bps``,
+experience ``latency`` of propagation, and may be discarded by a pluggable
+loss function (used for IP-layer congestion and generic loss injection).
+Delivery hands the packet to a downstream ``receiver`` callback on the
+shared event loop.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .events import EventLoop
+from .packet import FlowStats, Packet
+
+Receiver = Callable[[Packet], None]
+LossFn = Callable[[Packet], bool]
+
+
+class Link:
+    """A serializing, delaying, optionally lossy hop.
+
+    Parameters
+    ----------
+    loop:
+        Shared event loop.
+    receiver:
+        Called with each packet that survives the hop.
+    rate_bps:
+        Serialization rate.  ``None`` means infinitely fast (pure delay).
+    latency:
+        One-way propagation delay in seconds.
+    loss_fn:
+        Optional predicate; return True to drop the packet at this hop.
+    drop_layer:
+        Taxonomy label stamped on packets dropped here (§3.1 of the paper).
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        receiver: Receiver,
+        rate_bps: float | None = None,
+        latency: float = 0.0,
+        loss_fn: LossFn | None = None,
+        drop_layer: str = "link",
+        name: str = "link",
+    ) -> None:
+        if rate_bps is not None and rate_bps <= 0:
+            raise ValueError(f"rate_bps must be positive, got {rate_bps}")
+        if latency < 0:
+            raise ValueError(f"latency must be non-negative, got {latency}")
+        self.loop = loop
+        self.receiver = receiver
+        self.rate_bps = rate_bps
+        self.latency = latency
+        self.loss_fn = loss_fn
+        self.drop_layer = drop_layer
+        self.name = name
+        self.sent = FlowStats()
+        self.delivered = FlowStats()
+        self.lost = FlowStats()
+        self._busy_until = 0.0
+
+    def send(self, packet: Packet) -> None:
+        """Enqueue ``packet`` for transmission over this hop."""
+        self.sent.count(packet)
+        if self.loss_fn is not None and self.loss_fn(packet):
+            packet.mark_dropped(self.drop_layer)
+            self.lost.count(packet)
+            return
+        now = self.loop.now()
+        if self.rate_bps is None:
+            depart = now
+        else:
+            start = max(now, self._busy_until)
+            depart = start + packet.size * 8.0 / self.rate_bps
+            self._busy_until = depart
+        self.loop.schedule_at(depart + self.latency, self._deliver, packet)
+
+    def _deliver(self, packet: Packet) -> None:
+        self.delivered.count(packet)
+        self.receiver(packet)
+
+    def utilization_window_clear(self) -> None:
+        """Forget serialization backlog (used when a link is reset)."""
+        self._busy_until = self.loop.now()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        rate = "inf" if self.rate_bps is None else f"{self.rate_bps:.0f}bps"
+        return f"Link({self.name}, rate={rate}, latency={self.latency}s)"

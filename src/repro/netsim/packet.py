@@ -1,0 +1,85 @@
+"""Packet and flow primitives.
+
+A :class:`Packet` is the unit everything else counts: workloads emit them,
+links and queues may drop them, the SPGW gateway and the device modem count
+their bytes at different points along the path — and the difference between
+those counting points *is* the charging gap this reproduction studies.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+
+class Direction(enum.Enum):
+    """Traffic direction relative to the edge device."""
+
+    UPLINK = "UL"    # device -> gateway -> server
+    DOWNLINK = "DL"  # server -> gateway -> radio -> device
+
+
+class Transport(enum.Enum):
+    """Transport protocol carried by a packet (affects loss recovery)."""
+
+    UDP = "udp"
+    TCP = "tcp"
+
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass
+class Packet:
+    """A single datagram traversing the simulated network.
+
+    ``size`` is the charged size in bytes (payload + headers, matching what
+    a gateway's volume counter sees).  ``dropped_at`` records the first
+    layer that discarded the packet, for loss-taxonomy accounting (§3.1).
+    """
+
+    size: int
+    flow_id: str
+    direction: Direction
+    qci: int = 9
+    transport: Transport = Transport.UDP
+    created_at: float = 0.0
+    seq: int = 0
+    pkt_id: int = field(default_factory=lambda: next(_packet_ids))
+    dropped_at: str | None = None
+    delivered_at: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"packet size must be positive, got {self.size}")
+
+    @property
+    def delivered(self) -> bool:
+        """True once the packet reached its final counting point."""
+        return self.delivered_at is not None
+
+    def mark_dropped(self, layer: str) -> None:
+        """Record the (first) layer that dropped this packet."""
+        if self.dropped_at is None:
+            self.dropped_at = layer
+
+
+@dataclass
+class FlowStats:
+    """Byte/packet counters for one flow at one observation point."""
+
+    packets: int = 0
+    bytes: int = 0
+
+    def count(self, packet: Packet) -> None:
+        """Account for one observed packet."""
+        self.packets += 1
+        self.bytes += packet.size
+
+    def merge(self, other: "FlowStats") -> "FlowStats":
+        """Return the element-wise sum of two counters."""
+        return FlowStats(self.packets + other.packets, self.bytes + other.bytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FlowStats(packets={self.packets}, bytes={self.bytes})"

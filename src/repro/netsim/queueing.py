@@ -1,0 +1,143 @@
+"""Queues and schedulers.
+
+Two building blocks:
+
+* :class:`DropTailQueue` — a finite FIFO that discards arrivals when full.
+  Congestion-induced charging gaps (Figure 3/13 of the paper) come from
+  packets being counted by the gateway and then dropped in such a queue.
+* :class:`PriorityScheduler` — strict-priority service across QCI classes,
+  draining queues onto a fixed-rate server.  This is how the paper's gaming
+  traffic (QCI=7) stays nearly loss-free while best-effort background
+  traffic (QCI=9) gets squeezed (Figure 12d).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from .events import EventLoop
+from .packet import FlowStats, Packet
+
+Receiver = Callable[[Packet], None]
+
+
+class DropTailQueue:
+    """A byte-bounded FIFO with tail drop."""
+
+    def __init__(self, capacity_bytes: int, drop_layer: str = "ip-congestion") -> None:
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self.drop_layer = drop_layer
+        self._queue: deque[Packet] = deque()
+        self._bytes = 0
+        self.enqueued = FlowStats()
+        self.dropped = FlowStats()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def backlog_bytes(self) -> int:
+        """Bytes currently buffered."""
+        return self._bytes
+
+    def push(self, packet: Packet) -> bool:
+        """Enqueue ``packet``; returns False (and drops) when full."""
+        if self._bytes + packet.size > self.capacity_bytes:
+            packet.mark_dropped(self.drop_layer)
+            self.dropped.count(packet)
+            return False
+        self._queue.append(packet)
+        self._bytes += packet.size
+        self.enqueued.count(packet)
+        return True
+
+    def pop(self) -> Packet | None:
+        """Dequeue the head packet, or None when empty."""
+        if not self._queue:
+            return None
+        packet = self._queue.popleft()
+        self._bytes -= packet.size
+        return packet
+
+    def drain(self) -> list[Packet]:
+        """Remove and return every buffered packet (used on RLF detach)."""
+        drained = list(self._queue)
+        self._queue.clear()
+        self._bytes = 0
+        return drained
+
+
+class PriorityScheduler:
+    """Strict-priority, fixed-rate server over per-QCI drop-tail queues.
+
+    Lower QCI value = higher priority (matching 3GPP: QCI 3 for real-time
+    gaming outranks QCI 7 interactive which outranks QCI 9 best-effort).
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        receiver: Receiver,
+        rate_bps: float,
+        queue_capacity_bytes: int = 256 * 1024,
+        drop_layer: str = "ip-congestion",
+    ) -> None:
+        if rate_bps <= 0:
+            raise ValueError(f"rate_bps must be positive, got {rate_bps}")
+        self.loop = loop
+        self.receiver = receiver
+        self.rate_bps = rate_bps
+        self.queue_capacity_bytes = queue_capacity_bytes
+        self.drop_layer = drop_layer
+        self._queues: dict[int, DropTailQueue] = {}
+        self._serving = False
+        self.served = FlowStats()
+
+    def queue_for(self, qci: int) -> DropTailQueue:
+        """Return (creating if needed) the queue for one QCI class."""
+        queue = self._queues.get(qci)
+        if queue is None:
+            queue = DropTailQueue(self.queue_capacity_bytes, self.drop_layer)
+            self._queues[qci] = queue
+        return queue
+
+    @property
+    def dropped(self) -> FlowStats:
+        """Aggregate drop counters across all QCI queues."""
+        total = FlowStats()
+        for queue in self._queues.values():
+            total = total.merge(queue.dropped)
+        return total
+
+    def backlog_bytes(self) -> int:
+        """Total buffered bytes across classes."""
+        return sum(q.backlog_bytes for q in self._queues.values())
+
+    def submit(self, packet: Packet) -> None:
+        """Offer a packet for scheduling; may be tail-dropped."""
+        if self.queue_for(packet.qci).push(packet) and not self._serving:
+            self._serve_next()
+
+    def _next_packet(self) -> Packet | None:
+        for qci in sorted(self._queues):
+            packet = self._queues[qci].pop()
+            if packet is not None:
+                return packet
+        return None
+
+    def _serve_next(self) -> None:
+        packet = self._next_packet()
+        if packet is None:
+            self._serving = False
+            return
+        self._serving = True
+        service_time = packet.size * 8.0 / self.rate_bps
+        self.loop.schedule(service_time, self._finish, packet)
+
+    def _finish(self, packet: Packet) -> None:
+        self.served.count(packet)
+        self.receiver(packet)
+        self._serve_next()

@@ -1,0 +1,172 @@
+"""A TCP-like reliable transport: ARQ with retransmission timers.
+
+Two of the paper's observations need this substrate:
+
+* **§3.1, loss class 4** — *transport-layer retransmission*: spurious
+  retransmissions (the RTO fires although the segment or its ACK was
+  merely delayed) are charged by the gateway although they carry no new
+  application data — reference [12]'s over-charging vector.  The sender
+  counts them separately so experiments can quantify charged-vs-goodput.
+* **Theorem 1's loss-latency trade-off** — recovering losses by
+  synchronizing (retransmitting) closes the sent-vs-received gap at the
+  cost of delaying delivery.  ``benchmarks/test_theorem1_tradeoff.py``
+  runs the same lossy path over UDP and over this transport and shows the
+  gap shrink while delivery latency grows.
+
+The model is deliberately simple — fixed MSS, per-segment retransmission
+timer, cumulative delivery, no congestion control — because charging only
+sees *which bytes crossed which counter when*.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .events import Event, EventLoop
+
+
+@dataclass
+class Segment:
+    """One transport segment in flight."""
+
+    seq: int
+    size: int
+    first_sent_at: float
+    transmissions: int = 1
+    acked: bool = False
+    timer: Event | None = field(default=None, repr=False)
+
+
+SendFn = Callable[[int, int], None]  # (size, seq) -> transmit one segment
+AckFn = Callable[[int], None]  # seq -> send an ACK back
+DeliverFn = Callable[[int, float], None]  # (size, latency) -> app delivery
+
+
+class TcpLikeSender:
+    """Reliable sender: segments, retransmission timers, spurious counting."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        transmit: SendFn,
+        mss: int = 1400,
+        rto_s: float = 0.2,
+        max_retries: int = 6,
+    ) -> None:
+        if mss <= 0:
+            raise ValueError(f"mss must be positive, got {mss}")
+        if rto_s <= 0:
+            raise ValueError(f"rto must be positive, got {rto_s}")
+        self.loop = loop
+        self.transmit = transmit
+        self.mss = mss
+        self.rto_s = rto_s
+        self.max_retries = max_retries
+        self._seq = itertools.count()
+        self._inflight: dict[int, Segment] = {}
+        self.offered_bytes = 0
+        self.transmitted_bytes = 0
+        self.retransmitted_bytes = 0
+        self.spurious_retransmissions = 0
+        self.abandoned_segments = 0
+
+    def offer(self, nbytes: int) -> list[int]:
+        """Send application bytes; returns the segment sequence numbers."""
+        if nbytes <= 0:
+            raise ValueError(f"cannot offer {nbytes} bytes")
+        self.offered_bytes += nbytes
+        seqs = []
+        remaining = nbytes
+        while remaining > 0:
+            size = min(remaining, self.mss)
+            remaining -= size
+            seq = next(self._seq)
+            segment = Segment(seq=seq, size=size, first_sent_at=self.loop.now())
+            self._inflight[seq] = segment
+            seqs.append(seq)
+            self._transmit_segment(segment)
+        return seqs
+
+    def _transmit_segment(self, segment: Segment) -> None:
+        self.transmitted_bytes += segment.size
+        if segment.transmissions > 1:
+            self.retransmitted_bytes += segment.size
+        segment.timer = self.loop.schedule(self.rto_s, self._on_timeout, segment.seq)
+        self.transmit(segment.size, segment.seq)
+
+    def _on_timeout(self, seq: int) -> None:
+        segment = self._inflight.get(seq)
+        if segment is None or segment.acked:
+            return
+        if segment.transmissions > self.max_retries:
+            self.abandoned_segments += 1
+            del self._inflight[seq]
+            return
+        segment.transmissions += 1
+        self._transmit_segment(segment)
+
+    def on_ack(self, seq: int) -> None:
+        """Process an ACK; late ACKs after a retransmission are spurious."""
+        segment = self._inflight.pop(seq, None)
+        if segment is None:
+            return  # duplicate ACK for an already-completed segment
+        if segment.timer is not None:
+            segment.timer.cancel()
+        segment.acked = True
+        if segment.transmissions > 1:
+            # The segment had been retransmitted; if the original actually
+            # arrived, the extra transmissions were spurious.  We cannot
+            # tell which copy this ACK answers, so (like [12]'s traces)
+            # count every retransmission of an eventually-ACKed segment
+            # beyond the first as potentially spurious.
+            self.spurious_retransmissions += segment.transmissions - 1
+
+    @property
+    def unacked_segments(self) -> int:
+        """Segments still awaiting an ACK."""
+        return len(self._inflight)
+
+    def first_sent_at(self, seq: int) -> float | None:
+        """When the segment was first offered to the network (if in flight)."""
+        segment = self._inflight.get(seq)
+        return segment.first_sent_at if segment is not None else None
+
+    @property
+    def overhead_ratio(self) -> float:
+        """Transmitted over offered bytes (1.0 = no retransmission)."""
+        if self.offered_bytes == 0:
+            return 1.0
+        return self.transmitted_bytes / self.offered_bytes
+
+
+class TcpLikeReceiver:
+    """Reliable receiver: ACKs everything, delivers each segment once."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        send_ack: AckFn,
+        deliver: DeliverFn | None = None,
+    ) -> None:
+        self.loop = loop
+        self.send_ack = send_ack
+        self.deliver = deliver
+        self._seen: set[int] = set()
+        self.delivered_bytes = 0
+        self.duplicate_segments = 0
+        self.delivery_latencies: list[float] = []
+
+    def on_segment(self, size: int, seq: int, sent_at: float) -> None:
+        """Handle one arriving segment (possibly a duplicate)."""
+        self.send_ack(seq)
+        if seq in self._seen:
+            self.duplicate_segments += 1
+            return
+        self._seen.add(seq)
+        self.delivered_bytes += size
+        latency = self.loop.now() - sent_at
+        self.delivery_latencies.append(latency)
+        if self.deliver is not None:
+            self.deliver(size, latency)

@@ -1,0 +1,44 @@
+"""Publicly verifiable Proof-of-Charging: messages, protocol, verifier."""
+
+from .messages import (
+    LEGACY_LTE_CDR_BYTES,
+    NONCE_LEN,
+    Cda,
+    Cdr,
+    MessageError,
+    MessageType,
+    PlanParams,
+    Poc,
+    Role,
+)
+from .ledger import AuditReport, LedgerEntry, PocLedger
+from .netdriver import NetworkNegotiation, NetworkNegotiationResult
+from .protocol import ExchangeResult, NegotiationDriver
+from .statemachine import ProtocolViolation, SessionState, SessionStats, TlcSession
+from .verifier import PublicVerifier, VerificationFailure, VerificationReport
+
+__all__ = [
+    "LEGACY_LTE_CDR_BYTES",
+    "NONCE_LEN",
+    "Cda",
+    "Cdr",
+    "MessageError",
+    "MessageType",
+    "PlanParams",
+    "Poc",
+    "Role",
+    "AuditReport",
+    "LedgerEntry",
+    "PocLedger",
+    "NetworkNegotiation",
+    "NetworkNegotiationResult",
+    "ExchangeResult",
+    "NegotiationDriver",
+    "ProtocolViolation",
+    "SessionState",
+    "SessionStats",
+    "TlcSession",
+    "PublicVerifier",
+    "VerificationFailure",
+    "VerificationReport",
+]

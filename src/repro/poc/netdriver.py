@@ -1,0 +1,309 @@
+"""Run the TLC negotiation over the simulated cellular network itself.
+
+:class:`~repro.poc.protocol.NegotiationDriver` models the transport as
+profile RTTs; this driver instead ships the CDR/CDA/PoC messages as real
+packets on a dedicated signalling bearer (QCI 5, the IMS-signalling
+class) across the full simulated path — device ↔ air ↔ eNodeB ↔ SPGW ↔
+core.  Congestion, outages and air loss therefore affect negotiation
+latency exactly as they would on the testbed, and a simple ARQ layer
+(transfer sequence numbers + retransmission timers + duplicate-triggered
+response replay) survives losing any message.
+
+Crypto compute time is spent on the event loop using the endpoint's
+device profile, so the elapsed *virtual* time decomposes into the same
+crypto/network split the paper reports in Figure 17.
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+import struct
+from dataclasses import dataclass
+
+from ..cellular.identifiers import Imsi
+from ..cellular.network import CellularNetwork
+from ..core.plan import DataPlan
+from ..core.strategies import Strategy
+from ..crypto.rsa import PrivateKey
+from ..edge.device import DeviceProfile, Z840
+from ..netsim.events import Event, EventLoop
+from ..netsim.packet import Direction, Packet
+from .messages import Poc, Role
+from .statemachine import TlcSession
+
+_ARQ_HEADER = struct.Struct(">I")  # transfer sequence number
+
+SIGNALLING_QCI = 5
+
+
+@dataclass
+class NetworkNegotiationResult:
+    """Outcome of an over-the-network negotiation."""
+
+    poc: Poc
+    volume: int
+    elapsed_s: float
+    crypto_s: float
+    messages_sent: int
+    retransmissions: int
+
+
+class _Endpoint:
+    """One party's ARQ endpoint: dedup, retransmit, replay responses."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        session: TlcSession,
+        profile: DeviceProfile,
+        rng: random.Random,
+        send_raw,
+        retransmit_timeout_s: float,
+        on_progress=None,
+    ) -> None:
+        self.on_progress = on_progress
+        self.loop = loop
+        self.session = session
+        self.profile = profile
+        self.rng = rng
+        self.send_raw = send_raw
+        self.retransmit_timeout_s = retransmit_timeout_s
+        self.tx_seq = 0
+        self.last_rx_seq = -1
+        self.last_sent: bytes | None = None
+        self.timer: Event | None = None
+        self.messages_sent = 0
+        self.retransmissions = 0
+        self.crypto_s = 0.0
+        self.done = False
+
+    # ---------------------------------------------------------------- send
+
+    def send(self, payload: bytes, final: bool = False) -> None:
+        frame = _ARQ_HEADER.pack(self.tx_seq) + payload
+        self.tx_seq += 1
+        self.last_sent = frame
+        self.messages_sent += 1
+        self.send_raw(frame)
+        if final:
+            self._cancel_timer()
+        else:
+            self._arm_timer()
+
+    def _retransmit(self) -> None:
+        if self.done or self.last_sent is None:
+            return
+        self.retransmissions += 1
+        self.messages_sent += 1
+        self.send_raw(self.last_sent)
+        self._arm_timer()
+
+    def _arm_timer(self) -> None:
+        self._cancel_timer()
+        self.timer = self.loop.schedule(self.retransmit_timeout_s, self._retransmit)
+
+    def _cancel_timer(self) -> None:
+        if self.timer is not None:
+            self.timer.cancel()
+            self.timer = None
+
+    # ------------------------------------------------------------- receive
+
+    def receive(self, frame: bytes) -> None:
+        if len(frame) <= _ARQ_HEADER.size:
+            return
+        (rx_seq,) = _ARQ_HEADER.unpack(frame[: _ARQ_HEADER.size])
+        if rx_seq <= self.last_rx_seq or self.done:
+            # Duplicate (or post-completion retry): our response was
+            # probably lost — replay it.  A *finished* endpoint must keep
+            # doing this, or a lost final PoC deadlocks the peer.
+            if self.last_sent is not None:
+                self.retransmissions += 1
+                self.messages_sent += 1
+                self.send_raw(self.last_sent)
+            return
+        self.last_rx_seq = rx_seq
+        self._cancel_timer()
+        payload = frame[_ARQ_HEADER.size :]
+        # Model the crypto processing time, then respond.
+        before = copy.copy(self.session.stats)
+        response = self.session.handle(payload)
+        signs = self.session.stats.signatures_made - before.signatures_made
+        verifies = self.session.stats.verifications_made - before.verifications_made
+        delay = 0.0
+        for _ in range(signs):
+            delay += max(0.0001, self.rng.gauss(
+                self.profile.sign_ms, self.profile.sign_ms * self.profile.crypto_jitter
+            )) / 1000.0
+        for _ in range(verifies):
+            delay += max(0.00005, self.rng.gauss(
+                self.profile.verify_ms, self.profile.verify_ms * self.profile.crypto_jitter
+            )) / 1000.0
+        self.crypto_s += delay
+        if self.session.poc is not None and response is None:
+            self.done = True
+            self._cancel_timer()
+            if self.on_progress is not None:
+                self.loop.schedule(delay, self.on_progress)
+            return
+        if response is not None:
+            final = self.session.poc is not None
+            self.loop.schedule(delay, self.send, response, final)
+            if final:
+                self.done = True
+                if self.on_progress is not None:
+                    self.loop.schedule(delay, self.on_progress)
+
+
+class NetworkNegotiation:
+    """Drives one end-of-cycle negotiation over the live simulation."""
+
+    def __init__(
+        self,
+        network: CellularNetwork,
+        imsi: str,
+        plan: DataPlan,
+        cycle_start: float,
+        edge_strategy: Strategy,
+        operator_strategy: Strategy,
+        edge_key: PrivateKey,
+        operator_key: PrivateKey,
+        rng: random.Random,
+        edge_profile: DeviceProfile = Z840,
+        operator_profile: DeviceProfile = Z840,
+        retransmit_timeout_s: float = 0.5,
+        deadline_s: float | None = None,
+        flow_suffix: str = "",
+    ) -> None:
+        self.deadline_s = deadline_s
+        self.network = network
+        self.loop = network.loop
+        self.imsi = imsi
+        self.flow_id = f"tlc-signalling:{imsi}{flow_suffix}"
+        self.network.create_bearer(Imsi(imsi), self.flow_id, qci=SIGNALLING_QCI)
+        edge_session = TlcSession(
+            Role.EDGE, plan, cycle_start, edge_strategy,
+            edge_key, operator_key.public, rng,
+        )
+        operator_session = TlcSession(
+            Role.OPERATOR, plan, cycle_start, operator_strategy,
+            operator_key, edge_key.public, rng,
+        )
+        # The edge endpoint lives on the device: it receives downlink
+        # signalling and responds uplink; the operator endpoint is in the
+        # core behind the SPGW.
+        self.edge_endpoint = _Endpoint(
+            self.loop, edge_session, edge_profile, rng,
+            self._send_uplink, retransmit_timeout_s, self._note_progress,
+        )
+        self.operator_endpoint = _Endpoint(
+            self.loop, operator_session, operator_profile, rng,
+            self._send_downlink, retransmit_timeout_s, self._note_progress,
+        )
+        network.register_uplink_sink(self.flow_id, self._deliver_to_operator)
+        self._install_device_dispatch()
+        self._frames: dict[int, bytes] = {}
+        self._started_at: float | None = None
+        self._completed_at: float | None = None
+        self.timed_out = False
+
+    # ------------------------------------------------------------ plumbing
+
+    def _install_device_dispatch(self) -> None:
+        ue = self.network.enodeb.ue(self.imsi)
+        previous = ue.deliver
+
+        def dispatch(packet: Packet) -> None:
+            if packet.flow_id == self.flow_id:
+                frame = self._frames.pop(packet.pkt_id, None)
+                if frame is not None:
+                    self.edge_endpoint.receive(frame)
+                return
+            previous(packet)
+
+        ue.deliver = dispatch
+
+    def _send_downlink(self, frame: bytes) -> None:
+        packet = Packet(
+            size=max(64, len(frame)),
+            flow_id=self.flow_id,
+            direction=Direction.DOWNLINK,
+            qci=SIGNALLING_QCI,
+            created_at=self.loop.now(),
+        )
+        self._frames[packet.pkt_id] = frame
+        self.network.send_downlink(packet)
+
+    def _send_uplink(self, frame: bytes) -> None:
+        packet = Packet(
+            size=max(64, len(frame)),
+            flow_id=self.flow_id,
+            direction=Direction.UPLINK,
+            qci=SIGNALLING_QCI,
+            created_at=self.loop.now(),
+        )
+        self._frames[packet.pkt_id] = frame
+        self.network.access(self.imsi).send_uplink(packet)
+
+    def _deliver_to_operator(self, packet: Packet) -> None:
+        frame = self._frames.pop(packet.pkt_id, None)
+        if frame is not None:
+            self.operator_endpoint.receive(frame)
+
+    # -------------------------------------------------------------- driving
+
+    def start(self) -> None:
+        """The operator initiates with its CDR (Figure 7's default)."""
+        self._started_at = self.loop.now()
+        if self.deadline_s is not None:
+            self.loop.schedule(self.deadline_s, self._give_up)
+        opening = self.operator_endpoint.session.start()
+        self.operator_endpoint.send(opening)
+
+    def _give_up(self) -> None:
+        """Deadline expiry: stop retransmitting; no PoC, no payment.
+
+        Mirrors the paper's liveness argument (§5.1): a negotiation that
+        cannot complete produces no receipt, which hurts both parties —
+        the operator cannot collect, the edge loses further service.
+        """
+        if self.complete:
+            return
+        self.timed_out = True
+        for endpoint in (self.edge_endpoint, self.operator_endpoint):
+            endpoint.done = True
+            endpoint._cancel_timer()
+
+    def _note_progress(self) -> None:
+        if self.complete and self._completed_at is None:
+            self._completed_at = self.loop.now()
+
+    @property
+    def complete(self) -> bool:
+        """True once both endpoints hold the PoC."""
+        return (
+            self.edge_endpoint.session.poc is not None
+            and self.operator_endpoint.session.poc is not None
+        )
+
+    def result(self) -> NetworkNegotiationResult:
+        """Collect the outcome; raises if the negotiation hasn't finished."""
+        poc = self.edge_endpoint.session.poc
+        if poc is None or self._started_at is None or self._completed_at is None:
+            raise RuntimeError("negotiation has not completed")
+        return NetworkNegotiationResult(
+            poc=poc,
+            volume=poc.volume,
+            elapsed_s=self._completed_at - self._started_at,
+            crypto_s=self.edge_endpoint.crypto_s + self.operator_endpoint.crypto_s,
+            messages_sent=(
+                self.edge_endpoint.messages_sent + self.operator_endpoint.messages_sent
+            ),
+            retransmissions=(
+                self.edge_endpoint.retransmissions
+                + self.operator_endpoint.retransmissions
+            ),
+        )
+
+

@@ -1,0 +1,170 @@
+"""Drives two TLC sessions to a Proof-of-Charging, with timing.
+
+The negotiation runs at the *application layer* at the end of a charging
+cycle (§5.3.2), so it never touches in-cycle data latency; what we model
+here is the end-of-cycle cost the paper measures in Figure 17:
+
+    negotiation time = Σ per-message crypto time + Σ one-way trips
+
+Crypto times come from the parties' :class:`~repro.edge.device.DeviceProfile`
+(sign/verify means with jitter), network trips from the profile's RTT.
+The result carries the PoC, the elapsed time and its crypto/RTT split
+(the paper reports 54.9 % crypto / 45.1 % round-trip on average).
+
+The message channel can drop messages; a simple retransmission timer
+recovers, since negotiation runs over the same lossy network it bills.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..core.plan import DataPlan
+from ..core.strategies import Strategy
+from ..crypto.rsa import PrivateKey
+from ..edge.device import DeviceProfile, Z840
+from .messages import Poc, Role
+from .statemachine import SessionStats, TlcSession
+
+
+@dataclass(frozen=True)
+class ExchangeResult:
+    """Outcome and cost of one end-of-cycle negotiation."""
+
+    poc: Poc
+    volume: int
+    rounds: int
+    elapsed_s: float
+    crypto_s: float
+    network_s: float
+    messages: int
+    bytes_on_wire: int
+    retransmissions: int
+    initiator_stats: SessionStats
+    responder_stats: SessionStats
+
+    @property
+    def crypto_fraction(self) -> float:
+        """Share of elapsed time spent on cryptographic computation."""
+        if self.elapsed_s == 0:
+            return 0.0
+        return self.crypto_s / self.elapsed_s
+
+
+class NegotiationDriver:
+    """Runs a full CDR/CDA/PoC exchange between two parties."""
+
+    def __init__(
+        self,
+        plan: DataPlan,
+        cycle_start: float,
+        edge_strategy: Strategy,
+        operator_strategy: Strategy,
+        edge_key: PrivateKey,
+        operator_key: PrivateKey,
+        rng: random.Random,
+        edge_profile: DeviceProfile = Z840,
+        operator_profile: DeviceProfile = Z840,
+        initiator: Role = Role.OPERATOR,
+        message_loss: float = 0.0,
+        retransmit_timeout_s: float = 0.5,
+        max_transmissions: int = 64,
+    ) -> None:
+        if not 0.0 <= message_loss < 1.0:
+            raise ValueError(f"message loss must be in [0, 1), got {message_loss}")
+        self.plan = plan
+        self.rng = rng
+        self.initiator_role = initiator
+        self.message_loss = message_loss
+        self.retransmit_timeout_s = retransmit_timeout_s
+        self.max_transmissions = max_transmissions
+        self._profiles = {Role.EDGE: edge_profile, Role.OPERATOR: operator_profile}
+        self._sessions = {
+            Role.EDGE: TlcSession(
+                Role.EDGE, plan, cycle_start, edge_strategy,
+                edge_key, operator_key.public, rng,
+            ),
+            Role.OPERATOR: TlcSession(
+                Role.OPERATOR, plan, cycle_start, operator_strategy,
+                operator_key, edge_key.public, rng,
+            ),
+        }
+
+    def _crypto_time(self, role: Role, stats_before: SessionStats, stats_after: SessionStats) -> float:
+        profile = self._profiles[role]
+        signs = stats_after.signatures_made - stats_before.signatures_made
+        verifies = stats_after.verifications_made - stats_before.verifications_made
+        total_ms = 0.0
+        for _ in range(signs):
+            total_ms += max(0.1, self.rng.gauss(profile.sign_ms, profile.sign_ms * profile.crypto_jitter))
+        for _ in range(verifies):
+            total_ms += max(0.05, self.rng.gauss(profile.verify_ms, profile.verify_ms * profile.crypto_jitter))
+        return total_ms / 1000.0
+
+    def _one_way_s(self) -> float:
+        # One-way trip between the parties; the edge device's RTT to the
+        # core dominates (the operator endpoint is in the core).
+        edge_rtt_ms = self._profiles[Role.EDGE].negotiation_rtt_ms
+        jittered = max(1.0, self.rng.gauss(edge_rtt_ms, 0.15 * edge_rtt_ms))
+        return jittered / 2000.0
+
+    def run(self) -> ExchangeResult:
+        """Execute the exchange; raises if no PoC is reached."""
+        import copy
+
+        initiator = self._sessions[self.initiator_role]
+        responder = self._sessions[self.initiator_role.peer]
+
+        elapsed = 0.0
+        crypto = 0.0
+        network = 0.0
+        retransmissions = 0
+
+        before = copy.copy(initiator.stats)
+        wire = initiator.start()
+        dt = self._crypto_time(self.initiator_role, before, initiator.stats)
+        crypto += dt
+        elapsed += dt
+
+        sender, receiver = initiator, responder
+        while wire is not None:
+            # Transit (with loss + retransmission timers).
+            transmissions = 1
+            while self.rng.random() < self.message_loss:
+                if transmissions >= self.max_transmissions:
+                    raise RuntimeError("negotiation channel unusable (all retransmissions lost)")
+                transmissions += 1
+                retransmissions += 1
+                elapsed += self.retransmit_timeout_s
+            trip = self._one_way_s()
+            network += trip
+            elapsed += trip
+
+            before = copy.copy(receiver.stats)
+            response = receiver.handle(wire)
+            dt = self._crypto_time(receiver.role, before, receiver.stats)
+            crypto += dt
+            elapsed += dt
+
+            wire = response
+            sender, receiver = receiver, sender
+
+        edge_session = self._sessions[Role.EDGE]
+        operator_session = self._sessions[Role.OPERATOR]
+        poc = edge_session.poc if edge_session.poc is not None else operator_session.poc
+        if poc is None:
+            raise RuntimeError("negotiation ended without a PoC")
+        return ExchangeResult(
+            poc=poc,
+            volume=poc.volume,
+            rounds=max(edge_session.stats.rounds, operator_session.stats.rounds),
+            elapsed_s=elapsed,
+            crypto_s=crypto,
+            network_s=network,
+            messages=edge_session.stats.messages_sent + operator_session.stats.messages_sent,
+            bytes_on_wire=edge_session.stats.bytes_sent + operator_session.stats.bytes_sent,
+            retransmissions=retransmissions,
+            initiator_stats=initiator.stats,
+            responder_stats=responder.stats,
+        )

@@ -1,0 +1,256 @@
+"""The Figure-7a protocol state machines.
+
+Each party runs a :class:`TlcSession`: the initiator opens with its CDR;
+the responder answers with a CDA (accept) or its own CDR (implicit
+reject); the initiator closes with a PoC (accept) or re-claims with a
+fresh CDR.  Rejections re-enter Algorithm 1 with tightened bounds, so the
+session owns the per-round bound state and consults a
+:class:`~repro.core.strategies.Strategy` for claims and decisions.
+
+Sessions are transport-agnostic: :meth:`TlcSession.start` and
+:meth:`TlcSession.handle` return the bytes to send (or None), and the
+driver in :mod:`repro.poc.protocol` moves them between parties.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+
+from ..core.plan import DataPlan
+from ..core.strategies import Strategy
+from ..crypto.rsa import PrivateKey, PublicKey
+from .messages import (
+    NONCE_LEN,
+    Cda,
+    Cdr,
+    MessageError,
+    MessageType,
+    PlanParams,
+    Poc,
+    Role,
+)
+
+
+class SessionState(enum.Enum):
+    """Figure 7a states (the sent-message naming of the paper)."""
+
+    NULL = "Null"
+    SENT_CDR = "CDR"
+    SENT_CDA = "CDA"
+    DONE = "PoC"
+
+
+class ProtocolViolation(RuntimeError):
+    """Raised when a peer message is invalid for the current state."""
+
+
+@dataclass
+class SessionStats:
+    """Counters for the overhead evaluation (Figure 17)."""
+
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    signatures_made: int = 0
+    verifications_made: int = 0
+    rounds: int = 0
+
+
+@dataclass
+class _Bounds:
+    """Algorithm 1's (x_L, x_U) negotiation bounds.
+
+    The initial lower bound is −1 so a legitimate zero-volume claim
+    (an idle cycle) is inside the open interval.
+    """
+
+    lower: int = -1
+    upper: int | None = None
+
+    def tighten(self, claim_a: int, claim_b: int) -> None:
+        lo, hi = min(claim_a, claim_b), max(claim_a, claim_b)
+        self.lower = max(self.lower, lo)
+        self.upper = hi if self.upper is None else min(self.upper, hi)
+        if self.upper < self.lower:
+            self.upper = self.lower
+
+    def degenerate(self, slack: int = 1) -> bool:
+        return self.upper is not None and self.upper - self.lower <= slack
+
+
+class TlcSession:
+    """One party's protocol endpoint for one charging cycle."""
+
+    def __init__(
+        self,
+        role: Role,
+        plan: DataPlan,
+        cycle_start: float,
+        strategy: Strategy,
+        private_key: PrivateKey,
+        peer_public_key: PublicKey,
+        rng: random.Random,
+        max_rounds: int = 64,
+    ) -> None:
+        self.role = role
+        self.plan = plan
+        self.plan_params = PlanParams(cycle_start, cycle_start + plan.cycle_duration_s, plan.c)
+        self.strategy = strategy
+        self.private_key = private_key
+        self.peer_public_key = peer_public_key
+        self.rng = rng
+        self.max_rounds = max_rounds
+        self.state = SessionState.NULL
+        self.stats = SessionStats()
+        self.poc: Poc | None = None
+        self._bounds = _Bounds()
+        self._round = 0
+        self._own_claim: int | None = None
+        self._last_peer_claim: int | None = None
+
+    # ------------------------------------------------------------ claiming
+
+    def _nonce(self) -> bytes:
+        return self.rng.getrandbits(8 * NONCE_LEN).to_bytes(NONCE_LEN, "big")
+
+    def _propose(self) -> int:
+        claim = self.strategy.propose(
+            self._bounds.lower, self._bounds.upper, self._round, self._last_peer_claim
+        )
+        self._own_claim = claim
+        return claim
+
+    def _make_cdr(self) -> Cdr:
+        self.stats.signatures_made += 1
+        return Cdr.build(
+            self.role,
+            self.plan_params,
+            seq=self._round,
+            nonce=self._nonce(),
+            volume=self._propose(),
+            key=self.private_key,
+        )
+
+    def _emit(self, blob: bytes) -> bytes:
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += len(blob)
+        return blob
+
+    # ------------------------------------------------------------- driving
+
+    def start(self) -> bytes:
+        """Initiate the negotiation with our CDR."""
+        if self.state is not SessionState.NULL:
+            raise ProtocolViolation(f"cannot start from {self.state}")
+        cdr = self._make_cdr()
+        self.state = SessionState.SENT_CDR
+        return self._emit(cdr.encode())
+
+    def handle(self, blob: bytes) -> bytes | None:
+        """Process a peer message; returns our response (None when done)."""
+        if not blob:
+            raise ProtocolViolation("empty message")
+        msg_type = blob[0]
+        if msg_type == MessageType.CDR.value:
+            return self._handle_cdr(Cdr.decode(blob))
+        if msg_type == MessageType.CDA.value:
+            return self._handle_cda(Cda.decode(blob))
+        if msg_type == MessageType.POC.value:
+            self._handle_poc(Poc.decode(blob))
+            return None
+        raise ProtocolViolation(f"unknown message type {msg_type}")
+
+    # ------------------------------------------------------------ handlers
+
+    def _check_peer(self, role: Role, plan: PlanParams, ok: bool) -> None:
+        if role is self.role:
+            raise ProtocolViolation("peer message carries our own role")
+        if plan != self.plan_params:
+            raise ProtocolViolation("peer message binds a different data plan")
+        if not ok:
+            raise ProtocolViolation("peer signature verification failed")
+
+    def _accepts(self, peer_claim: int) -> bool:
+        own = self._own_claim if self._own_claim is not None else self._propose()
+        if self._bounds.degenerate():
+            return True  # nowhere left to move — settle (engine force-accept)
+        if self._round >= self.max_rounds:
+            return True
+        return self.strategy.decide(peer_claim, own)
+
+    def _reject_and_reclaim(self, peer_claim: int) -> bytes:
+        """Implicit reject: claim under the current bounds, then tighten."""
+        self._last_peer_claim = peer_claim
+        cdr = self._make_cdr()
+        self._bounds.tighten(cdr.volume, peer_claim)
+        self._round += 1
+        self.stats.rounds = self._round
+        self.state = SessionState.SENT_CDR
+        return self._emit(cdr.encode())
+
+    def _handle_cdr(self, cdr: Cdr) -> bytes:
+        self.stats.verifications_made += 1
+        self._check_peer(cdr.role, cdr.plan, cdr.verify(self.peer_public_key))
+        if self.state is SessionState.DONE:
+            raise ProtocolViolation("negotiation already complete")
+        if self._own_claim is not None:
+            # Peer rejected our last claim and re-claimed: enter a new
+            # round and re-propose under the tightened bounds.
+            self._bounds.tighten(self._own_claim, cdr.volume)
+            self._round += 1
+            self.stats.rounds = self._round
+            self._own_claim = None
+            self._last_peer_claim = cdr.volume
+        if self._accepts(cdr.volume):
+            self.stats.signatures_made += 1
+            cda = Cda.build(
+                self.role,
+                self.plan_params,
+                seq=cdr.seq,  # align sequence numbers within the round
+                nonce=self._nonce(),
+                volume=self._own_claim if self._own_claim is not None else self._propose(),
+                peer_cdr=cdr,
+                key=self.private_key,
+            )
+            self.state = SessionState.SENT_CDA
+            return self._emit(cda.encode())
+        return self._reject_and_reclaim(cdr.volume)
+
+    def _handle_cda(self, cda: Cda) -> bytes:
+        self.stats.verifications_made += 2  # the CDA and its embedded CDR
+        self._check_peer(cda.role, cda.plan, cda.verify(self.peer_public_key))
+        if not cda.peer_cdr.verify(self.private_key.public):
+            raise ProtocolViolation("CDA embeds a CDR we did not sign")
+        if cda.peer_cdr.volume != self._own_claim:
+            raise ProtocolViolation("CDA echoes a claim we did not make")
+        if self._accepts(cda.volume):
+            volume = int(round(self.plan.charge(*_claims_by_role(self.role, self._own_claim, cda))))
+            self.stats.signatures_made += 1
+            poc = Poc.build(self.role, self.plan_params, volume, cda, self.private_key)
+            self.poc = poc
+            self.state = SessionState.DONE
+            self.stats.rounds = self._round + 1
+            return self._emit(poc.encode())
+        return self._reject_and_reclaim(cda.volume)
+
+    def _handle_poc(self, poc: Poc) -> None:
+        self.stats.verifications_made += 1
+        self._check_peer(poc.role, poc.plan, poc.verify(self.peer_public_key))
+        edge_claim, operator_claim = poc.claims
+        expected = int(round(self.plan.charge(edge_claim, operator_claim)))
+        if poc.volume != expected:
+            raise ProtocolViolation(
+                f"PoC volume {poc.volume} inconsistent with claims (expect {expected})"
+            )
+        self.poc = poc
+        self.state = SessionState.DONE
+        self.stats.rounds = self._round + 1
+
+
+def _claims_by_role(own_role: Role, own_claim: int | None, peer_cda: Cda) -> tuple[int, int]:
+    """Order (edge claim, operator claim) for the charging formula."""
+    own = own_claim if own_claim is not None else 0
+    if own_role is Role.EDGE:
+        return own, peer_cda.volume
+    return peer_cda.volume, own

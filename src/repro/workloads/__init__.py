@@ -1,0 +1,18 @@
+"""Traffic workloads reproducing the paper's edge scenarios."""
+
+from .background import CONGESTION_SWEEP_MBPS, iperf_profile
+from .base import FrameWorkload, WorkloadProfile
+from .gaming import KING_OF_GLORY
+from .vr import VRIDGE_GVSP
+from .webcam import WEBCAM_RTSP, WEBCAM_UDP
+
+__all__ = [
+    "CONGESTION_SWEEP_MBPS",
+    "iperf_profile",
+    "FrameWorkload",
+    "WorkloadProfile",
+    "KING_OF_GLORY",
+    "VRIDGE_GVSP",
+    "WEBCAM_RTSP",
+    "WEBCAM_UDP",
+]

@@ -1,0 +1,39 @@
+"""iperf-style UDP background traffic.
+
+The paper congests the cell with 0–160 Mbps of iperf UDP towards a
+separate phone (QCI 9, lowest priority).  Two models are provided:
+
+* the **fluid** model — installed directly on the air interface via
+  :meth:`CellularNetwork.set_background_load`; this is what the
+  experiment harness uses (per-packet simulation of 160 Mbps would
+  dominate run time without changing the charging physics);
+* a **packet-level** :class:`IperfUdp` generator for tests that need real
+  competing packets (e.g. verifying strict-priority behaviour).
+"""
+
+from __future__ import annotations
+
+from ..netsim.packet import Transport
+from .base import WorkloadProfile
+
+
+def iperf_profile(rate_bps: float, name: str = "iperf-udp", qci: int = 9) -> WorkloadProfile:
+    """Packet-level iperf load: constant-rate max-size UDP datagrams."""
+    if rate_bps <= 0:
+        raise ValueError(f"iperf rate must be positive, got {rate_bps}")
+    packet_bytes = 1400
+    # Emit bursts at 100 Hz so the event count stays bounded at high rates.
+    fps = 100.0
+    return WorkloadProfile(
+        name=name,
+        mean_bitrate_bps=rate_bps,
+        fps=fps,
+        qci=qci,
+        transport=Transport.UDP,
+        packet_bytes=packet_bytes,
+        size_sigma=0.02,
+    )
+
+
+#: The paper's Figure 3/13 congestion sweep points, in Mbps.
+CONGESTION_SWEEP_MBPS = (0, 100, 120, 140, 160)

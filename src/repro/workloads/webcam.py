@@ -1,0 +1,40 @@
+"""WebCam streaming workloads (§7.1's VLC camera scenarios).
+
+Two uplink variants from the paper's targeted-advertisement use case:
+
+* **RTSP** — H.264 1920×1080p30 over RTP/RTSP at the measured average of
+  0.77 Mbps (346.5 MB/hr).  RTSP's sender paces to the encoder output, so
+  the bitrate is lower and burstiness moderate.
+* **legacy UDP** — the same camera blasting unpaced datagrams at the
+  measured 1.73 Mbps (778.5 MB/hr); higher loss exposure.
+
+Both use a GoP structure (an I-frame every second) so frames vary in size
+the way the gateway sees real video.
+"""
+
+from __future__ import annotations
+
+from ..netsim.packet import Transport
+from .base import WorkloadProfile
+
+WEBCAM_RTSP = WorkloadProfile(
+    name="webcam-rtsp",
+    mean_bitrate_bps=0.77e6,
+    fps=30.0,
+    qci=9,
+    transport=Transport.UDP,  # RTSP data rides RTP over UDP
+    iframe_interval=30,
+    iframe_scale=5.0,
+    size_sigma=0.20,
+)
+
+WEBCAM_UDP = WorkloadProfile(
+    name="webcam-udp",
+    mean_bitrate_bps=1.73e6,
+    fps=30.0,
+    qci=9,
+    transport=Transport.UDP,
+    iframe_interval=30,
+    iframe_scale=5.0,
+    size_sigma=0.30,
+)

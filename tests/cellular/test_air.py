@@ -1,0 +1,136 @@
+"""Air interface: rate estimation, priority demand and drop model."""
+
+import pytest
+
+from repro.cellular.air import AirInterface, RateWindow
+from repro.netsim.events import EventLoop
+from repro.netsim.packet import Direction, Packet
+from repro.netsim.rng import StreamRegistry
+
+
+def packet(size=1400, qci=9):
+    return Packet(size=size, flow_id="f", direction=Direction.DOWNLINK, qci=qci)
+
+
+def make_air(capacity=10e6, usable=1.0, seed=1):
+    loop = EventLoop()
+    air = AirInterface(
+        loop, StreamRegistry(seed), "test", capacity_bps=capacity, usable_fraction=usable
+    )
+    return loop, air
+
+
+class TestRateWindow:
+    def test_rate_over_window(self):
+        window = RateWindow(window_s=1.0)
+        window.observe(0.5, 1250)  # 10 kbit
+        assert window.rate_bps(0.9) == pytest.approx(10_000)
+
+    def test_samples_expire(self):
+        window = RateWindow(window_s=1.0)
+        window.observe(0.0, 1250)
+        assert window.rate_bps(2.0) == 0.0
+
+    def test_rejects_non_positive_window(self):
+        with pytest.raises(ValueError):
+            RateWindow(0)
+
+
+class TestDropModel:
+    def test_no_drops_when_uncongested(self):
+        loop, air = make_air()
+        delivered = []
+        for _ in range(50):
+            air.submit(packet(), delivered.append)
+        loop.run()
+        assert len(delivered) == 50
+        assert air.dropped.packets == 0
+
+    def test_background_saturation_drops_same_priority(self):
+        loop, air = make_air(capacity=10e6)
+        air.set_background(9, 20e6)  # 2x capacity at same priority
+        assert air.drop_probability(9) > 0.4
+
+    def test_higher_priority_immune_to_lower_background(self):
+        """QCI 7 sees no drop from QCI 9 background (Figure 12d)."""
+        loop, air = make_air(capacity=10e6)
+        air.set_background(9, 50e6)
+        assert air.drop_probability(7) == 0.0
+        assert air.drop_probability(9) > 0.7
+
+    def test_higher_priority_background_squeezes_lower(self):
+        loop, air = make_air(capacity=10e6)
+        air.set_background(7, 9e6)
+        # QCI 9 sees only the residual 1 Mbps of capacity.
+        air.set_background(9, 5e6)
+        assert air.drop_probability(9) > 0.5
+
+    def test_clearing_background(self):
+        loop, air = make_air(capacity=10e6)
+        air.set_background(9, 20e6)
+        air.set_background(9, 0)
+        assert air.background_total_bps() == 0.0
+        assert air.drop_probability(9) == 0.0
+
+    def test_empirical_drop_rate_matches_model(self):
+        loop, air = make_air(capacity=10e6, seed=7)
+        air.set_background(9, 15e6)  # drop prob ~ 1 - 10/15 = 1/3
+        delivered = []
+        for i in range(3000):
+            loop.schedule_at(i * 0.001, air.submit, packet(125), delivered.append)
+        loop.run()
+        drop_rate = air.dropped.packets / air.offered.packets
+        assert drop_rate == pytest.approx(1 / 3, abs=0.06)
+
+    def test_drops_labelled_ip_congestion(self):
+        loop, air = make_air(capacity=1e3, seed=2)
+        air.set_background(9, 1e9)
+        p = packet()
+        air.submit(p, lambda _: None)
+        assert p.dropped_at == "ip-congestion"
+
+    def test_usable_fraction_lowers_threshold(self):
+        _, strict = make_air(capacity=10e6, usable=0.5)
+        strict.set_background(9, 6e6)
+        assert strict.drop_probability(9) > 0.0
+
+
+class TestDelay:
+    def test_transit_includes_propagation_and_serialization(self):
+        loop, air = make_air(capacity=10e6)
+        arrivals = []
+        air.submit(packet(1250), lambda p: arrivals.append(loop.now()))
+        loop.run()
+        # 4 ms propagation + 1 ms serialization of 1250 B at 10 Mbps.
+        assert arrivals[0] == pytest.approx(0.005, abs=1e-4)
+
+    def test_queue_delay_grows_with_load(self):
+        _, air = make_air(capacity=10e6)
+        idle_delay = air.queue_delay()
+        air.set_background(9, 9.5e6)
+        assert air.queue_delay() > idle_delay
+
+    def test_queue_delay_capped(self):
+        _, air = make_air(capacity=10e6)
+        air.set_background(9, 100e6)
+        assert air.queue_delay() <= air.max_queue_delay_s
+
+
+class TestValidation:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            AirInterface(EventLoop(), StreamRegistry(1), "x", capacity_bps=0)
+
+    def test_rejects_bad_usable_fraction(self):
+        with pytest.raises(ValueError):
+            AirInterface(EventLoop(), StreamRegistry(1), "x", usable_fraction=1.5)
+
+    def test_rejects_negative_background(self):
+        _, air = make_air()
+        with pytest.raises(ValueError):
+            air.set_background(9, -1.0)
+
+    def test_rejects_unknown_background_qci(self):
+        _, air = make_air()
+        with pytest.raises(KeyError):
+            air.set_background(42, 1e6)

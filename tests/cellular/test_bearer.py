@@ -1,0 +1,73 @@
+"""EPS bearer counting and lookup."""
+
+import pytest
+
+from repro.cellular.bearer import Bearer, BearerTable
+from repro.cellular.identifiers import make_test_imsi
+
+
+def bearer(flow="app", index=1, qci=9):
+    return Bearer(imsi=make_test_imsi(index), flow_id=flow, qci=qci)
+
+
+class TestBearer:
+    def test_counts_per_direction(self):
+        b = bearer()
+        b.count_uplink(1.0, 100)
+        b.count_downlink(2.0, 200)
+        assert b.uplink.total == 100
+        assert b.downlink.total == 200
+
+    def test_tracks_first_and_last_usage(self):
+        b = bearer()
+        b.count_uplink(1.5, 10)
+        b.count_downlink(9.0, 10)
+        assert b.first_usage == 1.5
+        assert b.last_usage == 9.0
+
+    def test_validates_qci_eagerly(self):
+        with pytest.raises(KeyError):
+            bearer(qci=42)
+
+    def test_deactivate_reactivate(self):
+        b = bearer()
+        b.deactivate()
+        assert not b.active
+        b.reactivate()
+        assert b.active
+
+    def test_bearer_ids_start_at_5_and_increment(self):
+        """3GPP EPS bearer identities start at 5."""
+        a, b = bearer("f1"), bearer("f2")
+        assert a.bearer_id >= 5
+        assert b.bearer_id == a.bearer_id + 1
+
+
+class TestBearerTable:
+    def test_lookup_by_flow(self):
+        table = BearerTable()
+        b = bearer("cam")
+        table.add(b)
+        assert table.by_flow("cam") is b
+        assert table.by_flow("other") is None
+
+    def test_lookup_by_imsi_collects_all(self):
+        table = BearerTable()
+        imsi = make_test_imsi(3)
+        b1 = Bearer(imsi=imsi, flow_id="a")
+        b2 = Bearer(imsi=imsi, flow_id="b")
+        table.add(b1)
+        table.add(b2)
+        assert set(x.flow_id for x in table.by_imsi(imsi)) == {"a", "b"}
+
+    def test_duplicate_flow_rejected(self):
+        table = BearerTable()
+        table.add(bearer("dup"))
+        with pytest.raises(ValueError):
+            table.add(bearer("dup", index=2))
+
+    def test_len_counts_bearers(self):
+        table = BearerTable()
+        table.add(bearer("x"))
+        table.add(bearer("y", index=2))
+        assert len(table) == 2

@@ -1,0 +1,189 @@
+"""eNodeB: outage buffering, RLF detach, re-attach, air paths."""
+
+import pytest
+
+from repro.cellular.enodeb import ENodeB, ENodeBConfig
+from repro.cellular.radio import RadioChannel, RadioProfile
+from repro.cellular.rrc import HardwareModem
+from repro.netsim.events import EventLoop
+from repro.netsim.packet import Direction, Packet
+from repro.netsim.rng import StreamRegistry
+
+
+class FakeMme:
+    def __init__(self):
+        self.detached = []
+        self.attached = []
+
+    def detach(self, imsi, cause):
+        self.detached.append((imsi, cause))
+
+    def attach(self, imsi):
+        self.attached.append(imsi)
+
+
+def build(config=None, seed=1, base_loss=0.0):
+    loop = EventLoop()
+    rng = StreamRegistry(seed)
+    mme = FakeMme()
+    enb = ENodeB(loop, rng, config or ENodeBConfig(), mme=mme)
+    radio = RadioChannel(loop, rng, RadioProfile(base_loss=base_loss), name="ue1")
+    modem = HardwareModem(loop)
+    delivered = []
+    ue = enb.register_ue("001", radio, modem, delivered.append)
+    core = []
+    enb.connect_core(core.append)
+    radio.start()
+    return loop, enb, ue, radio, modem, delivered, core, mme
+
+
+def dl(size=1000, qci=9):
+    return Packet(size=size, flow_id="f", direction=Direction.DOWNLINK, qci=qci)
+
+
+def ul(size=1000):
+    return Packet(size=size, flow_id="f", direction=Direction.UPLINK)
+
+
+class TestDownlink:
+    def test_delivers_and_counts_at_modem(self):
+        loop, enb, ue, radio, modem, delivered, _, _ = build()
+        enb.receive_downlink("001", dl(1200))
+        loop.run()
+        assert len(delivered) == 1
+        assert modem.dl_received.total == 1200
+
+    def test_delivery_stamps_time(self):
+        loop, enb, ue, radio, modem, delivered, _, _ = build()
+        enb.receive_downlink("001", dl())
+        loop.run()
+        assert delivered[0].delivered_at is not None
+
+    def test_air_loss_drops_packet(self):
+        loop, enb, ue, radio, modem, delivered, _, _ = build(base_loss=1.0)
+        p = dl()
+        enb.receive_downlink("001", p)
+        loop.run()
+        assert delivered == []
+        assert p.dropped_at == "phy-rss"
+        assert modem.dl_received.total == 0
+
+    def test_unknown_ue_raises(self):
+        loop, enb, *_ = build()
+        with pytest.raises(KeyError):
+            enb.receive_downlink("999", dl())
+
+    def test_data_activity_drives_rrc(self):
+        loop, enb, ue, *_ = build()
+        enb.receive_downlink("001", dl())
+        assert ue.rrc.state.value == "RRC_CONNECTED"
+
+
+class TestOutageBuffering:
+    def test_packets_buffer_during_outage(self):
+        loop, enb, ue, radio, modem, delivered, _, _ = build()
+        radio.connected = False
+        enb.receive_downlink("001", dl())
+        loop.run()
+        assert delivered == []
+        assert len(ue.dl_buffer) == 1
+
+    def test_buffer_drains_on_reconnect(self):
+        config = ENodeBConfig(rlf_timeout_s=100.0)
+        loop, enb, ue, radio, modem, delivered, _, _ = build(config)
+        radio.connected = False
+        enb.receive_downlink("001", dl(500))
+        loop.run()
+        radio.connected = True
+        for callback in radio.on_outage_end:
+            callback()
+        loop.run()
+        assert len(delivered) == 1
+        assert ue.buffered_recovered.packets == 1
+
+    def test_buffer_overflow_is_phy_loss(self):
+        config = ENodeBConfig(outage_buffer_bytes=1500)
+        loop, enb, ue, radio, *_ = build(config)
+        radio.connected = False
+        packets = [dl(1000) for _ in range(3)]
+        for p in packets:
+            enb.receive_downlink("001", p)
+        loop.run()
+        dropped = [p for p in packets if p.dropped_at == "phy-intermittent"]
+        assert len(dropped) >= 1
+
+
+class TestRadioLinkFailure:
+    def _run_outage(self, duration, config=None):
+        config = config or ENodeBConfig(rlf_timeout_s=5.0, attach_delay_s=0.5)
+        loop, enb, ue, radio, modem, delivered, core, mme = build(config)
+        for callback in radio.on_outage_start:
+            loop.schedule_at(1.0, callback)
+        radio.connected = True
+        loop.schedule_at(1.0, setattr, radio, "connected", False)
+        loop.schedule_at(1.0 + duration, setattr, radio, "connected", True)
+        for callback in radio.on_outage_end:
+            loop.schedule_at(1.0 + duration, callback)
+        return loop, enb, ue, radio, mme, delivered
+
+    def test_short_outage_no_detach(self):
+        loop, enb, ue, radio, mme, _ = self._run_outage(3.0)
+        loop.run_until(20.0)
+        assert ue.attached
+        assert mme.detached == []
+        assert ue.rlf_count == 0
+
+    def test_long_outage_triggers_rlf_detach(self):
+        """Outages past the 5 s timer detach the UE (§3.2 of the paper)."""
+        loop, enb, ue, radio, mme, _ = self._run_outage(8.0)
+        loop.run_until(6.5)
+        assert not ue.attached
+        assert mme.detached == [("001", "radio-link-failure")]
+        assert ue.rlf_count == 1
+
+    def test_reattach_after_recovery(self):
+        loop, enb, ue, radio, mme, _ = self._run_outage(8.0)
+        loop.run_until(20.0)
+        assert ue.attached
+        assert mme.attached == ["001"]
+
+    def test_rlf_drops_buffered_packets(self):
+        loop, enb, ue, radio, mme, delivered = self._run_outage(8.0)
+        p = dl()
+        loop.schedule_at(2.0, enb.receive_downlink, "001", p)
+        loop.run_until(7.0)
+        assert p.dropped_at == "phy-intermittent"
+        assert delivered == []
+
+    def test_traffic_while_detached_is_dropped(self):
+        loop, enb, ue, radio, mme, delivered = self._run_outage(8.0)
+        loop.run_until(6.5)  # detached now, still in outage
+        p = dl()
+        enb.receive_downlink("001", p)
+        loop.run_until(7.0)
+        assert p.dropped_at == "detached"
+
+
+class TestUplink:
+    def test_forwards_to_core(self):
+        loop, enb, ue, radio, modem, delivered, core, _ = build()
+        enb.receive_uplink(ue, ul(800))
+        loop.run()
+        assert len(core) == 1
+
+    def test_uplink_needs_backhaul(self):
+        loop = EventLoop()
+        rng = StreamRegistry(1)
+        enb = ENodeB(loop, rng)
+        radio = RadioChannel(loop, rng, RadioProfile(), name="x")
+        modem = HardwareModem(loop)
+        ue = enb.register_ue("002", radio, modem, lambda p: None)
+        radio.start()
+        enb.receive_uplink(ue, ul())
+        with pytest.raises(RuntimeError):
+            loop.run()
+
+    def test_duplicate_registration_rejected(self):
+        loop, enb, ue, radio, modem, *_ = build()
+        with pytest.raises(ValueError):
+            enb.register_ue("001", radio, modem, lambda p: None)

@@ -1,0 +1,40 @@
+"""5G naming facade: same functions, TS 23.501 names."""
+
+from repro.cellular import fiveg
+from repro.cellular.enodeb import ENodeB
+from repro.cellular.gateway import Spgw
+from repro.cellular.mme import Mme
+from repro.cellular.ofcs import Ofcs
+from repro.cellular.pcrf import Pcrf
+
+
+class TestAliases:
+    def test_upf_is_the_gateway(self):
+        assert fiveg.Upf is Spgw
+
+    def test_chf_is_the_charging_function(self):
+        assert fiveg.Chf is Ofcs
+
+    def test_gnb_is_the_base_station(self):
+        assert fiveg.Gnb is ENodeB
+
+    def test_amf_is_mobility_management(self):
+        assert fiveg.Amf is Mme
+
+    def test_pcf_is_policy(self):
+        assert fiveg.Pcf is Pcrf
+
+    def test_name_map_covers_paper_footnote(self):
+        assert fiveg.FUNCTION_NAMES_5G["S-GW/P-GW"] == "UPF"
+        assert fiveg.FUNCTION_NAMES_5G["CDF/OFCS"] == "CHF"
+
+    def test_5g_network_builds_with_aliases(self):
+        """A '5G' deployment is the same network under new names."""
+        from repro.cellular import CellularNetwork, RadioProfile, make_test_imsi
+        from repro.netsim import EventLoop, StreamRegistry
+
+        loop = EventLoop()
+        net = CellularNetwork(loop, StreamRegistry(1))
+        assert isinstance(net.spgw, fiveg.Upf)
+        assert isinstance(net.ofcs, fiveg.Chf)
+        assert isinstance(net.enodeb, fiveg.Gnb)

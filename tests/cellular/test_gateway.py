@@ -1,0 +1,140 @@
+"""SPGW charging semantics: counting positions, detach, policing."""
+
+import pytest
+
+from repro.cellular.bearer import Bearer, BearerTable
+from repro.cellular.gateway import Spgw, TokenBucket
+from repro.cellular.identifiers import make_test_imsi
+from repro.netsim.events import EventLoop
+from repro.netsim.packet import Direction, Packet
+
+
+class FakePolicy:
+    def __init__(self, rate=None):
+        self.rate = rate
+
+    def allowed_rate_bps(self, flow_id, used_bytes):
+        return self.rate
+
+
+def build(policy=None):
+    loop = EventLoop()
+    bearers = BearerTable()
+    bearer = Bearer(imsi=make_test_imsi(1), flow_id="app")
+    bearers.add(bearer)
+    spgw = Spgw(loop, bearers, policy=policy)
+    forwarded = []
+    spgw.connect_enodeb(lambda imsi, p: forwarded.append((imsi, p)))
+    received = []
+    spgw.register_uplink_sink("app", received.append)
+    return loop, spgw, bearer, forwarded, received
+
+
+def ul(size=1000, flow="app"):
+    return Packet(size=size, flow_id=flow, direction=Direction.UPLINK)
+
+
+def dl(size=1000, flow="app"):
+    return Packet(size=size, flow_id=flow, direction=Direction.DOWNLINK)
+
+
+class TestUplink:
+    def test_counts_then_forwards(self):
+        loop, spgw, bearer, _, received = build()
+        spgw.receive_uplink(ul(700))
+        assert bearer.uplink.total == 700
+        assert len(received) == 1
+
+    def test_wrong_direction_rejected(self):
+        loop, spgw, *_ = build()
+        with pytest.raises(ValueError):
+            spgw.receive_uplink(dl())
+
+    def test_unknown_flow_dropped_uncharged(self):
+        loop, spgw, bearer, _, received = build()
+        p = ul(flow="ghost")
+        spgw.receive_uplink(p)
+        assert p.dropped_at == "no-bearer"
+        assert spgw.no_bearer_drops.packets == 1
+        assert received == []
+
+
+class TestDownlink:
+    def test_charges_before_forwarding(self):
+        """The root of the DL charging gap: count at the gateway, lose later."""
+        loop, spgw, bearer, forwarded, _ = build()
+        spgw.send_downlink(dl(900))
+        assert bearer.downlink.total == 900
+        assert forwarded[0][0] == str(bearer.imsi)
+
+    def test_detached_ue_not_charged(self):
+        """Post-RLF traffic must be dropped *before* counting (§3.2)."""
+        loop, spgw, bearer, forwarded, _ = build()
+        bearer.deactivate()
+        p = dl()
+        spgw.send_downlink(p)
+        assert bearer.downlink.total == 0
+        assert p.dropped_at == "detached"
+        assert forwarded == []
+
+    def test_reactivated_ue_charged_again(self):
+        loop, spgw, bearer, forwarded, _ = build()
+        bearer.deactivate()
+        spgw.send_downlink(dl())
+        bearer.reactivate()
+        spgw.send_downlink(dl(500))
+        assert bearer.downlink.total == 500
+
+    def test_requires_enodeb_connection(self):
+        loop = EventLoop()
+        bearers = BearerTable()
+        bearers.add(Bearer(imsi=make_test_imsi(1), flow_id="app"))
+        spgw = Spgw(loop, bearers)
+        with pytest.raises(RuntimeError):
+            spgw.send_downlink(dl())
+
+
+class TestPolicing:
+    def test_unthrottled_flow_passes(self):
+        loop, spgw, bearer, _, received = build(policy=FakePolicy(rate=None))
+        spgw.receive_uplink(ul())
+        assert len(received) == 1
+
+    def test_throttled_flow_policed_after_burst(self):
+        # 8 kbps => 1000-byte burst bucket; the second packet exceeds it.
+        loop, spgw, bearer, _, received = build(policy=FakePolicy(rate=8000.0))
+        spgw.receive_uplink(ul(1000))
+        p = ul(1000)
+        spgw.receive_uplink(p)
+        assert p.dropped_at == "policed"
+        assert spgw.policed_drops.packets == 1
+        assert bearer.uplink.total == 1000  # policed traffic is not charged
+
+    def test_tokens_refill_over_time(self):
+        loop, spgw, bearer, _, received = build(policy=FakePolicy(rate=8000.0))
+        spgw.receive_uplink(ul(1000))
+        loop.schedule_at(1.0, spgw.receive_uplink, ul(1000))
+        loop.run()
+        assert len(received) == 2
+
+
+class TestTokenBucket:
+    def test_burst_then_block(self):
+        loop = EventLoop()
+        bucket = TokenBucket(loop, rate_bps=8000.0)  # 1000-byte burst
+        assert bucket.admit(600)
+        assert bucket.admit(400)
+        assert not bucket.admit(1)
+
+    def test_refill_proportional_to_time(self):
+        loop = EventLoop()
+        bucket = TokenBucket(loop, rate_bps=8000.0)
+        bucket.admit(1000)
+        loop.schedule_at(0.5, lambda: None)
+        loop.run()
+        assert bucket.admit(500)  # 0.5 s * 1000 B/s refilled
+        assert not bucket.admit(500)
+
+    def test_rejects_non_positive_rate(self):
+        with pytest.raises(ValueError):
+            TokenBucket(EventLoop(), 0)

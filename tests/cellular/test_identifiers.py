@@ -1,0 +1,67 @@
+"""IMSI encoding, gateway addresses and ID allocation."""
+
+import pytest
+
+from repro.cellular.identifiers import (
+    ChargingIdAllocator,
+    GatewayAddress,
+    Imsi,
+    make_test_imsi,
+)
+
+
+class TestImsi:
+    def test_valid_15_digit(self):
+        imsi = Imsi("001011234567890")
+        assert imsi.mcc == "001"
+        assert imsi.mnc == "01"
+
+    def test_rejects_non_digits(self):
+        with pytest.raises(ValueError):
+            Imsi("00101123456789X")
+
+    def test_rejects_too_long(self):
+        with pytest.raises(ValueError):
+            Imsi("0" * 16)
+
+    def test_tbcd_swaps_nibbles(self):
+        """The paper's Trace 1 shows IMSI 000111234567845F-style TBCD."""
+        imsi = Imsi("001011234567845")
+        encoded = imsi.tbcd_hex()
+        assert encoded.split()[0] == "00"  # '00' -> swapped '00'
+        assert encoded.endswith("F5")  # odd length padded with F
+
+    def test_tbcd_even_length_no_padding(self):
+        assert "F" not in Imsi("001234").tbcd_hex()
+
+    def test_make_test_imsi_deterministic(self):
+        assert make_test_imsi(7) == make_test_imsi(7)
+        assert make_test_imsi(7) != make_test_imsi(8)
+
+    def test_make_test_imsi_is_15_digits(self):
+        assert len(make_test_imsi(0).digits) == 15
+
+    def test_make_test_imsi_rejects_negative(self):
+        with pytest.raises(ValueError):
+            make_test_imsi(-1)
+
+
+class TestGatewayAddress:
+    def test_valid_ipv4(self):
+        assert str(GatewayAddress("192.168.2.11")) == "192.168.2.11"
+
+    @pytest.mark.parametrize("bad", ["256.0.0.1", "1.2.3", "a.b.c.d", "1.2.3.4.5"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            GatewayAddress(bad)
+
+
+class TestAllocator:
+    def test_charging_ids_start_at_zero(self):
+        alloc = ChargingIdAllocator()
+        assert alloc.next_charging_id() == 0
+        assert alloc.next_charging_id() == 1
+
+    def test_sequence_numbers_start_at_1001(self):
+        """Matches the paper's Trace 1 (SequenceNumber 1001)."""
+        assert ChargingIdAllocator().next_sequence() == 1001

@@ -1,0 +1,91 @@
+"""MME attach/detach and HSS provisioning."""
+
+import pytest
+
+from repro.cellular.bearer import Bearer, BearerTable
+from repro.cellular.hss import Hss, SubscriberProfile
+from repro.cellular.identifiers import make_test_imsi
+from repro.cellular.mme import Mme
+
+
+def build():
+    hss = Hss()
+    bearers = BearerTable()
+    imsi = make_test_imsi(1)
+    hss.provision(SubscriberProfile(imsi, device_name="EL20"))
+    bearer = Bearer(imsi=imsi, flow_id="app")
+    bearers.add(bearer)
+    mme = Mme(hss, bearers)
+    return hss, bearers, bearer, mme, imsi
+
+
+class TestHss:
+    def test_lookup_provisioned(self):
+        hss, _, _, _, imsi = build()
+        assert hss.lookup(str(imsi)).device_name == "EL20"
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError):
+            Hss().lookup("999999999999999")
+
+    def test_is_provisioned(self):
+        hss, _, _, _, imsi = build()
+        assert hss.is_provisioned(str(imsi))
+        assert not hss.is_provisioned("000000000000000")
+
+    def test_reprovision_replaces(self):
+        hss, _, _, _, imsi = build()
+        hss.provision(SubscriberProfile(imsi, device_name="Pixel"))
+        assert hss.lookup(str(imsi)).device_name == "Pixel"
+        assert len(hss) == 1
+
+
+class TestMme:
+    def test_initial_attach_requires_provisioning(self):
+        hss, bearers = Hss(), BearerTable()
+        mme = Mme(hss, bearers)
+        with pytest.raises(KeyError):
+            mme.initial_attach(make_test_imsi(5))
+
+    def test_double_initial_attach_rejected(self):
+        _, _, _, mme, imsi = build()
+        mme.initial_attach(imsi)
+        with pytest.raises(ValueError):
+            mme.initial_attach(imsi)
+
+    def test_detach_deactivates_bearers(self):
+        _, _, bearer, mme, imsi = build()
+        mme.initial_attach(imsi)
+        mme.detach(str(imsi), cause="radio-link-failure")
+        assert not mme.is_attached(str(imsi))
+        assert not bearer.active
+
+    def test_reattach_reactivates_bearers(self):
+        _, _, bearer, mme, imsi = build()
+        mme.initial_attach(imsi)
+        mme.detach(str(imsi))
+        mme.attach(str(imsi))
+        assert bearer.active
+        assert mme.is_attached(str(imsi))
+
+    def test_detach_cause_recorded(self):
+        _, _, _, mme, imsi = build()
+        mme.initial_attach(imsi)
+        mme.detach(str(imsi), cause="radio-link-failure")
+        assert mme.record(str(imsi)).detach_causes == ["radio-link-failure"]
+
+    def test_detach_idempotent(self):
+        _, _, _, mme, imsi = build()
+        mme.initial_attach(imsi)
+        mme.detach(str(imsi))
+        mme.detach(str(imsi))
+        assert mme.record(str(imsi)).detaches == 1
+
+    def test_unknown_imsi_not_attached(self):
+        _, _, _, mme, _ = build()
+        assert not mme.is_attached("123")
+
+    def test_record_of_unknown_raises(self):
+        _, _, _, mme, _ = build()
+        with pytest.raises(KeyError):
+            mme.record("123")

@@ -1,0 +1,151 @@
+"""Two-cell topology: X2 handover with real source/target eNodeBs."""
+
+import pytest
+
+from repro.cellular import CellularNetwork, NetworkConfig, RadioProfile, make_test_imsi
+from repro.netsim import Direction, EventLoop, Packet, StreamRegistry
+
+
+def build(seed=1, n_cells=2):
+    loop = EventLoop()
+    net = CellularNetwork(loop, StreamRegistry(seed), NetworkConfig(n_cells=n_cells))
+    imsi = make_test_imsi(1)
+    delivered = []
+    access = net.attach_device(imsi, RadioProfile(), deliver=delivered.append, cell=0)
+    net.create_bearer(imsi, "app")
+    up = []
+    net.register_uplink_sink("app", up.append)
+    return loop, net, access, delivered, up
+
+
+def ul(size=1000):
+    return Packet(size=size, flow_id="app", direction=Direction.UPLINK)
+
+
+def dl(size=1000):
+    return Packet(size=size, flow_id="app", direction=Direction.DOWNLINK)
+
+
+class TestTopology:
+    def test_cells_have_independent_air(self):
+        loop, net, access, *_ = build()
+        net.set_background_load(1e9, 1e9, cell=0)
+        assert net.enodebs[0].downlink_air.background_total_bps() > 0
+        assert net.enodebs[1].downlink_air.background_total_bps() == 0
+
+    def test_initially_served_by_cell_0(self):
+        loop, net, access, *_ = build()
+        assert net.serving_enodeb(access.imsi) is net.enodebs[0]
+
+    def test_unknown_imsi_has_no_serving_cell(self):
+        loop, net, *_ = build()
+        with pytest.raises(KeyError):
+            net.serving_enodeb("000000000000099")
+
+    def test_single_cell_back_compat(self):
+        loop, net, access, *_ = build(n_cells=1)
+        assert net.enodeb is net.enodebs[0]
+
+
+class TestHandover:
+    def test_traffic_flows_via_target_after_handover(self):
+        loop, net, access, delivered, up = build()
+        net.handover(access.imsi, 1, interruption_s=0.02)
+        loop.run_until(1.0)
+        access.send_uplink(ul())
+        net.send_downlink(dl())
+        loop.run_until(2.0)
+        assert len(up) == 1 and len(delivered) == 1
+        assert net.serving_enodeb(access.imsi) is net.enodebs[1]
+        assert net.handovers == 1
+
+    def test_modem_counters_continuous_across_cells(self):
+        """The modem travels with the UE: the operator's RRC record sees
+        one continuous counter across the move (§5.4 keeps working)."""
+        loop, net, access, delivered, _ = build()
+        net.send_downlink(dl(700))
+        loop.run_until(0.5)
+        net.handover(access.imsi, 1, interruption_s=0.02)
+        loop.run_until(1.0)
+        net.send_downlink(dl(300))
+        loop.run_until(2.0)
+        assert access.modem.dl_received.total == 1000
+
+    def test_source_runs_counter_check_before_leaving(self):
+        loop, net, access, *_ = build()
+        ue = net.enodebs[0].ue(str(access.imsi))
+        checks_before = ue.rrc.counter_checks_sent
+        net.handover(access.imsi, 1)
+        assert ue.rrc.counter_checks_sent == checks_before + 1
+
+    def test_interruption_buffers_at_target(self):
+        """In-flight packets during the break buffer at the target and
+        deliver on completion — nothing is lost on a clean handover."""
+        loop, net, access, delivered, _ = build()
+        net.handover(access.imsi, 1, interruption_s=0.1)
+        net.send_downlink(dl())  # arrives mid-interruption
+        loop.run_until(0.05)
+        assert delivered == []
+        loop.run_until(1.0)
+        assert len(delivered) == 1
+
+    def test_no_x2_discards_source_buffer(self):
+        loop, net, access, delivered, _ = build()
+        access.radio.connected = False  # force buffering at the source
+        packets = [dl() for _ in range(5)]
+        for p in packets:
+            net.send_downlink(p)
+        loop.run_until(0.5)
+        net.handover(access.imsi, 1, x2_forwarding=False)
+        assert all(p.dropped_at == "link-mobility" for p in packets)
+
+    def test_x2_forwards_source_buffer(self):
+        loop, net, access, delivered, _ = build()
+        access.radio.connected = False
+        packets = [dl() for _ in range(5)]
+        for p in packets:
+            net.send_downlink(p)
+        loop.run_until(0.5)
+        net.handover(access.imsi, 1, x2_forwarding=True)
+        access.radio.connected = True
+        for callback in access.radio.on_outage_end:
+            callback()
+        loop.run_until(2.0)
+        assert len(delivered) == 5
+
+    def test_escaping_a_congested_cell(self):
+        """The mobility upside: hand over out of a saturated cell and the
+        loss stops — with the charging staying continuous at the SPGW."""
+        loop, net, access, delivered, _ = build(seed=3)
+        net.set_background_load(1e9, 0.0, cell=0)
+        for i in range(200):
+            loop.schedule_at(0.01 + i * 0.01, net.send_downlink, dl())
+        loop.schedule_at(1.0, net.handover, access.imsi, 1)
+        loop.run_until(10.0)
+        charged = net.gateway_usage("app", 0, 10.0, Direction.DOWNLINK)
+        assert charged == 200_000  # gateway charged everything
+        received = access.modem.dl_received.total
+        lost = charged - received
+        # Losses concentrate in the first second (cell 0, saturated).
+        assert 0 < lost < 110_000
+
+    def test_handover_to_same_cell_rejected(self):
+        loop, net, access, *_ = build()
+        with pytest.raises(ValueError):
+            net.handover(access.imsi, 0)
+
+    def test_handover_to_missing_cell_rejected(self):
+        loop, net, access, *_ = build()
+        with pytest.raises(ValueError):
+            net.handover(access.imsi, 7)
+
+    def test_repeated_ping_pong_handovers(self):
+        loop, net, access, delivered, _ = build()
+        for k in range(6):
+            loop.schedule_at(0.5 + k * 0.5, net.handover, access.imsi, (k + 1) % 2)
+        for i in range(40):
+            loop.schedule_at(0.05 + i * 0.1, net.send_downlink, dl(100))
+        loop.run_until(10.0)
+        assert net.handovers == 6
+        # Clean radio + buffering: everything eventually delivered.
+        assert access.modem.dl_received.total == 4000

@@ -1,0 +1,154 @@
+"""End-to-end cellular network assembly: the charging-gap physics."""
+
+import pytest
+
+from repro.cellular import CellularNetwork, NetworkConfig, RadioProfile, make_test_imsi
+from repro.cellular.enodeb import ENodeBConfig
+from repro.netsim import Direction, EventLoop, Packet, StreamRegistry
+
+
+def build(radio=None, config=None, seed=1, qci=9):
+    loop = EventLoop()
+    net = CellularNetwork(loop, StreamRegistry(seed), config)
+    imsi = make_test_imsi(1)
+    delivered = []
+    access = net.attach_device(imsi, radio or RadioProfile(), deliver=delivered.append)
+    net.create_bearer(imsi, "app", qci=qci)
+    uplinked = []
+    net.register_uplink_sink("app", uplinked.append)
+    return loop, net, access, delivered, uplinked
+
+
+def ul(size=1000):
+    return Packet(size=size, flow_id="app", direction=Direction.UPLINK)
+
+
+def dl(size=1000):
+    return Packet(size=size, flow_id="app", direction=Direction.DOWNLINK)
+
+
+class TestCleanPath:
+    def test_uplink_end_to_end(self):
+        loop, net, access, _, uplinked = build()
+        for _ in range(10):
+            access.send_uplink(ul())
+        loop.run()
+        assert len(uplinked) == 10
+        assert net.gateway_usage("app", 0, loop.now(), Direction.UPLINK) == 10_000
+
+    def test_downlink_end_to_end(self):
+        loop, net, access, delivered, _ = build()
+        for _ in range(10):
+            net.send_downlink(dl())
+        loop.run()
+        assert len(delivered) == 10
+        assert access.modem.dl_received.total == 10_000
+
+    def test_no_gap_without_loss(self):
+        """Lossless path ⇒ gateway count equals both endpoints' counts."""
+        loop, net, access, delivered, uplinked = build()
+        for _ in range(20):
+            access.send_uplink(ul(500))
+            net.send_downlink(dl(700))
+        loop.run()
+        t = loop.now()
+        assert net.gateway_usage("app", 0, t, Direction.UPLINK) == 10_000
+        assert net.gateway_usage("app", 0, t, Direction.DOWNLINK) == 14_000
+        assert access.modem.dl_received.total == 14_000
+
+
+class TestChargingGapPhysics:
+    def test_uplink_air_loss_undercounts_at_gateway(self):
+        """UL loss happens *before* the gateway: x̂_o < x̂_e."""
+        loop, net, access, _, uplinked = build(RadioProfile(base_loss=0.5), seed=3)
+        for _ in range(200):
+            access.send_uplink(ul())
+        loop.run()
+        gateway = net.gateway_usage("app", 0, loop.now(), Direction.UPLINK)
+        assert gateway < 200_000
+        assert access.modem.ul_sent.total == 200_000  # modem counted all
+
+    def test_downlink_air_loss_overcounts_at_gateway(self):
+        """DL loss happens *after* the gateway: charged but not received."""
+        loop, net, access, delivered, _ = build(RadioProfile(base_loss=0.5), seed=3)
+        for _ in range(200):
+            net.send_downlink(dl())
+        loop.run()
+        gateway = net.gateway_usage("app", 0, loop.now(), Direction.DOWNLINK)
+        assert gateway == 200_000
+        assert access.modem.dl_received.total < gateway
+
+    def test_congestion_creates_downlink_gap(self):
+        loop, net, access, delivered, _ = build()
+        net.set_background_load(1e9, 0.0)  # saturate DL air
+        for i in range(200):
+            loop.schedule_at(i * 0.005, net.send_downlink, dl())
+        loop.run()
+        gateway = net.gateway_usage("app", 0, loop.now(), Direction.DOWNLINK)
+        assert gateway == 200_000
+        assert access.modem.dl_received.total < gateway
+
+    def test_gaming_qci_protected_from_background(self):
+        loop, net, access, delivered, _ = build(qci=7)
+        net.set_background_load(1e9, 1e9)  # QCI-9 background only
+        for i in range(100):
+            loop.schedule_at(i * 0.01, net.send_downlink, dl())
+        loop.run()
+        assert len(delivered) == 100  # strict priority shields QCI 7
+
+
+class TestOutageAndDetach:
+    def test_outage_uplink_counted_by_modem_but_lost(self):
+        loop, net, access, _, uplinked = build()
+        access.radio.connected = False
+        for _ in range(100):
+            access.send_uplink(ul())
+        loop.run()
+        assert access.modem.ul_sent.total == 100_000
+        assert len(uplinked) * 1000 < 100_000
+
+    def test_detached_uplink_not_counted(self):
+        loop, net, access, *_ = build()
+        access.ue.attached = False
+        p = ul()
+        access.send_uplink(p)
+        assert p.dropped_at == "detached"
+        assert access.modem.ul_sent.total == 0
+
+    def test_rlf_stops_downlink_charging(self):
+        """Figure 4's observation: detach prevents the gap from growing."""
+        config = NetworkConfig(enodeb=ENodeBConfig(rlf_timeout_s=5.0))
+        loop, net, access, delivered, _ = build(config=config)
+        radio = access.radio
+        # Manually drive an 8-second outage starting at t=1.
+        loop.schedule_at(1.0, setattr, radio, "connected", False)
+        for cb in radio.on_outage_start:
+            loop.schedule_at(1.0, cb)
+        # Steady downlink traffic throughout.
+        for i in range(120):
+            loop.schedule_at(i * 0.1, net.send_downlink, dl())
+        loop.run_until(12.0)
+        gateway = net.gateway_usage("app", 0, 12.0, Direction.DOWNLINK)
+        total_offered = 120_000
+        # Traffic after the RLF detach (t≈6) was dropped *uncharged*.
+        assert gateway < total_offered
+        assert net.spgw.detached_drops.packets > 0
+
+
+class TestAccessHelpers:
+    def test_access_lookup(self):
+        loop, net, access, *_ = build()
+        assert net.access(make_test_imsi(1)) is access
+        with pytest.raises(KeyError):
+            net.access("000000000000099")
+
+    def test_send_uplink_validates_direction(self):
+        loop, net, access, *_ = build()
+        with pytest.raises(ValueError):
+            access.send_uplink(dl())
+
+    def test_drop_summary_keys(self):
+        loop, net, *_ = build()
+        summary = net.drop_summary()
+        assert "air-dl-congestion" in summary
+        assert "gateway-detached" in summary

@@ -1,0 +1,120 @@
+"""OFCS: Trace-1 CDR format and cycle accounting."""
+
+import pytest
+
+from repro.cellular.bearer import Bearer, BearerTable
+from repro.cellular.identifiers import ChargingIdAllocator, GatewayAddress, make_test_imsi
+from repro.cellular.ofcs import CdrRecord, Ofcs
+from repro.netsim.events import EventLoop
+from repro.netsim.packet import Direction
+
+
+def build():
+    loop = EventLoop()
+    bearers = BearerTable()
+    bearer = Bearer(imsi=make_test_imsi(1), flow_id="cam", charging_id=0)
+    bearers.add(bearer)
+    ofcs = Ofcs(loop, bearers, GatewayAddress("192.168.2.11"), ChargingIdAllocator())
+    return loop, bearers, bearer, ofcs
+
+
+class TestUsageQueries:
+    def test_usage_by_direction_and_window(self):
+        loop, _, bearer, ofcs = build()
+        bearer.count_uplink(10.0, 100)
+        bearer.count_downlink(20.0, 200)
+        bearer.count_uplink(30.0, 50)
+        assert ofcs.usage_bytes("cam", 0, 15, Direction.UPLINK) == 100
+        assert ofcs.usage_bytes("cam", 0, 40, Direction.UPLINK) == 150
+        assert ofcs.usage_bytes("cam", 0, 40, Direction.DOWNLINK) == 200
+
+    def test_unknown_flow_raises(self):
+        _, _, _, ofcs = build()
+        with pytest.raises(KeyError):
+            ofcs.usage_bytes("ghost", 0, 1, Direction.UPLINK)
+
+
+class TestCdrGeneration:
+    def test_cdr_carries_trace1_fields(self):
+        loop, _, bearer, ofcs = build()
+        bearer.count_uplink(100.0, 274841)
+        bearer.count_downlink(200.0, 33604032)
+        loop.run_until(3600.0)
+        record = ofcs.close_cycle("cam")
+        assert record.datavolume_uplink == 274841
+        assert record.datavolume_downlink == 33604032
+        assert record.gateway_address == "192.168.2.11"
+        assert record.sequence_number == 1001
+        assert record.charging_id == 0
+
+    def test_consecutive_cycles_partition_usage(self):
+        loop, _, bearer, ofcs = build()
+        bearer.count_uplink(10.0, 100)
+        loop.run_until(60.0)
+        first = ofcs.close_cycle("cam")
+        bearer.count_uplink(70.0, 200)
+        loop.run_until(120.0)
+        second = ofcs.close_cycle("cam")
+        assert first.datavolume_uplink == 100
+        assert second.datavolume_uplink == 200
+        assert second.sequence_number == first.sequence_number + 1
+
+    def test_idle_cycle_zero_volume(self):
+        loop, _, _, ofcs = build()
+        loop.run_until(60.0)
+        record = ofcs.close_cycle("cam")
+        assert record.datavolume_uplink == 0
+        assert record.datavolume_downlink == 0
+
+    def test_records_accumulate(self):
+        loop, _, _, ofcs = build()
+        loop.run_until(10.0)
+        ofcs.close_cycle("cam")
+        loop.run_until(20.0)
+        ofcs.close_cycle("cam")
+        assert len(ofcs.records) == 2
+
+
+class TestXmlFormat:
+    def _record(self):
+        return CdrRecord(
+            served_imsi_tbcd="00 01 11 32 54 76 48 F5",
+            gateway_address="192.168.2.11",
+            charging_id=0,
+            sequence_number=1001,
+            time_of_first_usage="2019-01-07 07:13:46",
+            time_of_last_usage="2019-01-07 08:13:46",
+            time_usage_s=3600,
+            datavolume_uplink=274841,
+            datavolume_downlink=33604032,
+            flow_id="cam",
+        )
+
+    def test_xml_matches_trace1_structure(self):
+        """Field-for-field against the paper's Trace 1."""
+        xml = self._record().to_xml()
+        for tag, value in [
+            ("servedIMSI", "00 01 11 32 54 76 48 F5"),
+            ("gatewayAddress", "192.168.2.11"),
+            ("chargingID", "0"),
+            ("SequenceNumber", "1001"),
+            ("timeOfFirstUsage", "2019-01-07 07:13:46"),
+            ("timeOfLastUsage", "2019-01-07 08:13:46"),
+            ("timeUsage", "3600"),
+            ("datavolumeUplink", "274841"),
+            ("datavolumeDownlink", "33604032"),
+        ]:
+            assert f"<{tag}>{value}</{tag}>" in xml
+
+    def test_xml_roundtrip(self):
+        record = self._record()
+        parsed = CdrRecord.from_xml(record.to_xml(), flow_id="cam")
+        assert parsed == record
+
+    def test_from_xml_rejects_wrong_root(self):
+        with pytest.raises(ValueError):
+            CdrRecord.from_xml("<notARecord/>")
+
+    def test_from_xml_rejects_missing_field(self):
+        with pytest.raises(ValueError, match="servedIMSI"):
+            CdrRecord.from_xml("<chargingRecord></chargingRecord>")

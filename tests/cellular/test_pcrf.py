@@ -1,0 +1,60 @@
+"""PCRF policy rules: QCI assignment and quota throttling."""
+
+import pytest
+
+from repro.cellular.pcrf import Pcrf, QciRule, QuotaPolicy
+
+
+class TestQciRules:
+    def test_default_without_rules(self):
+        assert Pcrf().qci_for("anything") == 9
+
+    def test_glob_match(self):
+        pcrf = Pcrf()
+        pcrf.add_qci_rule("game:*", 7)
+        assert pcrf.qci_for("game:king-of-glory") == 7
+        assert pcrf.qci_for("webcam:1") == 9
+
+    def test_first_match_wins(self):
+        pcrf = Pcrf()
+        pcrf.add_qci_rule("game:vip:*", 3)
+        pcrf.add_qci_rule("game:*", 7)
+        assert pcrf.qci_for("game:vip:player1") == 3
+        assert pcrf.qci_for("game:player2") == 7
+
+    def test_rule_validates_qci(self):
+        with pytest.raises(KeyError):
+            QciRule("x", 42)
+
+
+class TestQuota:
+    def test_no_quota_means_unlimited(self):
+        pcrf = Pcrf()
+        assert pcrf.allowed_rate_bps("flow", 10**12) is None
+
+    def test_under_quota_unthrottled(self):
+        """The AT&T-style plan: full speed until the quota."""
+        pcrf = Pcrf()
+        pcrf.set_quota("flow", QuotaPolicy(quota_bytes=15_000_000_000))
+        assert pcrf.allowed_rate_bps("flow", 14_000_000_000) is None
+
+    def test_over_quota_throttled_to_128kbps(self):
+        pcrf = Pcrf()
+        pcrf.set_quota("flow", QuotaPolicy(quota_bytes=15_000_000_000))
+        assert pcrf.allowed_rate_bps("flow", 15_000_000_001) == 128_000.0
+
+    def test_custom_throttle_speed(self):
+        pcrf = Pcrf()
+        pcrf.set_quota("flow", QuotaPolicy(quota_bytes=100, throttle_bps=64_000.0))
+        assert pcrf.allowed_rate_bps("flow", 200) == 64_000.0
+
+    def test_exactly_at_quota_unthrottled(self):
+        pcrf = Pcrf()
+        pcrf.set_quota("flow", QuotaPolicy(quota_bytes=100))
+        assert pcrf.allowed_rate_bps("flow", 100) is None
+
+    def test_quota_validation(self):
+        with pytest.raises(ValueError):
+            QuotaPolicy(quota_bytes=0)
+        with pytest.raises(ValueError):
+            QuotaPolicy(quota_bytes=100, throttle_bps=0)

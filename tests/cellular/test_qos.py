@@ -1,0 +1,51 @@
+"""QCI table semantics."""
+
+import pytest
+
+from repro.cellular.qos import (
+    DEFAULT_QCI,
+    GAMING_GBR_QCI,
+    GAMING_QCI,
+    QCI_TABLE,
+    ResourceType,
+    qos_class,
+    scheduler_priority,
+)
+
+
+class TestTable:
+    def test_all_nine_standard_classes(self):
+        assert sorted(QCI_TABLE) == list(range(1, 10))
+
+    def test_gaming_qci3_delay_budget(self):
+        """The paper: QCI 3 guarantees 50 ms packet delay for gaming."""
+        assert qos_class(GAMING_GBR_QCI).packet_delay_budget_ms == 50
+        assert qos_class(GAMING_GBR_QCI).resource_type is ResourceType.GBR
+
+    def test_gaming_qci7_delay_budget(self):
+        """The paper: QCI 7 guarantees 100 ms for interactive gaming."""
+        assert qos_class(GAMING_QCI).packet_delay_budget_ms == 100
+
+    def test_default_is_best_effort_9(self):
+        assert DEFAULT_QCI == 9
+        assert qos_class(9).priority == 9
+
+    def test_unknown_qci_raises_with_context(self):
+        with pytest.raises(KeyError, match="QCI 42"):
+            qos_class(42)
+
+
+class TestPriority:
+    def test_qci7_outranks_qci9(self):
+        """This ordering is what protects gaming in Figure 12d."""
+        assert scheduler_priority(GAMING_QCI) < scheduler_priority(DEFAULT_QCI)
+
+    def test_qci3_outranks_qci7(self):
+        assert scheduler_priority(3) < scheduler_priority(7)
+
+    def test_outranks_helper(self):
+        assert qos_class(3).outranks(qos_class(9))
+        assert not qos_class(9).outranks(qos_class(3))
+
+    def test_ims_signalling_is_top_priority(self):
+        assert qos_class(5).priority == 1

@@ -1,0 +1,130 @@
+"""Radio channel: outage process, RSS model, loss curve."""
+
+import pytest
+
+from repro.cellular.radio import GOOD_RSS_DBM, OUTAGE_FLOOR_DBM, RadioChannel, RadioProfile
+from repro.netsim.events import EventLoop
+from repro.netsim.rng import StreamRegistry
+
+
+def make_radio(profile=None, seed=1, record=False):
+    loop = EventLoop()
+    radio = RadioChannel(
+        loop, StreamRegistry(seed), profile or RadioProfile(), record_rss=record
+    )
+    return loop, radio
+
+
+class TestProfile:
+    def test_disconnectivity_ratio_formula(self):
+        profile = RadioProfile(outages_enabled=True, mean_outage_s=2.0, mean_uptime_s=18.0)
+        assert profile.disconnectivity_ratio == pytest.approx(0.1)
+
+    def test_no_outages_means_zero_eta(self):
+        assert RadioProfile().disconnectivity_ratio == 0.0
+
+    def test_for_disconnectivity_inverts_ratio(self):
+        profile = RadioProfile.for_disconnectivity(0.15)
+        assert profile.disconnectivity_ratio == pytest.approx(0.15)
+        assert profile.mean_outage_s == pytest.approx(1.93)
+
+    @pytest.mark.parametrize("eta", [0.0, 1.0, -0.5])
+    def test_for_disconnectivity_rejects_bad_eta(self, eta):
+        with pytest.raises(ValueError):
+            RadioProfile.for_disconnectivity(eta)
+
+
+class TestOutages:
+    def test_starts_connected(self):
+        _, radio = make_radio()
+        assert radio.connected
+
+    def test_no_outages_when_disabled(self):
+        loop, radio = make_radio()
+        radio.start()
+        loop.run_until(600)
+        assert radio.outage_count == 0
+        assert radio.connected
+
+    def test_measured_eta_approximates_configured(self):
+        profile = RadioProfile.for_disconnectivity(0.10)
+        loop, radio = make_radio(profile, seed=3)
+        radio.start()
+        loop.run_until(4000)
+        assert radio.measured_disconnectivity() == pytest.approx(0.10, abs=0.05)
+
+    def test_outage_callbacks_fire_in_pairs(self):
+        profile = RadioProfile.for_disconnectivity(0.2, mean_outage_s=1.0)
+        loop, radio = make_radio(profile, seed=5)
+        events = []
+        radio.on_outage_start.append(lambda: events.append("down"))
+        radio.on_outage_end.append(lambda: events.append("up"))
+        radio.start()
+        loop.run_until(100)
+        assert events, "expected at least one outage in 100 s at eta=0.2"
+        for i in range(0, len(events) - 1, 2):
+            assert events[i] == "down" and events[i + 1] == "up"
+
+    def test_cannot_start_twice(self):
+        _, radio = make_radio()
+        radio.start()
+        with pytest.raises(RuntimeError):
+            radio.start()
+
+
+class TestRss:
+    def test_rss_floor_during_outage(self):
+        _, radio = make_radio()
+        radio.connected = False
+        assert radio.current_rss() == OUTAGE_FLOOR_DBM
+
+    def test_rss_history_recorded_per_second(self):
+        profile = RadioProfile(rss_sample_interval_s=1.0)
+        loop, radio = make_radio(profile, record=True)
+        radio.start()
+        loop.run_until(10)
+        assert len(radio.rss_history) == 11  # t=0..10 inclusive
+
+    def test_rss_stays_in_bounds(self):
+        profile = RadioProfile(rss_noise_std=10.0)
+        loop, radio = make_radio(profile, record=True)
+        radio.start()
+        loop.run_until(200)
+        for sample in radio.rss_history:
+            assert profile.rss_floor_dbm <= sample.rss_dbm <= profile.rss_ceiling_dbm
+
+
+class TestLoss:
+    def test_no_loss_in_good_signal_without_floor(self):
+        _, radio = make_radio(RadioProfile(base_rss_dbm=-80.0, base_loss=0.0))
+        assert radio.loss_probability() == 0.0
+
+    def test_base_loss_floor_applies_in_good_signal(self):
+        _, radio = make_radio(RadioProfile(base_rss_dbm=-80.0, base_loss=0.02))
+        assert radio.loss_probability() == pytest.approx(0.02)
+
+    def test_loss_rises_below_good_threshold(self):
+        profile = RadioProfile(base_rss_dbm=-110.0, rss_noise_std=0.0, base_loss=0.0)
+        _, radio = make_radio(profile)
+        radio._current_rss = -110.0
+        assert radio.loss_probability() > 0.0
+
+    def test_loss_monotone_in_weak_signal(self):
+        profile = RadioProfile(rss_noise_std=0.0, base_loss=0.0)
+        _, radio = make_radio(profile)
+        radio._current_rss = -100.0
+        weak = radio.loss_probability()
+        radio._current_rss = -120.0
+        weaker = radio.loss_probability()
+        assert weaker > weak
+
+    def test_survives_air_statistics(self):
+        """Empirical air-loss rate tracks base_loss in good signal."""
+        profile = RadioProfile(base_rss_dbm=-80.0, rss_noise_std=0.0, base_loss=0.1)
+        _, radio = make_radio(profile, seed=9)
+        outcomes = [radio.survives_air() for _ in range(4000)]
+        loss_rate = 1 - sum(outcomes) / len(outcomes)
+        assert loss_rate == pytest.approx(0.1, abs=0.02)
+
+    def test_good_threshold_constant_matches_paper(self):
+        assert GOOD_RSS_DBM == -95.0

@@ -1,0 +1,125 @@
+"""RRC state machine, modem counters and COUNTER CHECK."""
+
+import pytest
+
+from repro.cellular.rrc import HardwareModem, RrcConnectionManager, RrcState
+from repro.netsim.events import EventLoop
+from repro.netsim.packet import Direction, Packet
+
+
+def dl_packet(size=1000):
+    return Packet(size=size, flow_id="f", direction=Direction.DOWNLINK)
+
+
+def ul_packet(size=500):
+    return Packet(size=size, flow_id="f", direction=Direction.UPLINK)
+
+
+class TestHardwareModem:
+    def test_counts_both_directions(self):
+        modem = HardwareModem(EventLoop())
+        modem.count_downlink(dl_packet(1000))
+        modem.count_uplink(ul_packet(500))
+        response = modem.counter_check()
+        assert response.downlink_bytes == 1000
+        assert response.uplink_bytes == 500
+
+    def test_counter_check_is_cumulative(self):
+        modem = HardwareModem(EventLoop())
+        modem.count_downlink(dl_packet(100))
+        first = modem.counter_check()
+        modem.count_downlink(dl_packet(100))
+        second = modem.counter_check()
+        assert second.downlink_bytes == first.downlink_bytes + 100
+
+    def test_counter_check_counts_served(self):
+        modem = HardwareModem(EventLoop())
+        modem.counter_check()
+        modem.counter_check()
+        assert modem.counter_checks_served == 2
+
+
+def make_rrc(loop=None, inactivity=10.0, interval=5.0, reports=None):
+    loop = loop if loop is not None else EventLoop()
+    modem = HardwareModem(loop)
+    rrc = RrcConnectionManager(
+        loop,
+        modem,
+        inactivity_timeout_s=inactivity,
+        counter_check_interval_s=interval,
+        report_sink=reports.append if reports is not None else None,
+    )
+    return loop, modem, rrc
+
+
+class TestRrcStateMachine:
+    def test_starts_idle(self):
+        _, _, rrc = make_rrc()
+        assert rrc.state is RrcState.IDLE
+
+    def test_activity_sets_up_connection(self):
+        _, _, rrc = make_rrc()
+        rrc.on_data_activity()
+        assert rrc.state is RrcState.CONNECTED
+        assert rrc.setups == 1
+
+    def test_inactivity_releases_with_counter_check(self):
+        reports = []
+        loop, _, rrc = make_rrc(inactivity=2.0, interval=None, reports=reports)
+        rrc.on_data_activity()
+        loop.run_until(5.0)
+        assert rrc.state is RrcState.IDLE
+        assert rrc.releases == 1
+        assert len(reports) == 1  # the pre-release COUNTER CHECK
+
+    def test_activity_extends_connection(self):
+        loop, _, rrc = make_rrc(inactivity=2.0, interval=None)
+        rrc.on_data_activity()
+        loop.schedule_at(1.5, rrc.on_data_activity)
+        loop.run_until(3.0)
+        assert rrc.state is RrcState.CONNECTED
+
+    def test_periodic_counter_checks_while_connected(self):
+        reports = []
+        loop, _, rrc = make_rrc(inactivity=100.0, interval=2.0, reports=reports)
+        rrc.on_data_activity()
+        loop.run_until(9.0)
+        assert len(reports) == 4  # t = 2, 4, 6, 8
+
+    def test_abort_skips_counter_check(self):
+        """Radio link failure: no chance to query the modem."""
+        reports = []
+        loop, _, rrc = make_rrc(reports=reports)
+        rrc.on_data_activity()
+        rrc.abort()
+        assert rrc.state is RrcState.IDLE
+        assert reports == []
+
+    def test_no_periodic_checks_after_release(self):
+        reports = []
+        loop, _, rrc = make_rrc(inactivity=1.0, interval=2.0, reports=reports)
+        rrc.on_data_activity()
+        loop.run_until(20.0)
+        checks_after_release = len(reports)
+        loop.run_until(40.0)
+        assert len(reports) == checks_after_release
+
+    def test_release_idempotent(self):
+        _, _, rrc = make_rrc()
+        rrc.on_data_activity()
+        rrc.release()
+        rrc.release()
+        assert rrc.releases == 1
+
+    def test_rejects_non_positive_timeout(self):
+        with pytest.raises(ValueError):
+            make_rrc(inactivity=0.0)
+
+    def test_reconnect_after_release(self):
+        loop, _, rrc = make_rrc(inactivity=1.0, interval=None)
+        rrc.on_data_activity()
+        loop.run_until(3.0)
+        assert rrc.state is RrcState.IDLE
+        rrc.on_data_activity()
+        assert rrc.state is RrcState.CONNECTED
+        assert rrc.setups == 2

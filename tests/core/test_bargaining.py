@@ -1,0 +1,81 @@
+"""Rubinstein alternating-offers strategies as TLC comparators."""
+
+import pytest
+
+from repro.core.bargaining import RubinsteinStrategy, rubinstein_split
+from repro.core.negotiation import NegotiationEngine
+from repro.core.plan import DataPlan
+from repro.core.strategies import OptimalStrategy, PartyKnowledge, PartyRole
+
+X_E, X_O = 1_000_000, 900_000
+EDGE = PartyKnowledge(PartyRole.EDGE, X_E, X_O)
+OPERATOR = PartyKnowledge(PartyRole.OPERATOR, X_O, X_E)
+PLAN = DataPlan(c=0.5)
+
+
+class TestSplitFormula:
+    def test_symmetric_patient_players_near_half(self):
+        assert rubinstein_split(0.99, 0.99) == pytest.approx(0.5, abs=0.01)
+
+    def test_impatient_responder_concedes_more(self):
+        assert rubinstein_split(0.9, 0.5) > rubinstein_split(0.9, 0.9)
+
+    def test_first_mover_advantage(self):
+        """With equal discounting the proposer takes more than half."""
+        assert rubinstein_split(0.8, 0.8) > 0.5
+
+    def test_validates_delta(self):
+        with pytest.raises(ValueError):
+            rubinstein_split(1.0, 0.5)
+
+
+class TestStrategy:
+    def _run(self, edge_delta=0.9, operator_delta=0.9):
+        engine = NegotiationEngine(
+            PLAN,
+            RubinsteinStrategy(EDGE, delta=edge_delta),
+            RubinsteinStrategy(OPERATOR, delta=operator_delta),
+            max_rounds=64,
+        )
+        return engine.run()
+
+    def test_converges_within_theorem2_bound(self):
+        result = self._run()
+        assert result.converged
+        assert X_O <= result.volume <= X_E
+
+    def test_opening_claims_at_preferred_ends(self):
+        edge = RubinsteinStrategy(EDGE, delta=0.9)
+        operator = RubinsteinStrategy(OPERATOR, delta=0.9)
+        assert edge.propose(-1, None, 0, None) == X_O
+        assert operator.propose(-1, None, 0, None) == X_E
+
+    def test_concession_moves_toward_counterpart(self):
+        edge = RubinsteinStrategy(EDGE, delta=0.8)
+        first = edge.propose(-1, None, 0, None)
+        second = edge.propose(-1, None, 1, last_other_claim=X_E)
+        assert first < second < X_E
+
+    def test_impatient_party_concedes_more_surplus(self):
+        patient_outcome = self._run(edge_delta=0.95, operator_delta=0.95).volume
+        impatient_edge = self._run(edge_delta=0.5, operator_delta=0.95).volume
+        assert impatient_edge >= patient_outcome
+
+    def test_slower_than_tlc_optimal(self):
+        """The point of TLC's minimax design: classical bargaining takes
+        multiple rounds where TLC-optimal takes one."""
+        bargaining = self._run()
+        tlc = NegotiationEngine(
+            PLAN, OptimalStrategy(EDGE), OptimalStrategy(OPERATOR)
+        ).run()
+        assert tlc.rounds == 1
+        assert bargaining.rounds > tlc.rounds
+
+    def test_never_concedes_past_record(self):
+        edge = RubinsteinStrategy(EDGE, delta=0.5)
+        claim = edge.propose(-1, None, 10, last_other_claim=2 * X_E)
+        assert claim <= X_E
+
+    def test_validates_delta(self):
+        with pytest.raises(ValueError):
+            RubinsteinStrategy(EDGE, delta=1.5)

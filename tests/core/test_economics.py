@@ -1,0 +1,82 @@
+"""§8's deployment-incentive market model."""
+
+import pytest
+
+from repro.core.economics import Market, MarketConfig, OperatorModel
+from repro.netsim.rng import StreamRegistry
+
+
+def duopoly(overcharge=1.08, months=24, seed=1):
+    tlc = OperatorModel("operator-A", deploys_tlc=True)
+    legacy = OperatorModel("operator-B", deploys_tlc=False, overcharge_factor=overcharge)
+    market = Market([tlc, legacy], MarketConfig(), StreamRegistry(seed))
+    market.run(months)
+    return market
+
+
+class TestOperatorModel:
+    def test_bill_with_markup(self):
+        operator = OperatorModel("x", deploys_tlc=False, overcharge_factor=1.1)
+        assert operator.bill(10.0) == pytest.approx(110.0)
+
+    def test_tlc_operator_cannot_overcharge(self):
+        """The negotiation bound makes a selfish markup unsustainable."""
+        with pytest.raises(ValueError):
+            OperatorModel("x", deploys_tlc=True, overcharge_factor=1.1)
+
+    def test_rejects_underbilling_factor(self):
+        with pytest.raises(ValueError):
+            OperatorModel("x", deploys_tlc=False, overcharge_factor=0.9)
+
+
+class TestMarketDynamics:
+    def test_overcharger_loses_share(self):
+        """The paper's §8 argument: users churn toward the TLC operator."""
+        market = duopoly()
+        assert market.market_share("operator-A") > 0.6
+        assert market.market_share("operator-B") < 0.4
+
+    def test_honest_duopoly_stays_balanced(self):
+        tlc = OperatorModel("operator-A", deploys_tlc=True)
+        honest = OperatorModel("operator-B", deploys_tlc=False)  # honest legacy
+        market = Market([tlc, honest], MarketConfig(), StreamRegistry(2))
+        market.run(24)
+        # Trusted charging still attracts churners, but mildly.
+        assert 0.5 <= market.market_share("operator-A") <= 0.75
+
+    def test_tlc_revenue_overtakes_eventually(self):
+        """Short-term the over-charger earns more per user; long-term the
+        subscriber drain reverses the ranking."""
+        short = duopoly(months=3)
+        long = duopoly(months=48)
+        assert short.state.revenue["operator-B"] >= short.state.revenue["operator-A"] * 0.9
+        # Cumulative monthly revenue comparison at the end of the horizon:
+        last_month_a = short.operators["operator-A"].bill(15.0) * long.state.shares["operator-A"]
+        last_month_b = long.operators["operator-B"].bill(15.0) * long.state.shares["operator-B"]
+        assert last_month_a > last_month_b
+
+    def test_subscribers_conserved(self):
+        market = duopoly(months=12)
+        assert sum(market.state.shares.values()) == 10_000
+
+    def test_higher_markup_faster_exodus(self):
+        mild = duopoly(overcharge=1.02, months=12, seed=3)
+        harsh = duopoly(overcharge=1.15, months=12, seed=3)
+        assert harsh.market_share("operator-B") < mild.market_share("operator-B")
+
+
+class TestValidation:
+    def test_needs_two_operators(self):
+        with pytest.raises(ValueError):
+            Market([OperatorModel("solo", deploys_tlc=True)])
+
+    def test_unique_names(self):
+        with pytest.raises(ValueError):
+            Market([
+                OperatorModel("x", deploys_tlc=True),
+                OperatorModel("x", deploys_tlc=False),
+            ])
+
+    def test_positive_months(self):
+        with pytest.raises(ValueError):
+            duopoly().run(0)

@@ -1,0 +1,68 @@
+"""GameInstance analytics beyond the theorem property tests."""
+
+import pytest
+
+from repro.core.game import GameInstance
+
+
+class TestWorstCases:
+    def test_edge_worst_case_at_truthful_claim(self):
+        """Claiming x̂_e exposes the edge to paying x̂_e."""
+        game = GameInstance(1000, 900, 0.5)
+        assert game.edge_worst_case(1000) == 1000
+
+    def test_edge_worst_case_at_minimax_claim(self):
+        game = GameInstance(1000, 900, 0.5)
+        assert game.edge_worst_case(900) == 950  # = x̂
+
+    def test_operator_worst_case_at_truthful_claim(self):
+        game = GameInstance(1000, 900, 0.5)
+        assert game.operator_worst_case(900) == 900
+
+    def test_operator_worst_case_at_maximin_claim(self):
+        game = GameInstance(1000, 900, 0.5)
+        assert game.operator_worst_case(1000) == 950  # = x̂
+
+    def test_minimax_claim_minimizes_worst_case(self):
+        game = GameInstance(1000, 900, 0.5)
+        claims = range(900, 1001, 10)
+        best = min(claims, key=game.edge_worst_case)
+        assert game.edge_worst_case(best) == game.edge_worst_case(900)
+
+    def test_maximin_claim_maximizes_worst_case(self):
+        game = GameInstance(1000, 900, 0.5)
+        claims = range(900, 1001, 10)
+        best = max(claims, key=game.operator_worst_case)
+        assert game.operator_worst_case(best) == game.operator_worst_case(1000)
+
+
+class TestEquilibrium:
+    def test_truthful_pair_not_nash_under_selfishness(self):
+        """(x̂_e, x̂_o) is NOT an equilibrium: each side can deviate."""
+        game = GameInstance(1000, 900, 0.5)
+        assert not game.is_pure_nash(1000, 900)
+
+    def test_optimal_pair_is_nash(self):
+        game = GameInstance(1000, 900, 0.5)
+        assert game.is_pure_nash(900, 1000)
+
+    def test_zero_loss_collapses_game(self):
+        """No loss ⇒ no room for selfishness: the game is a single point."""
+        game = GameInstance(500, 500, 0.5)
+        assert game.minimax_value() == game.maximin_value() == 500
+        assert game.is_pure_nash(500, 500)
+
+
+class TestValidation:
+    def test_rejects_inverted_truth(self):
+        with pytest.raises(ValueError):
+            GameInstance(900, 1000, 0.5)
+
+    def test_rejects_bad_c(self):
+        with pytest.raises(ValueError):
+            GameInstance(1000, 900, 1.5)
+
+    def test_grid_includes_both_endpoints(self):
+        game = GameInstance(1000, 900, 0.5)
+        grid = game._feasible_grid(8)
+        assert grid[0] == 900 and grid[-1] == 1000

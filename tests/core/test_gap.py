@@ -1,0 +1,92 @@
+"""Gap metrics and the legacy baseline."""
+
+import pytest
+
+from repro.core.gap import (
+    SchemeOutcome,
+    absolute_gap,
+    expected_charge,
+    gap_ratio,
+    legacy_charge,
+    reduction_ratio,
+)
+from repro.core.plan import ChargingCycle, DataPlan
+from repro.core.records import CycleUsage
+from repro.netsim.packet import Direction
+
+
+def usage(direction=Direction.UPLINK, sent=1000, received=900, gateway=None):
+    gw = gateway if gateway is not None else (received if direction is Direction.UPLINK else sent)
+    return CycleUsage(
+        cycle=ChargingCycle(0.0, 3600.0),
+        direction=direction,
+        flow_id="f",
+        true_sent=sent,
+        true_received=received,
+        gateway_count=gw,
+        edge_sent_record=sent,
+        edge_received_estimate=received,
+        operator_received_record=received,
+        operator_sent_estimate=sent,
+    )
+
+
+class TestMetrics:
+    def test_absolute_gap(self):
+        assert absolute_gap(950, 900) == 50
+        assert absolute_gap(900, 950) == 50
+
+    def test_gap_ratio(self):
+        assert gap_ratio(950, 1000) == pytest.approx(0.05)
+
+    def test_gap_ratio_idle_cycle(self):
+        assert gap_ratio(0, 0) == 0.0
+        assert gap_ratio(5, 0) == float("inf")
+
+    def test_reduction_ratio(self):
+        assert reduction_ratio(1000, 800) == pytest.approx(0.2)
+        assert reduction_ratio(0, 0) == 0.0
+
+    def test_reduction_negative_when_tlc_charges_more(self):
+        """Uplink with c > 0: TLC charges lost data legacy never saw."""
+        assert reduction_ratio(900, 950) < 0
+
+
+class TestLegacyBaseline:
+    def test_uplink_legacy_charges_received(self):
+        """Gateway sits after UL loss: legacy bill = received volume."""
+        u = usage(Direction.UPLINK)
+        assert legacy_charge(u) == 900
+
+    def test_downlink_legacy_charges_sent(self):
+        """Gateway sits before DL loss: legacy bill = sent volume."""
+        u = usage(Direction.DOWNLINK)
+        assert legacy_charge(u) == 1000
+
+    def test_uplink_legacy_gap_is_c_times_loss(self):
+        u = usage(Direction.UPLINK)
+        plan = DataPlan(c=0.5)
+        gap = absolute_gap(legacy_charge(u), expected_charge(u, plan))
+        assert gap == pytest.approx(0.5 * u.loss_bytes)
+
+    def test_downlink_legacy_gap_is_one_minus_c_times_loss(self):
+        u = usage(Direction.DOWNLINK)
+        plan = DataPlan(c=0.25)
+        gap = absolute_gap(legacy_charge(u), expected_charge(u, plan))
+        assert gap == pytest.approx(0.75 * u.loss_bytes)
+
+    def test_downlink_c1_legacy_is_exact(self):
+        """Figure 15: at c = 1 honest legacy equals TLC on downlink."""
+        u = usage(Direction.DOWNLINK)
+        assert absolute_gap(legacy_charge(u), expected_charge(u, DataPlan(c=1.0))) == 0
+
+
+class TestSchemeOutcome:
+    def test_delta_and_epsilon(self):
+        outcome = SchemeOutcome("legacy", charged=950, expected=1000.0)
+        assert outcome.delta == 50
+        assert outcome.epsilon == pytest.approx(0.05)
+
+    def test_exact_charge_zero_gap(self):
+        outcome = SchemeOutcome("tlc", charged=1000, expected=1000.0)
+        assert outcome.delta == 0.0 and outcome.epsilon == 0.0

@@ -1,0 +1,51 @@
+"""Appendix D: generic (Internet-server) downlink charging bound."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.generic import GenericDownlinkInstance
+from repro.core.plan import DataPlan
+
+
+class TestInstance:
+    def test_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            GenericDownlinkInstance(internet_sent=900, core_received=1000, device_received=800)
+        with pytest.raises(ValueError):
+            GenericDownlinkInstance(internet_sent=1000, core_received=900, device_received=950)
+
+    def test_internet_loss(self):
+        inst = GenericDownlinkInstance(1000, 950, 900)
+        assert inst.internet_loss == 50
+
+
+class TestOverchargeBound:
+    def test_overcharge_equals_c_times_internet_loss(self):
+        """The Appendix D identity: x̂' − x̂ = c·(x̂'_e − x̂_e)."""
+        inst = GenericDownlinkInstance(1000, 950, 900)
+        plan = DataPlan(c=0.4)
+        assert inst.overcharge(plan) == pytest.approx(0.4 * 50)
+        assert inst.overcharge(plan) == pytest.approx(inst.overcharge_bound(plan))
+
+    def test_no_internet_loss_no_overcharge(self):
+        """Edge co-location (the paper's testbed): the bound is 0."""
+        inst = GenericDownlinkInstance(1000, 1000, 900)
+        assert inst.overcharge(DataPlan(c=0.7)) == 0.0
+
+    def test_c_zero_immune_to_internet_loss(self):
+        inst = GenericDownlinkInstance(1000, 500, 400)
+        assert inst.overcharge(DataPlan(c=0.0)) == 0.0
+
+    @given(
+        st.integers(min_value=0, max_value=10**9),
+        st.integers(min_value=0, max_value=10**9),
+        st.integers(min_value=0, max_value=10**9),
+        st.floats(min_value=0, max_value=1, allow_nan=False),
+    )
+    def test_bound_holds_for_arbitrary_instances(self, a, b, c_vol, c):
+        sent, core, device = sorted((a, b, c_vol), reverse=True)
+        inst = GenericDownlinkInstance(sent, core, device)
+        plan = DataPlan(c=c) if c > 0 else DataPlan(c=0.0)
+        assert inst.overcharge(plan) <= inst.overcharge_bound(plan) + 1e-6
+        assert inst.overcharge(plan) >= -1e-6  # never under-charges vs ideal

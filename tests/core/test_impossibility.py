@@ -1,0 +1,101 @@
+"""Theorem 1 demonstrated: pick two of {consistency, availability, loss}."""
+
+import pytest
+
+from repro.core.impossibility import AvailableCounterPair, ConsistentCounterPair
+from repro.netsim.events import EventLoop
+
+
+class TestConsistentDesign:
+    def test_lossless_run_is_consistent_and_available(self):
+        loop = EventLoop()
+        pair = ConsistentCounterPair(loop)
+        for _ in range(10):
+            pair.transfer(100)
+        loop.run()
+        outcome = pair.query()
+        assert outcome.answered and outcome.consistent
+        assert outcome.value == 1000
+
+    def test_query_suspended_while_update_in_flight(self):
+        loop = EventLoop()
+        pair = ConsistentCounterPair(loop)
+        pair.transfer(100)
+        assert not pair.query().answered  # ack not yet back
+
+    def test_partition_stalls_queries_indefinitely(self):
+        """Appendix A's worst case: a dead-zone device. The CP design's
+        query never returns — availability is forfeited."""
+        loop = EventLoop()
+        pair = ConsistentCounterPair(loop)
+        pair.partition(True)
+        pair.transfer(100)
+        loop.run_until(10_000.0)  # wait as long as you like
+        assert not pair.query().answered
+
+    def test_synchronization_delays_data(self):
+        """The loss-latency trade-off: counting waits a full round trip."""
+        loop = EventLoop()
+        pair = ConsistentCounterPair(loop, latency_s=0.05)
+        pair.transfer(100)
+        loop.run()
+        assert pair.data_delay_total == pytest.approx(0.10, abs=0.001)
+
+    def test_never_answers_inconsistently(self):
+        loop = EventLoop()
+        pair = ConsistentCounterPair(loop)
+        pair.partition(True)
+        for _ in range(5):
+            pair.transfer(100)
+        loop.run_until(100.0)
+        outcome = pair.query()
+        assert not outcome.answered  # blocked, but never wrong
+
+
+class TestAvailableDesign:
+    def test_always_answers(self):
+        loop = EventLoop()
+        pair = AvailableCounterPair(loop)
+        pair.partition(True)
+        pair.transfer(100)
+        assert pair.query().answered
+
+    def test_loss_creates_divergence(self):
+        """The 4G/5G reality: queries return, counters disagree — the
+        charging gap equals exactly the lost bytes."""
+        loop = EventLoop()
+        pair = AvailableCounterPair(loop)
+        pair.transfer(100)
+        loop.run()
+        pair.partition(True)
+        for _ in range(3):
+            pair.transfer(100)
+        loop.run_until(10.0)
+        outcome = pair.query()
+        assert outcome.answered and not outcome.consistent
+        assert pair.divergence == 300
+
+    def test_no_loss_no_divergence(self):
+        loop = EventLoop()
+        pair = AvailableCounterPair(loop)
+        for _ in range(10):
+            pair.transfer(50)
+        loop.run()
+        assert pair.divergence == 0
+        assert pair.query().consistent
+
+
+class TestTheoremOne:
+    def test_no_design_gets_both_under_loss(self):
+        """The theorem's statement over the two archetypes: under a
+        partition, CP loses availability, AP loses consistency."""
+        loop = EventLoop()
+        cp = ConsistentCounterPair(loop)
+        ap = AvailableCounterPair(loop)
+        for pair in (cp, ap):
+            pair.partition(True)
+            pair.transfer(100)
+        loop.run_until(1000.0)
+        cp_outcome, ap_outcome = cp.query(), ap.query()
+        assert not cp_outcome.answered  # consistent but unavailable
+        assert ap_outcome.answered and not ap_outcome.consistent

@@ -1,0 +1,71 @@
+"""Mixed strategies buy nothing: LP confirmation of Theorem 3."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.game import GameInstance
+from repro.core.mixed import solve_mixed
+
+instances = st.tuples(
+    st.integers(min_value=0, max_value=10**7),
+    st.integers(min_value=0, max_value=10**7),
+    st.floats(min_value=0.01, max_value=0.99, allow_nan=False),
+).map(lambda t: (max(t[0], t[1]), min(t[0], t[1]), t[2]))
+
+
+class TestKnownInstance:
+    def test_game_value_equals_expected_charge(self):
+        game = GameInstance(1000, 900, 0.5)
+        solution = solve_mixed(game)
+        assert solution.value == pytest.approx(game.expected, rel=1e-6)
+
+    def test_edge_mixture_concentrates_on_received(self):
+        game = GameInstance(1000, 900, 0.5)
+        solution = solve_mixed(game)
+        assert solution.claims[np.argmax(solution.edge_strategy)] == 900
+        assert solution.edge_strategy.max() > 0.99
+
+    def test_operator_mixture_concentrates_on_sent(self):
+        game = GameInstance(1000, 900, 0.5)
+        solution = solve_mixed(game)
+        assert solution.claims[np.argmax(solution.operator_strategy)] == 1000
+        assert solution.operator_strategy.max() > 0.99
+
+    def test_degenerate_no_loss_game(self):
+        game = GameInstance(500, 500, 0.7)
+        solution = solve_mixed(game)
+        assert solution.value == pytest.approx(500.0)
+        assert len(solution.claims) == 1
+
+    def test_strategies_are_distributions(self):
+        solution = solve_mixed(GameInstance(10_000, 9_000, 0.3))
+        for mixture in (solution.edge_strategy, solution.operator_strategy):
+            assert mixture.sum() == pytest.approx(1.0)
+            assert (mixture >= 0).all()
+
+
+class TestProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(instances)
+    def test_lp_value_matches_analytic_saddle_point(self, instance):
+        """Randomization never beats TLC's deterministic claims."""
+        x_hat_e, x_hat_o, c = instance
+        game = GameInstance(x_hat_e, x_hat_o, c)
+        solution = solve_mixed(game)
+        # Grid rounding bounds the discretization error.
+        span = max(1, x_hat_e - x_hat_o)
+        tolerance = max(1.0, span / 16)
+        assert abs(solution.value - game.expected) <= tolerance
+
+    @settings(max_examples=20, deadline=None)
+    @given(instances)
+    def test_pure_claims_dominate_their_mixtures(self, instance):
+        x_hat_e, x_hat_o, c = instance
+        game = GameInstance(x_hat_e, x_hat_o, c)
+        solution = solve_mixed(game)
+        # The pure minimax claims achieve (at least) the LP value.
+        pure = game.charge(game.edge_minimax_claim(), game.operator_maximin_claim())
+        span = max(1, x_hat_e - x_hat_o)
+        assert abs(pure - solution.value) <= max(1.0, span / 16)

@@ -1,0 +1,148 @@
+"""Algorithm 1 engine mechanics."""
+
+import random
+
+import pytest
+
+from repro.core.negotiation import NegotiationEngine
+from repro.core.plan import DataPlan
+from repro.core.strategies import (
+    BoundViolatingStrategy,
+    HonestStrategy,
+    OptimalStrategy,
+    PartyKnowledge,
+    PartyRole,
+    RandomSelfishStrategy,
+    StubbornStrategy,
+)
+
+X_HAT_E, X_HAT_O = 1_000_000, 930_000
+
+
+def edge_knowledge(sent=X_HAT_E, recv_est=X_HAT_O):
+    return PartyKnowledge(PartyRole.EDGE, sent, recv_est)
+
+
+def operator_knowledge(recv=X_HAT_O, sent_est=X_HAT_E):
+    return PartyKnowledge(PartyRole.OPERATOR, recv, sent_est)
+
+
+def run(edge, operator, c=0.5, **kw):
+    return NegotiationEngine(DataPlan(c=c), edge, operator, **kw).run()
+
+
+class TestHonestPlay:
+    def test_one_round_exact_charge(self):
+        result = run(HonestStrategy(edge_knowledge()), HonestStrategy(operator_knowledge()))
+        assert result.rounds == 1
+        assert result.converged and not result.forced
+        assert result.volume == 965_000
+
+    def test_final_claims_are_truthful(self):
+        result = run(HonestStrategy(edge_knowledge()), HonestStrategy(operator_knowledge()))
+        assert result.final_claims == (X_HAT_E, X_HAT_O)
+
+    def test_zero_traffic_cycle(self):
+        result = run(
+            HonestStrategy(PartyKnowledge(PartyRole.EDGE, 0, 0)),
+            HonestStrategy(PartyKnowledge(PartyRole.OPERATOR, 0, 0)),
+        )
+        assert result.volume == 0
+
+
+class TestOptimalPlay:
+    def test_one_round_reaches_expected(self):
+        """Theorem 4: rational play stops with x = x̂ in 1 round."""
+        result = run(OptimalStrategy(edge_knowledge()), OptimalStrategy(operator_knowledge()))
+        assert result.rounds == 1
+        assert result.volume == 965_000
+
+    def test_claim_flip_is_recorded(self):
+        """Optimal claims flip the order: x_e = x̂_o < x_o = x̂_e."""
+        result = run(OptimalStrategy(edge_knowledge()), OptimalStrategy(operator_knowledge()))
+        assert result.final_claims == (X_HAT_O, X_HAT_E)
+
+    @pytest.mark.parametrize("c", [0.0, 0.25, 0.5, 0.75, 1.0])
+    def test_expected_charge_across_plans(self, c):
+        result = run(
+            OptimalStrategy(edge_knowledge()), OptimalStrategy(operator_knowledge()), c=c
+        )
+        expected = X_HAT_O + c * (X_HAT_E - X_HAT_O)
+        assert result.volume == pytest.approx(expected, abs=1)
+
+
+class TestMixedPlay:
+    def test_honest_edge_vs_optimal_operator_bounded(self):
+        """One honest, one rational: x ≠ x̂ possible but Thm 2 bound holds."""
+        result = run(HonestStrategy(edge_knowledge()), OptimalStrategy(operator_knowledge()))
+        assert X_HAT_O <= result.volume <= X_HAT_E
+
+    def test_optimal_edge_vs_honest_operator_bounded(self):
+        result = run(OptimalStrategy(edge_knowledge()), HonestStrategy(operator_knowledge()))
+        assert X_HAT_O <= result.volume <= X_HAT_E
+
+    def test_honest_vs_optimal_favors_the_rational_party(self):
+        """The rational operator extracts more than x̂ from an honest edge."""
+        honest_vs_optimal = run(
+            HonestStrategy(edge_knowledge()), OptimalStrategy(operator_knowledge())
+        )
+        assert honest_vs_optimal.volume >= 965_000
+
+
+class TestMisbehaviour:
+    def test_bound_violation_detected_and_rejected(self):
+        """A claim outside (x_L, x_U) is auto-rejected by the peer."""
+        edge = HonestStrategy(edge_knowledge())
+        operator = BoundViolatingStrategy(operator_knowledge(), fixed_claim=10**12)
+        result = run(edge, operator, max_rounds=8)
+        record = result.transcript[1]
+        assert not record.operator_claim_in_bounds
+        assert not record.edge_accepts
+
+    def test_stubborn_operator_gets_no_agreement(self):
+        """An absurd stubborn claim never converges: the honest edge keeps
+        rejecting, so there is no PoC and the operator cannot be paid —
+        exactly the paper's argument for why misbehaviour doesn't pay."""
+        edge = HonestStrategy(edge_knowledge())
+        operator = StubbornStrategy(operator_knowledge(), fixed_claim=5_000_000)
+        result = run(edge, operator, max_rounds=16)
+        assert not result.converged
+        last = result.transcript[-1]
+        assert not last.edge_accepts  # the edge never signed off
+
+    def test_max_rounds_safety_valve(self):
+        edge = StubbornStrategy(edge_knowledge(), fixed_claim=1)
+        operator = StubbornStrategy(operator_knowledge(), fixed_claim=10**9)
+        result = run(edge, operator, max_rounds=5)
+        assert result.rounds == 5
+        assert not result.converged
+
+    def test_rejects_bad_max_rounds(self):
+        with pytest.raises(ValueError):
+            NegotiationEngine(
+                DataPlan(), HonestStrategy(edge_knowledge()),
+                HonestStrategy(operator_knowledge()), max_rounds=0,
+            )
+
+
+class TestTranscript:
+    def test_transcript_records_every_round(self):
+        rng = random.Random(5)
+        result = run(
+            RandomSelfishStrategy(edge_knowledge(), rng),
+            RandomSelfishStrategy(operator_knowledge(), rng),
+        )
+        assert len(result.transcript) == result.rounds
+        for i, record in enumerate(result.transcript):
+            assert record.round_index == i
+
+    def test_bounds_nest_monotonically(self):
+        rng = random.Random(6)
+        result = run(
+            RandomSelfishStrategy(edge_knowledge(), rng),
+            RandomSelfishStrategy(operator_knowledge(), rng),
+        )
+        lowers = [r.x_lower for r in result.transcript]
+        assert lowers == sorted(lowers)
+        uppers = [r.x_upper for r in result.transcript if r.x_upper is not None]
+        assert uppers == sorted(uppers, reverse=True)

@@ -1,0 +1,94 @@
+"""DataPlan and the Equation-1 charging formula."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.plan import ChargingCycle, DataPlan
+
+
+class TestChargingCycle:
+    def test_duration(self):
+        assert ChargingCycle(0.0, 3600.0).duration == 3600.0
+
+    def test_rejects_empty_cycle(self):
+        with pytest.raises(ValueError):
+            ChargingCycle(10.0, 10.0)
+
+    def test_half_open_membership(self):
+        cycle = ChargingCycle(0.0, 10.0)
+        assert not cycle.contains(0.0)
+        assert cycle.contains(10.0)
+        assert cycle.contains(5.0)
+        assert not cycle.contains(10.1)
+
+
+class TestChargeFormula:
+    def test_c_zero_charges_received(self):
+        assert DataPlan(c=0.0).charge(1000, 900) == 900
+
+    def test_c_one_charges_sent(self):
+        assert DataPlan(c=1.0).charge(1000, 900) == 1000
+
+    def test_c_half_splits_loss(self):
+        assert DataPlan(c=0.5).charge(1000, 900) == 950
+
+    def test_symmetric_in_flipped_claims(self):
+        """Line 8's two branches agree: charge(a,b) == charge(b,a)."""
+        plan = DataPlan(c=0.3)
+        assert plan.charge(900, 1000) == plan.charge(1000, 900)
+
+    def test_rejects_negative_claims(self):
+        with pytest.raises(ValueError):
+            DataPlan().charge(-1, 0)
+
+    @given(
+        st.integers(min_value=0, max_value=10**9),
+        st.integers(min_value=0, max_value=10**9),
+        st.floats(min_value=0, max_value=1, allow_nan=False),
+    )
+    def test_charge_between_min_and_max_claim(self, a, b, c):
+        """The charge always lies between the two claims."""
+        x = DataPlan(c=c).charge(a, b)
+        assert min(a, b) - 1e-6 <= x <= max(a, b) + 1e-6
+
+    @given(
+        st.integers(min_value=0, max_value=10**9),
+        st.floats(min_value=0, max_value=1, allow_nan=False),
+    )
+    def test_equal_claims_charge_exactly(self, v, c):
+        assert DataPlan(c=c).charge(v, v) == v
+
+
+class TestExpectedCharge:
+    def test_matches_equation_1(self):
+        plan = DataPlan(c=0.25)
+        assert plan.expected_charge(1000, 800) == 800 + 0.25 * 200
+
+    def test_requires_received_le_sent(self):
+        with pytest.raises(ValueError):
+            DataPlan().expected_charge(800, 1000)
+
+
+class TestValidationAndCycles:
+    @pytest.mark.parametrize("c", [-0.1, 1.1])
+    def test_c_out_of_range(self, c):
+        with pytest.raises(ValueError):
+            DataPlan(c=c)
+
+    def test_rejects_non_positive_cycle(self):
+        with pytest.raises(ValueError):
+            DataPlan(cycle_duration_s=0)
+
+    def test_cycles_are_consecutive(self):
+        cycles = DataPlan(cycle_duration_s=60.0).cycles(3)
+        assert [(c.t_start, c.t_end) for c in cycles] == [
+            (0.0, 60.0),
+            (60.0, 120.0),
+            (120.0, 180.0),
+        ]
+
+    def test_cycles_with_offset(self):
+        cycles = DataPlan(cycle_duration_s=10.0).cycles(2, t_start=5.0)
+        assert cycles[0].t_start == 5.0
+        assert cycles[1].t_end == 25.0

@@ -1,0 +1,103 @@
+"""Quota-triggered charging cycles."""
+
+import pytest
+
+from repro.core.quota import QuotaWatcher
+from repro.netsim.counters import CumulativeCounter
+from repro.netsim.events import EventLoop
+
+
+def build(quota=10_000, max_cycle=100.0, poll=1.0):
+    loop = EventLoop()
+    counter = CumulativeCounter()
+    watcher = QuotaWatcher(loop, counter, quota, max_cycle, poll)
+    return loop, counter, watcher
+
+
+def feed(loop, counter, rate_bytes_per_s, duration, start=0.0):
+    for t in range(int(duration)):
+        loop.schedule_at(start + t + 0.5, counter.add, start + t + 0.5, rate_bytes_per_s)
+
+
+class TestQuotaTrigger:
+    def test_quota_closes_cycle_early(self):
+        loop, counter, watcher = build(quota=5_000, max_cycle=100.0)
+        watcher.start()
+        feed(loop, counter, 1_000, 60)
+        loop.run_until(60.0)
+        assert watcher.triggers, "quota should have fired"
+        first = watcher.triggers[0]
+        assert first.by_quota
+        assert first.charged_bytes >= 5_000
+        assert first.cycle.duration < 100.0
+
+    def test_wall_clock_closes_idle_cycle(self):
+        loop, counter, watcher = build(quota=10**9, max_cycle=10.0)
+        watcher.start()
+        loop.run_until(25.0)
+        assert len(watcher.triggers) == 2
+        assert not watcher.triggers[0].by_quota
+        assert watcher.triggers[0].cycle.duration == pytest.approx(10.0, abs=1.1)
+
+    def test_tranches_partition_usage(self):
+        """Consecutive quota cycles cover the counter without overlap."""
+        loop, counter, watcher = build(quota=5_000, max_cycle=1000.0)
+        watcher.start()
+        feed(loop, counter, 1_000, 30)
+        loop.run_until(31.0)
+        total_in_cycles = sum(t.charged_bytes for t in watcher.triggers)
+        total_in_cycles += watcher.current_usage
+        assert total_in_cycles == counter.total
+
+    def test_cycles_are_consecutive(self):
+        loop, counter, watcher = build(quota=3_000, max_cycle=1000.0)
+        watcher.start()
+        feed(loop, counter, 1_000, 20)
+        loop.run_until(21.0)
+        for previous, current in zip(watcher.triggers, watcher.triggers[1:]):
+            assert current.cycle.t_start == previous.cycle.t_end
+
+    def test_stop_halts_watching(self):
+        loop, counter, watcher = build(quota=1_000, max_cycle=1000.0)
+        watcher.start()
+        feed(loop, counter, 1_000, 5)
+        loop.schedule_at(2.6, watcher.stop)
+        loop.run_until(10.0)
+        assert len(watcher.triggers) <= 2
+
+    def test_double_start_rejected(self):
+        _, _, watcher = build()
+        watcher.start()
+        with pytest.raises(RuntimeError):
+            watcher.start()
+
+    def test_validation(self):
+        loop = EventLoop()
+        with pytest.raises(ValueError):
+            QuotaWatcher(loop, CumulativeCounter(), 0, 10.0)
+        with pytest.raises(ValueError):
+            QuotaWatcher(loop, CumulativeCounter(), 100, 0.0)
+
+
+class TestIntegrationWithGateway:
+    def test_quota_cycle_on_real_bearer(self):
+        """Watch the SPGW's bearer counter on the live network."""
+        from repro.cellular import CellularNetwork, RadioProfile, make_test_imsi
+        from repro.netsim import Direction, Packet, StreamRegistry
+
+        loop = EventLoop()
+        net = CellularNetwork(loop, StreamRegistry(1))
+        imsi = make_test_imsi(1)
+        access = net.attach_device(imsi, RadioProfile())
+        net.create_bearer(imsi, "app")
+        bearer = net.bearers.by_flow("app")
+        watcher = QuotaWatcher(loop, bearer.downlink, quota_bytes=50_000, max_cycle_s=1000.0)
+        watcher.start()
+        for i in range(100):
+            loop.schedule_at(i * 0.1, net.send_downlink, Packet(
+                size=1000, flow_id="app", direction=Direction.DOWNLINK,
+            ))
+        loop.run_until(15.0)
+        assert watcher.triggers
+        assert watcher.triggers[0].by_quota
+        assert watcher.triggers[0].charged_bytes >= 50_000

@@ -1,0 +1,59 @@
+"""CycleUsage invariants."""
+
+import pytest
+
+from repro.core.plan import ChargingCycle
+from repro.core.records import CycleUsage
+from repro.netsim.packet import Direction
+
+
+def usage(sent=1000, received=900, **kw):
+    defaults = dict(
+        cycle=ChargingCycle(0.0, 3600.0),
+        direction=Direction.UPLINK,
+        flow_id="f",
+        true_sent=sent,
+        true_received=received,
+        gateway_count=received,
+        edge_sent_record=sent,
+        edge_received_estimate=received,
+        operator_received_record=received,
+        operator_sent_estimate=sent,
+    )
+    defaults.update(kw)
+    return CycleUsage(**defaults)
+
+
+class TestInvariants:
+    def test_loss_bytes(self):
+        assert usage().loss_bytes == 100
+
+    def test_loss_fraction(self):
+        assert usage().loss_fraction == pytest.approx(0.1)
+
+    def test_idle_cycle_loss_fraction_zero(self):
+        assert usage(sent=0, received=0, gateway_count=0,
+                     edge_sent_record=0, edge_received_estimate=0,
+                     operator_received_record=0, operator_sent_estimate=0).loss_fraction == 0.0
+
+    def test_ground_truth_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            usage(sent=900, received=1000)
+
+    def test_negative_fields_rejected(self):
+        with pytest.raises(ValueError):
+            usage(gateway_count=-1)
+
+    def test_measured_records_may_disagree_with_truth(self):
+        """Records carry measurement error; only the truth is ordered."""
+        u = usage(edge_sent_record=980, operator_received_record=930)
+        assert u.edge_sent_record != u.true_sent
+
+
+class TestScaling:
+    def test_hour_cycle_is_identity_in_mb(self):
+        assert usage().scaled_to_hour(5_000_000) == pytest.approx(5.0)
+
+    def test_minute_cycle_scales_60x(self):
+        u = usage(cycle=ChargingCycle(0.0, 60.0))
+        assert u.scaled_to_hour(1_000_000) == pytest.approx(60.0)

@@ -1,0 +1,136 @@
+"""Negotiation strategies: claims, cross-checks and misbehaviour."""
+
+import random
+
+import pytest
+
+from repro.core.strategies import (
+    BoundViolatingStrategy,
+    HonestStrategy,
+    OptimalStrategy,
+    PartyKnowledge,
+    PartyRole,
+    RandomSelfishStrategy,
+    StubbornStrategy,
+    clamp_to_bounds,
+)
+
+EDGE = PartyKnowledge(PartyRole.EDGE, own_record=1000, other_estimate=900)
+OPERATOR = PartyKnowledge(PartyRole.OPERATOR, own_record=900, other_estimate=1000)
+
+
+class TestClampToBounds:
+    def test_inside_interval_unchanged(self):
+        assert clamp_to_bounds(50, 0, 100) == 50
+
+    def test_clamps_to_interior(self):
+        assert clamp_to_bounds(0, 10, 100) == 11
+        assert clamp_to_bounds(200, 10, 100) == 99
+
+    def test_unbounded_above(self):
+        assert clamp_to_bounds(10**12, 0, None) == 10**12
+
+    def test_degenerate_interval_uses_nearest(self):
+        assert clamp_to_bounds(5, 10, 11) == 11
+
+
+class TestCrossCheck:
+    def test_operator_rejects_below_record(self):
+        strategy = HonestStrategy(OPERATOR)
+        assert not strategy.decide(other_claim=899, own_claim=900)
+        assert strategy.decide(other_claim=900, own_claim=900)
+
+    def test_edge_rejects_above_record(self):
+        strategy = HonestStrategy(EDGE)
+        assert not strategy.decide(other_claim=1001, own_claim=1000)
+        assert strategy.decide(other_claim=1000, own_claim=1000)
+
+    def test_tolerance_relaxes_operator_floor(self):
+        strategy = HonestStrategy(OPERATOR, accept_tolerance=0.05)
+        assert strategy.decide(other_claim=860, own_claim=900)
+        assert not strategy.decide(other_claim=850, own_claim=900)
+
+    def test_tolerance_relaxes_edge_ceiling(self):
+        strategy = HonestStrategy(EDGE, accept_tolerance=0.05)
+        assert strategy.decide(other_claim=1049, own_claim=1000)
+        assert not strategy.decide(other_claim=1051, own_claim=1000)
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            HonestStrategy(EDGE, accept_tolerance=-0.1)
+
+
+class TestHonest:
+    def test_claims_truthful_record(self):
+        assert HonestStrategy(EDGE).propose(0, None, 0, None) == 1000
+        assert HonestStrategy(OPERATOR).propose(0, None, 0, None) == 900
+
+
+class TestOptimal:
+    def test_edge_claims_received_estimate(self):
+        """The minimax claim: x_e = x̂_o (Appendix C)."""
+        assert OptimalStrategy(EDGE).propose(0, None, 0, None) == 900
+
+    def test_operator_claims_sent_estimate(self):
+        """The maximin claim: x_o = x̂_e."""
+        assert OptimalStrategy(OPERATOR).propose(0, None, 0, None) == 1000
+
+    def test_later_rounds_walk_toward_peer(self):
+        strategy = OptimalStrategy(EDGE)
+        first = strategy.propose(0, None, 0, None)
+        second = strategy.propose(0, None, 1, last_other_claim=1100)
+        assert first < second <= 1100
+
+    def test_claims_respect_bounds(self):
+        assert 500 < OptimalStrategy(EDGE).propose(500, 600, 0, None) < 600
+
+
+class TestRandomSelfish:
+    def test_edge_never_overclaims_record(self):
+        rng = random.Random(1)
+        strategy = RandomSelfishStrategy(EDGE, rng)
+        for _ in range(50):
+            assert strategy.propose(0, None, 0, None) <= 1000
+
+    def test_operator_never_underclaims_record(self):
+        rng = random.Random(2)
+        strategy = RandomSelfishStrategy(OPERATOR, rng)
+        for _ in range(50):
+            assert strategy.propose(0, None, 0, None) >= 900
+
+    def test_claims_vary_between_rounds(self):
+        rng = random.Random(3)
+        strategy = RandomSelfishStrategy(EDGE, rng)
+        claims = {strategy.propose(0, None, i, None) for i in range(20)}
+        assert len(claims) > 1
+
+    def test_spread_bounds_draws(self):
+        rng = random.Random(4)
+        strategy = RandomSelfishStrategy(EDGE, rng, spread=0.1)
+        for _ in range(50):
+            assert strategy.propose(0, None, 0, None) >= 900  # (1-0.1)*1000
+
+    def test_invalid_spread_rejected(self):
+        with pytest.raises(ValueError):
+            RandomSelfishStrategy(EDGE, random.Random(0), spread=0.0)
+
+
+class TestMisbehaviour:
+    def test_stubborn_repeats_fixed_claim(self):
+        strategy = StubbornStrategy(OPERATOR, fixed_claim=5000)
+        assert strategy.propose(0, None, 0, None) == 5000
+
+    def test_stubborn_rejects_everything_else(self):
+        strategy = StubbornStrategy(OPERATOR, fixed_claim=5000)
+        assert not strategy.decide(other_claim=4999, own_claim=5000)
+        assert strategy.decide(other_claim=5000, own_claim=5000)
+
+    def test_bound_violator_ignores_bounds(self):
+        strategy = BoundViolatingStrategy(OPERATOR, fixed_claim=10**9)
+        assert strategy.propose(100, 200, 0, None) == 10**9
+
+
+class TestKnowledgeValidation:
+    def test_negative_record_rejected(self):
+        with pytest.raises(ValueError):
+            PartyKnowledge(PartyRole.EDGE, -1, 0)

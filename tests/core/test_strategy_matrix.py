@@ -1,0 +1,88 @@
+"""Property: *any* pairing of implemented strategies stays safe.
+
+Whatever mix of honesty, rationality, random selfishness and classical
+bargaining the two parties bring, a converged negotiation must respect
+Theorem 2's bound (within the engine's integer slack and each party's
+acceptance tolerance), and a non-converged one yields no enforceable
+charge.  This is the compositional safety claim behind deploying TLC
+against counterparts of unknown sophistication.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bargaining import RubinsteinStrategy
+from repro.core.negotiation import NegotiationEngine
+from repro.core.plan import DataPlan
+from repro.core.strategies import (
+    HonestStrategy,
+    OptimalStrategy,
+    PartyKnowledge,
+    PartyRole,
+    RandomSelfishStrategy,
+)
+
+STRATEGY_KINDS = ("honest", "optimal", "random", "rubinstein")
+
+
+def make_strategy(kind, knowledge, rng):
+    if kind == "honest":
+        return HonestStrategy(knowledge)
+    if kind == "optimal":
+        return OptimalStrategy(knowledge)
+    if kind == "random":
+        return RandomSelfishStrategy(knowledge, rng)
+    return RubinsteinStrategy(knowledge, delta=0.8)
+
+
+instances = st.tuples(
+    st.integers(min_value=0, max_value=10**9),
+    st.integers(min_value=0, max_value=10**9),
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+).map(lambda t: (max(t[0], t[1]), min(t[0], t[1]), t[2]))
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    instances,
+    st.sampled_from(STRATEGY_KINDS),
+    st.sampled_from(STRATEGY_KINDS),
+    st.integers(min_value=0, max_value=2**31),
+)
+def test_any_pairing_is_safe(instance, edge_kind, operator_kind, seed):
+    x_hat_e, x_hat_o, c = instance
+    rng = random.Random(seed)
+    edge = make_strategy(edge_kind, PartyKnowledge(PartyRole.EDGE, x_hat_e, x_hat_o), rng)
+    operator = make_strategy(
+        operator_kind, PartyKnowledge(PartyRole.OPERATOR, x_hat_o, x_hat_e), rng
+    )
+    result = NegotiationEngine(DataPlan(c=c), edge, operator).run()
+    if not result.converged:
+        return  # no PoC — no enforceable charge, nothing to bound
+    # Tolerance-aware Theorem-2 bound with the integer round drift.
+    tolerance = max(getattr(edge, "accept_tolerance", 0.0),
+                    getattr(operator, "accept_tolerance", 0.0))
+    slack = result.rounds + 2
+    lower = x_hat_o * (1.0 - tolerance) - slack
+    upper = x_hat_e * (1.0 + tolerance) + slack
+    assert lower <= result.volume <= upper, (
+        f"{edge_kind} vs {operator_kind}: {result.volume} outside "
+        f"[{lower}, {upper}] for truth ({x_hat_e}, {x_hat_o}), c={c}"
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(instances, st.integers(min_value=0, max_value=2**31))
+def test_rational_vs_anyone_never_below_truthful_floor(instance, seed):
+    """A rational operator never converges below its record, no matter
+    how aggressive the edge's (honest-record-based) play is."""
+    x_hat_e, x_hat_o, c = instance
+    rng = random.Random(seed)
+    for kind in STRATEGY_KINDS:
+        edge = make_strategy(kind, PartyKnowledge(PartyRole.EDGE, x_hat_e, x_hat_o), rng)
+        operator = OptimalStrategy(PartyKnowledge(PartyRole.OPERATOR, x_hat_o, x_hat_e))
+        result = NegotiationEngine(DataPlan(c=c), edge, operator).run()
+        if result.converged:
+            assert result.volume >= x_hat_o - (result.rounds + 2)

@@ -1,0 +1,128 @@
+"""Property-based verification of the paper's theorems (Appendix B/C).
+
+Hypothesis generates arbitrary game instances (ground truths and plan
+weights) and checks:
+
+* Theorem 2 (bounded charging): rational/honest play stops inside
+  ``[x̂_o, x̂_e]``;
+* Theorem 3 (correctness): rational play converges to
+  ``x̂ = x̂_o + c·(x̂_e − x̂_o)``, which is the unique pure Nash
+  equilibrium value;
+* Theorem 4 (latency friendliness): honest or rational play ends in
+  one round.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.game import GameInstance
+from repro.core.negotiation import NegotiationEngine
+from repro.core.plan import DataPlan
+from repro.core.strategies import (
+    HonestStrategy,
+    OptimalStrategy,
+    PartyKnowledge,
+    PartyRole,
+    RandomSelfishStrategy,
+)
+
+# Arbitrary ground truths: received ≤ sent, plus the plan weight.
+instances = st.tuples(
+    st.integers(min_value=0, max_value=10**9),
+    st.integers(min_value=0, max_value=10**9),
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+).map(lambda t: (max(t[0], t[1]), min(t[0], t[1]), t[2]))
+
+
+def make_engine(strategy_cls, x_hat_e, x_hat_o, c, **kw):
+    edge = strategy_cls(PartyKnowledge(PartyRole.EDGE, x_hat_e, x_hat_o), **kw)
+    operator = strategy_cls(PartyKnowledge(PartyRole.OPERATOR, x_hat_o, x_hat_e), **kw)
+    return NegotiationEngine(DataPlan(c=c), edge, operator)
+
+
+class TestTheorem2BoundedCharging:
+    @settings(max_examples=200)
+    @given(instances)
+    def test_honest_play_bounded(self, instance):
+        x_hat_e, x_hat_o, c = instance
+        result = make_engine(HonestStrategy, x_hat_e, x_hat_o, c).run()
+        assert x_hat_o <= result.volume <= x_hat_e
+
+    @settings(max_examples=200)
+    @given(instances)
+    def test_rational_play_bounded(self, instance):
+        x_hat_e, x_hat_o, c = instance
+        result = make_engine(OptimalStrategy, x_hat_e, x_hat_o, c).run()
+        assert x_hat_o <= result.volume <= x_hat_e
+
+    @settings(max_examples=100, deadline=None)
+    @given(instances, st.integers(min_value=0, max_value=2**31))
+    def test_random_selfish_play_bounded_within_tolerance(self, instance, seed):
+        """TLC-random keeps the bound up to its acceptance tolerance and
+        the engine's integer convergence slack."""
+        x_hat_e, x_hat_o, c = instance
+        rng = random.Random(seed)
+        tol = 0.015
+        edge = RandomSelfishStrategy(
+            PartyKnowledge(PartyRole.EDGE, x_hat_e, x_hat_o), rng, accept_tolerance=tol
+        )
+        operator = RandomSelfishStrategy(
+            PartyKnowledge(PartyRole.OPERATOR, x_hat_o, x_hat_e), rng, accept_tolerance=tol
+        )
+        result = NegotiationEngine(DataPlan(c=c), edge, operator).run()
+        # Integer claims in an open interval can drift one byte per round
+        # (negligible at real volumes); allow for that on tiny instances.
+        slack = result.rounds + 2
+        assert x_hat_o * (1 - tol) - slack <= result.volume <= x_hat_e * (1 + tol) + slack
+
+
+class TestTheorem3Correctness:
+    @settings(max_examples=200)
+    @given(instances)
+    def test_rational_play_reaches_expected_charge(self, instance):
+        x_hat_e, x_hat_o, c = instance
+        result = make_engine(OptimalStrategy, x_hat_e, x_hat_o, c).run()
+        expected = x_hat_o + c * (x_hat_e - x_hat_o)
+        assert abs(result.volume - expected) <= 1  # integer rounding
+
+    @settings(max_examples=150)
+    @given(instances)
+    def test_minimax_equals_maximin_equals_expected(self, instance):
+        """Von Neumann: min-max = max-min = x̂ (the saddle point)."""
+        x_hat_e, x_hat_o, c = instance
+        game = GameInstance(x_hat_e, x_hat_o, c)
+        assert game.minimax_value() == pytest.approx(game.expected, rel=1e-12, abs=1e-9)
+        assert game.maximin_value() == pytest.approx(game.expected, rel=1e-12, abs=1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(instances)
+    def test_analytic_values_match_grid_search(self, instance):
+        x_hat_e, x_hat_o, c = instance
+        game = GameInstance(x_hat_e, x_hat_o, c)
+        tolerance = max(1.0, (x_hat_e - x_hat_o) / 32)  # grid resolution
+        assert abs(game.minimax_value() - game.minimax_value_grid()) <= tolerance
+        assert abs(game.maximin_value() - game.maximin_value_grid()) <= tolerance
+
+    @settings(max_examples=60, deadline=None)
+    @given(instances)
+    def test_optimal_claims_form_pure_nash(self, instance):
+        x_hat_e, x_hat_o, c = instance
+        game = GameInstance(x_hat_e, x_hat_o, c)
+        assert game.is_pure_nash(game.edge_minimax_claim(), game.operator_maximin_claim())
+
+
+class TestTheorem4LatencyFriendliness:
+    @settings(max_examples=200)
+    @given(instances)
+    def test_honest_play_one_round(self, instance):
+        x_hat_e, x_hat_o, c = instance
+        assert make_engine(HonestStrategy, x_hat_e, x_hat_o, c).run().rounds == 1
+
+    @settings(max_examples=200)
+    @given(instances)
+    def test_rational_play_one_round(self, instance):
+        x_hat_e, x_hat_o, c = instance
+        assert make_engine(OptimalStrategy, x_hat_e, x_hat_o, c).run().rounds == 1

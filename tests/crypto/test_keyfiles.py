@@ -1,0 +1,76 @@
+"""Key file persistence (the §5.3.1 key publication step)."""
+
+import random
+
+import pytest
+
+from repro.crypto import generate_keypair
+from repro.crypto.keyfiles import (
+    load_private_key,
+    load_public_key,
+    save_private_key,
+    save_public_key,
+)
+from repro.crypto.signing import SignatureError, sign, verify
+
+
+@pytest.fixture(scope="module")
+def key():
+    return generate_keypair(512, random.Random(401))
+
+
+class TestPublicKeyFiles:
+    def test_roundtrip(self, key, tmp_path):
+        path = save_public_key(key.public, tmp_path / "edge.pub")
+        assert load_public_key(path) == key.public
+
+    def test_armored_format(self, key, tmp_path):
+        path = save_public_key(key.public, tmp_path / "k.pub")
+        text = path.read_text()
+        assert text.startswith("-----BEGIN TLC PUBLIC KEY-----")
+        assert text.rstrip().endswith("-----END TLC PUBLIC KEY-----")
+
+    def test_missing_armor_rejected(self, tmp_path):
+        path = tmp_path / "bad.pub"
+        path.write_text("just some text")
+        with pytest.raises(SignatureError, match="not a TLC public key"):
+            load_public_key(path)
+
+    def test_corrupt_base64_rejected(self, key, tmp_path):
+        path = save_public_key(key.public, tmp_path / "k.pub")
+        lines = path.read_text().splitlines()
+        lines[1] = "!!!" + lines[1][3:]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(SignatureError):
+            load_public_key(path)
+
+
+class TestPrivateKeyFiles:
+    def test_roundtrip_and_signing(self, key, tmp_path):
+        path = save_private_key(key, tmp_path / "edge.key")
+        loaded = load_private_key(path)
+        assert loaded == key
+        signature = sign(b"message", loaded)
+        assert verify(b"message", signature, key.public)
+
+    def test_restrictive_permissions(self, key, tmp_path):
+        path = save_private_key(key, tmp_path / "edge.key")
+        assert (path.stat().st_mode & 0o777) == 0o600
+
+    def test_unknown_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.key"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(SignatureError, match="unknown key format"):
+            load_private_key(path)
+
+    def test_missing_fields_rejected(self, tmp_path):
+        path = tmp_path / "bad.key"
+        path.write_text('{"format": "tlc-private-key-v1", "n": 5}')
+        with pytest.raises(SignatureError, match="missing fields"):
+            load_private_key(path)
+
+    def test_not_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.key"
+        path.write_text("not json")
+        with pytest.raises(SignatureError):
+            load_private_key(path)

@@ -1,0 +1,70 @@
+"""Primality testing and prime generation."""
+
+import random
+
+import pytest
+
+from repro.crypto.primes import egcd, generate_prime, miller_rabin, modinv
+
+KNOWN_PRIMES = [2, 3, 5, 7, 97, 7919, 104729, (1 << 61) - 1]
+KNOWN_COMPOSITES = [1, 4, 9, 100, 561, 41041, 7919 * 104729]  # incl. Carmichael
+
+
+class TestMillerRabin:
+    @pytest.mark.parametrize("n", KNOWN_PRIMES)
+    def test_accepts_primes(self, n):
+        assert miller_rabin(n, rng=random.Random(0))
+
+    @pytest.mark.parametrize("n", KNOWN_COMPOSITES)
+    def test_rejects_composites(self, n):
+        assert not miller_rabin(n, rng=random.Random(0))
+
+    def test_rejects_small_non_primes(self):
+        assert not miller_rabin(0)
+        assert not miller_rabin(1)
+        assert not miller_rabin(-7)
+
+    def test_carmichael_numbers_rejected(self):
+        """561 = 3·11·17 fools Fermat but not Miller–Rabin."""
+        for carmichael in (561, 1105, 1729, 2465):
+            assert not miller_rabin(carmichael, rng=random.Random(1))
+
+
+class TestGeneratePrime:
+    def test_exact_bit_length(self):
+        prime = generate_prime(64, random.Random(3))
+        assert prime.bit_length() == 64
+
+    def test_is_odd(self):
+        assert generate_prime(32, random.Random(5)) % 2 == 1
+
+    def test_deterministic_for_seed(self):
+        assert generate_prime(48, random.Random(9)) == generate_prime(48, random.Random(9))
+
+    def test_product_of_two_has_double_bits(self):
+        """Top-two-bits forcing guarantees n = p·q has exactly 2k bits."""
+        rng = random.Random(11)
+        p, q = generate_prime(64, rng), generate_prime(64, rng)
+        assert (p * q).bit_length() == 128
+
+    def test_rejects_tiny_sizes(self):
+        with pytest.raises(ValueError):
+            generate_prime(4, random.Random(0))
+
+
+class TestModularArithmetic:
+    def test_egcd_identity(self):
+        g, x, y = egcd(240, 46)
+        assert g == 2
+        assert 240 * x + 46 * y == g
+
+    def test_modinv_roundtrip(self):
+        inv = modinv(17, 3120)
+        assert (17 * inv) % 3120 == 1
+
+    def test_modinv_requires_coprimality(self):
+        with pytest.raises(ValueError):
+            modinv(6, 9)
+
+    def test_modinv_of_one(self):
+        assert modinv(1, 97) == 1

@@ -1,0 +1,78 @@
+"""Property-based coverage of the crypto substrate."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.primes import egcd, miller_rabin, modinv
+from repro.crypto.rsa import bytes_to_int, generate_keypair, int_to_bytes
+from repro.crypto.signing import (
+    deserialize_public_key,
+    serialize_public_key,
+    sign,
+    verify,
+)
+
+# One shared small key: hypothesis runs many examples and keygen is the
+# expensive part, while the properties quantify over messages.
+_KEY = generate_keypair(512, random.Random(1234))
+
+
+class TestNumberTheory:
+    @settings(max_examples=200)
+    @given(st.integers(min_value=1, max_value=10**9), st.integers(min_value=1, max_value=10**9))
+    def test_egcd_bezout_identity(self, a, b):
+        g, x, y = egcd(a, b)
+        assert a * x + b * y == g
+        assert a % g == 0 and b % g == 0
+
+    @settings(max_examples=200)
+    @given(st.integers(min_value=2, max_value=10**6))
+    def test_modinv_is_inverse_when_coprime(self, a):
+        m = 1_000_003  # prime modulus: everything nonzero is invertible
+        inv = modinv(a % m or 1, m)
+        assert ((a % m or 1) * inv) % m == 1
+
+    @settings(max_examples=100)
+    @given(st.integers(min_value=2, max_value=10**4))
+    def test_miller_rabin_agrees_with_trial_division(self, n):
+        by_trial = all(n % d for d in range(2, int(n**0.5) + 1)) and n >= 2
+        assert miller_rabin(n, rng=random.Random(0)) == by_trial
+
+
+class TestRsaProperties:
+    @settings(max_examples=100)
+    @given(st.integers(min_value=0))
+    def test_raw_roundtrip_any_representative(self, m):
+        m = m % _KEY.n
+        assert _KEY.decrypt_int(_KEY.public.encrypt_int(m)) == m
+
+    @settings(max_examples=100)
+    @given(st.binary(min_size=1, max_size=64))
+    def test_int_byte_roundtrip(self, data):
+        value = bytes_to_int(data)
+        assert bytes_to_int(int_to_bytes(value, len(data))) == value
+
+
+class TestSignatureProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.binary(max_size=512), st.binary(max_size=512))
+    def test_signature_binds_exact_message(self, message, other):
+        signature = sign(message, _KEY)
+        assert verify(message, signature, _KEY.public)
+        if other != message:
+            assert not verify(other, signature, _KEY.public)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.binary(max_size=128), st.integers(min_value=0, max_value=63), st.integers(min_value=0, max_value=7))
+    def test_any_signature_bitflip_invalidates(self, message, byte_index, bit):
+        signature = bytearray(sign(message, _KEY))
+        signature[byte_index % len(signature)] ^= 1 << bit
+        assert not verify(message, bytes(signature), _KEY.public)
+
+    def test_key_serialization_roundtrip_many_keys(self):
+        rng = random.Random(77)
+        for _ in range(5):
+            key = generate_keypair(512, rng).public
+            assert deserialize_public_key(serialize_public_key(key)) == key

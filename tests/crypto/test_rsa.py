@@ -1,0 +1,94 @@
+"""RSA key generation and raw operations."""
+
+import random
+
+import pytest
+
+from repro.crypto.rsa import (
+    PUBLIC_EXPONENT,
+    PublicKey,
+    bytes_to_int,
+    generate_keypair,
+    int_to_bytes,
+)
+
+
+@pytest.fixture(scope="module")
+def key():
+    return generate_keypair(512, random.Random(7))
+
+
+class TestKeygen:
+    def test_modulus_bit_length(self, key):
+        assert key.n.bit_length() == 512
+
+    def test_public_exponent(self, key):
+        assert key.e == PUBLIC_EXPONENT
+
+    def test_modulus_is_product_of_factors(self, key):
+        assert key.p * key.q == key.n
+
+    def test_ed_is_identity_mod_phi(self, key):
+        phi = (key.p - 1) * (key.q - 1)
+        assert (key.e * key.d) % phi == 1
+
+    def test_crt_parameters(self, key):
+        assert key.dp == key.d % (key.p - 1)
+        assert key.dq == key.d % (key.q - 1)
+        assert (key.qinv * key.q) % key.p == 1
+
+    def test_deterministic_keygen(self):
+        a = generate_keypair(512, random.Random(3))
+        b = generate_keypair(512, random.Random(3))
+        assert a.n == b.n
+
+    def test_rejects_small_moduli(self):
+        with pytest.raises(ValueError):
+            generate_keypair(128, random.Random(0))
+
+    def test_rejects_odd_bit_length(self):
+        with pytest.raises(ValueError):
+            generate_keypair(513, random.Random(0))
+
+
+class TestRawOperations:
+    def test_encrypt_decrypt_roundtrip(self, key):
+        message = 0x1234567890ABCDEF
+        cipher = key.public.encrypt_int(message)
+        assert key.decrypt_int(cipher) == message
+
+    def test_decrypt_encrypt_roundtrip(self, key):
+        """Sign-then-verify direction (private first)."""
+        digest = 0xDEADBEEF
+        signature = key.decrypt_int(digest)
+        assert key.public.encrypt_int(signature) == digest
+
+    def test_out_of_range_rejected(self, key):
+        with pytest.raises(ValueError):
+            key.public.encrypt_int(key.n)
+        with pytest.raises(ValueError):
+            key.decrypt_int(-1)
+
+    def test_byte_length(self, key):
+        assert key.byte_length == 64
+        assert key.public.byte_length == 64
+
+
+class TestEncoding:
+    def test_int_bytes_roundtrip(self):
+        value = 2**100 + 12345
+        assert bytes_to_int(int_to_bytes(value, 16)) == value
+
+    def test_fixed_length_padding(self):
+        assert int_to_bytes(1, 4) == b"\x00\x00\x00\x01"
+
+    def test_fingerprint_is_stable_and_short(self, key):
+        assert key.public.fingerprint() == key.public.fingerprint()
+        assert len(key.public.fingerprint()) == 16
+
+    def test_different_keys_different_fingerprints(self, key):
+        other = generate_keypair(512, random.Random(99))
+        assert key.public.fingerprint() != other.public.fingerprint()
+
+    def test_public_key_equality_by_value(self, key):
+        assert key.public == PublicKey(n=key.n, e=key.e)

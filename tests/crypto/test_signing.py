@@ -1,0 +1,88 @@
+"""PKCS#1 v1.5-style signatures over SHA-256."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.rsa import generate_keypair
+from repro.crypto.signing import (
+    SignatureError,
+    deserialize_public_key,
+    require_valid,
+    serialize_public_key,
+    sign,
+    verify,
+)
+
+
+@pytest.fixture(scope="module")
+def key():
+    return generate_keypair(512, random.Random(21))
+
+
+@pytest.fixture(scope="module")
+def other_key():
+    return generate_keypair(512, random.Random(22))
+
+
+class TestSignVerify:
+    def test_roundtrip(self, key):
+        sig = sign(b"charging record", key)
+        assert verify(b"charging record", sig, key.public)
+
+    def test_signature_length_equals_modulus(self, key):
+        assert len(sign(b"x", key)) == key.byte_length
+
+    def test_tampered_message_fails(self, key):
+        sig = sign(b"volume=100", key)
+        assert not verify(b"volume=999", sig, key.public)
+
+    def test_wrong_key_fails(self, key, other_key):
+        sig = sign(b"m", key)
+        assert not verify(b"m", sig, other_key.public)
+
+    def test_truncated_signature_fails(self, key):
+        sig = sign(b"m", key)
+        assert not verify(b"m", sig[:-1], key.public)
+
+    def test_bitflipped_signature_fails(self, key):
+        sig = bytearray(sign(b"m", key))
+        sig[10] ^= 0x01
+        assert not verify(b"m", bytes(sig), key.public)
+
+    def test_empty_message_signs(self, key):
+        assert verify(b"", sign(b"", key), key.public)
+
+    def test_deterministic_signatures(self, key):
+        assert sign(b"m", key) == sign(b"m", key)
+
+    def test_require_valid_raises(self, key):
+        with pytest.raises(SignatureError):
+            require_valid(b"m", b"\x00" * key.byte_length, key.public)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.binary(max_size=256))
+    def test_any_message_roundtrips(self, key, message):
+        assert verify(message, sign(message, key), key.public)
+
+
+class TestKeySerialization:
+    def test_roundtrip(self, key):
+        blob = serialize_public_key(key.public)
+        assert deserialize_public_key(blob) == key.public
+
+    def test_truncated_blob_rejected(self, key):
+        blob = serialize_public_key(key.public)
+        with pytest.raises(SignatureError):
+            deserialize_public_key(blob[: len(blob) // 2])
+
+    def test_trailing_garbage_rejected(self, key):
+        blob = serialize_public_key(key.public) + b"garbage"
+        with pytest.raises(SignatureError):
+            deserialize_public_key(blob)
+
+    def test_empty_blob_rejected(self):
+        with pytest.raises(SignatureError):
+            deserialize_public_key(b"")

@@ -1,0 +1,84 @@
+"""EdgeDevice and EdgeServer endpoints."""
+
+import pytest
+
+from repro.cellular import CellularNetwork, RadioProfile, make_test_imsi
+from repro.edge.device import DEVICE_PROFILES, EL20, PIXEL_2XL, S7_EDGE, Z840, EdgeDevice
+from repro.edge.server import EdgeServer
+from repro.netsim import EventLoop, StreamRegistry
+
+
+def build(seed=1):
+    loop = EventLoop()
+    net = CellularNetwork(loop, StreamRegistry(seed))
+    imsi = make_test_imsi(1)
+    device = EdgeDevice(loop, imsi, "app")
+    access = net.attach_device(imsi, RadioProfile(), deliver=device.deliver)
+    device.bind(access)
+    net.create_bearer(imsi, "app")
+    server = EdgeServer(loop, net, "app")
+    return loop, net, device, server
+
+
+class TestDevice:
+    def test_send_counts_before_transmission(self):
+        """The edge's x̂_e view: counted at the app, loss or not."""
+        loop, net, device, server = build()
+        device.access.radio.connected = False  # force outage
+        device.send(1000)
+        assert device.ul_monitor.total == 1000
+
+    def test_unbound_device_cannot_send(self):
+        device = EdgeDevice(EventLoop(), make_test_imsi(2), "x")
+        with pytest.raises(RuntimeError):
+            device.send(100)
+
+    def test_receive_counts_and_forwards_to_app(self):
+        loop, net, device, server = build()
+        received = []
+        device.on_receive = received.append
+        server.send(800)
+        loop.run()
+        assert device.dl_monitor.total == 800
+        assert len(received) == 1
+
+    def test_sequence_numbers_increment(self):
+        loop, net, device, server = build()
+        p1 = device.send(100)
+        p2 = device.send(100)
+        assert p2.seq == p1.seq + 1
+
+
+class TestServer:
+    def test_send_counts_at_server_monitor(self):
+        loop, net, device, server = build()
+        server.send(1200)
+        assert server.dl_monitor.total == 1200
+
+    def test_uplink_arrivals_counted_and_timed(self):
+        loop, net, device, server = build()
+        device.send(500)
+        loop.run()
+        assert server.ul_monitor.total == 500
+        assert server.stats.received == 1
+        assert server.stats.latencies[0] > 0
+
+    def test_uplink_forwarded_to_app_handler(self):
+        loop, net, device, server = build()
+        seen = []
+        server.on_receive = seen.append
+        device.send(400)
+        loop.run()
+        assert len(seen) == 1
+
+
+class TestProfiles:
+    def test_all_testbed_devices_present(self):
+        assert {p.name for p in (EL20, PIXEL_2XL, S7_EDGE, Z840)} == set(DEVICE_PROFILES)
+
+    def test_workstation_fastest_at_crypto(self):
+        assert Z840.sign_ms < min(EL20.sign_ms, PIXEL_2XL.sign_ms, S7_EDGE.sign_ms)
+
+    def test_pixel_slowest_overall(self):
+        """Matches Figure 17's ordering: Pixel 2 XL has the slowest PoC path."""
+        assert PIXEL_2XL.sign_ms >= S7_EDGE.sign_ms >= EL20.sign_ms

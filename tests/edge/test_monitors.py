@@ -1,0 +1,119 @@
+"""Traffic monitors: skewed cycle boundaries and RRC-report assembly."""
+
+import pytest
+
+from repro.cellular.rrc import CounterCheckResponse
+from repro.edge.monitors import CounterCheckMonitor, TrafficMonitor, record_error_ratio
+from repro.netsim.events import EventLoop
+from repro.netsim.packet import Direction, Packet
+
+
+def packet(size=100):
+    return Packet(size=size, flow_id="f", direction=Direction.UPLINK)
+
+
+class TestTrafficMonitor:
+    def _steady_monitor(self, rate_bytes_per_s=100, duration=100):
+        loop = EventLoop()
+        monitor = TrafficMonitor(loop, "m")
+        for t in range(duration):
+            loop.schedule_at(t + 0.5, monitor.observe, packet(rate_bytes_per_s))
+        loop.run()
+        return monitor
+
+    def test_true_usage_exact(self):
+        monitor = self._steady_monitor()
+        assert monitor.true_usage(0, 50) == 5000
+        assert monitor.true_usage(50, 100) == 5000
+
+    def test_zero_skew_reports_truth(self):
+        monitor = self._steady_monitor()
+        assert monitor.reported_usage(0, 50) == monitor.true_usage(0, 50)
+
+    def test_positive_skew_cuts_cycle_short(self):
+        """A clock running ahead stops counting early: under-report."""
+        monitor = self._steady_monitor()
+        monitor.set_skew(10.0)
+        assert monitor.reported_usage(0, 100) == 9000
+
+    def test_negative_skew_extends_cycle(self):
+        monitor = self._steady_monitor()
+        monitor.set_skew(-5.0)
+        # Window extends past the data; no extra bytes exist there.
+        assert monitor.reported_usage(0, 50) == 5500
+
+    def test_relative_error_tracks_skew_over_cycle(self):
+        """The Figure 18 mechanism: γ ≈ |skew| / cycle length."""
+        monitor = self._steady_monitor()
+        monitor.set_skew(2.0)
+        error = record_error_ratio(monitor.reported_usage(0, 100), monitor.true_usage(0, 100))
+        assert error == pytest.approx(0.02, abs=0.005)
+
+    def test_observe_bytes_counts_raw(self):
+        loop = EventLoop()
+        monitor = TrafficMonitor(loop, "m")
+        monitor.observe_bytes(1234)
+        assert monitor.total == 1234
+
+
+class TestCounterCheckMonitor:
+    def _report(self, monitor, loop, t, ul, dl):
+        loop.schedule_at(t, monitor.on_report, CounterCheckResponse(t, ul, dl))
+
+    def test_assembles_usage_from_cumulative_reports(self):
+        loop = EventLoop()
+        monitor = CounterCheckMonitor(loop)
+        self._report(monitor, loop, 5.0, 100, 1000)
+        self._report(monitor, loop, 10.0, 250, 2500)
+        loop.run()
+        assert monitor.reported_usage(0, 7) == 1000
+        assert monitor.reported_usage(7, 12) == 1500
+        assert monitor.reported_uplink_usage(0, 12) == 250
+
+    def test_quantized_at_report_epochs(self):
+        """Traffic after the last report is invisible until the next one."""
+        loop = EventLoop()
+        monitor = CounterCheckMonitor(loop)
+        self._report(monitor, loop, 5.0, 0, 1000)
+        loop.run()
+        assert monitor.reported_usage(0, 4.9) == 0
+
+    def test_backwards_counter_rejected(self):
+        loop = EventLoop()
+        monitor = CounterCheckMonitor(loop)
+        self._report(monitor, loop, 1.0, 0, 1000)
+        self._report(monitor, loop, 2.0, 0, 900)
+        with pytest.raises(ValueError):
+            loop.run()
+
+    def test_skew_shifts_boundary(self):
+        loop = EventLoop()
+        monitor = CounterCheckMonitor(loop)
+        self._report(monitor, loop, 5.0, 0, 1000)
+        self._report(monitor, loop, 9.0, 0, 2000)
+        loop.run()
+        monitor.set_skew(2.0)
+        assert monitor.reported_usage(0, 10) == 1000  # boundary cut at t=8
+
+    def test_report_counter(self):
+        loop = EventLoop()
+        monitor = CounterCheckMonitor(loop)
+        self._report(monitor, loop, 1.0, 0, 10)
+        loop.run()
+        assert monitor.reports_received == 1
+        assert monitor.total == 10
+
+
+class TestErrorRatio:
+    def test_zero_on_exact(self):
+        assert record_error_ratio(100, 100) == 0.0
+
+    def test_symmetric_magnitude(self):
+        assert record_error_ratio(90, 100) == pytest.approx(0.1)
+        assert record_error_ratio(110, 100) == pytest.approx(0.1)
+
+    def test_idle_cycle_defined_as_zero(self):
+        assert record_error_ratio(0, 0) == 0.0
+
+    def test_phantom_bytes_on_idle_cycle_is_infinite(self):
+        assert record_error_ratio(5, 0) == float("inf")

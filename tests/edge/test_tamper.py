@@ -1,0 +1,79 @@
+"""Tamper adversaries and the modem trust boundary."""
+
+import pytest
+
+from repro.edge.monitors import TrafficMonitor
+from repro.edge.tamper import BillCycleResetTamper, CdrInflationTamper, ScalingTamper
+from repro.netsim.events import EventLoop
+from repro.netsim.packet import Direction, Packet
+
+
+def monitored_bytes(duration=100, per_second=100):
+    loop = EventLoop()
+    monitor = TrafficMonitor(loop, "victim")
+    for t in range(duration):
+        loop.schedule_at(
+            t + 0.5,
+            monitor.observe,
+            Packet(size=per_second, flow_id="f", direction=Direction.UPLINK),
+        )
+    loop.run()
+    return monitor
+
+
+class TestScalingTamper:
+    def test_under_reports(self):
+        monitor = monitored_bytes()
+        tampered = ScalingTamper(monitor, 0.5)
+        assert tampered.reported_usage(0, 100) == 5000
+
+    def test_over_reports(self):
+        monitor = monitored_bytes()
+        assert ScalingTamper(monitor, 2.0).reported_usage(0, 100) == 20_000
+
+    def test_rejects_negative_factor(self):
+        with pytest.raises(ValueError):
+            ScalingTamper(monitored_bytes(10), -1.0)
+
+
+class TestBillCycleReset:
+    def test_erases_usage_before_reset(self):
+        """The paper's reference [31]: clearing stats mid-cycle."""
+        monitor = monitored_bytes()
+        tampered = BillCycleResetTamper(monitor, reset_at=60.0)
+        assert tampered.reported_usage(0, 100) == 4000
+
+    def test_reset_after_cycle_reports_zero(self):
+        monitor = monitored_bytes()
+        assert BillCycleResetTamper(monitor, reset_at=200.0).reported_usage(0, 100) == 0
+
+    def test_reset_before_cycle_is_noop(self):
+        monitor = monitored_bytes()
+        tampered = BillCycleResetTamper(monitor, reset_at=0.0)
+        assert tampered.reported_usage(0, 100) == monitor.reported_usage(0, 100)
+
+
+class TestCdrInflation:
+    def test_adds_flat_bytes(self):
+        monitor = monitored_bytes()
+        assert CdrInflationTamper(monitor, 123_456).reported_usage(0, 100) == 133_456
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CdrInflationTamper(monitored_bytes(10), -1)
+
+
+class TestTrustBoundary:
+    def test_modem_counters_not_wrappable(self):
+        """HardwareModem exposes no ``reported_usage``: the tamper classes
+        structurally cannot wrap it — the §5.4 trust argument."""
+        from repro.cellular.rrc import HardwareModem
+
+        modem = HardwareModem(EventLoop())
+        assert not hasattr(modem, "reported_usage")
+
+    def test_tamper_composition(self):
+        """A determined adversary can stack tampers on user-space views."""
+        monitor = monitored_bytes()
+        stacked = ScalingTamper(BillCycleResetTamper(monitor, 50.0), 0.5)
+        assert stacked.reported_usage(0, 100) == 2500

@@ -1,0 +1,64 @@
+"""ReliableUplinkSession over the full simulated cellular path."""
+
+import pytest
+
+from repro.cellular import CellularNetwork, RadioProfile, make_test_imsi
+from repro.edge import EdgeDevice, EdgeServer, ReliableUplinkSession
+from repro.netsim import Direction, EventLoop, StreamRegistry
+
+
+def build(base_loss=0.0, seed=1, rto_s=0.15):
+    loop = EventLoop()
+    net = CellularNetwork(loop, StreamRegistry(seed))
+    imsi = make_test_imsi(1)
+    device = EdgeDevice(loop, imsi, "tcp-app")
+    access = net.attach_device(imsi, RadioProfile(base_loss=base_loss),
+                               deliver=device.deliver)
+    device.bind(access)
+    net.create_bearer(imsi, "tcp-app")
+    server = EdgeServer(loop, net, "tcp-app")
+    session = ReliableUplinkSession(loop, device, server, rto_s=rto_s)
+    return loop, net, device, server, session
+
+
+class TestCleanPath:
+    def test_full_delivery(self):
+        loop, net, device, server, session = build()
+        session.offer(50_000)
+        loop.run()
+        assert session.goodput_bytes == 50_000
+        assert session.sender.retransmitted_bytes == 0
+
+    def test_acks_flow_downlink(self):
+        loop, net, device, server, session = build()
+        session.offer(2800)  # two segments
+        loop.run()
+        assert device.dl_monitor.total == 2 * 64  # two ACKs
+
+
+class TestLossyPath:
+    def test_losses_recovered(self):
+        """TCP closes the sent-vs-received gap that UDP leaves open."""
+        loop, net, device, server, session = build(base_loss=0.2, seed=3)
+        session.offer(100_000)
+        loop.run_until(30.0)
+        assert session.goodput_bytes == 100_000
+        assert session.sender.retransmitted_bytes > 0
+
+    def test_retransmissions_are_charged(self):
+        """The gateway bills the recovery traffic too."""
+        loop, net, device, server, session = build(base_loss=0.2, seed=3)
+        session.offer(100_000)
+        loop.run_until(30.0)
+        gateway = net.gateway_usage("tcp-app", 0, loop.now(), Direction.UPLINK)
+        assert gateway > 100_000  # goodput plus recovered losses
+
+    def test_recovery_delays_delivery(self):
+        """Theorem 1's trade-off on the real path."""
+        loop_clean, *_, clean = build(base_loss=0.0, seed=5)
+        clean.offer(100_000)
+        loop_clean.run_until(30.0)
+        loop_lossy, *_, lossy = build(base_loss=0.25, seed=5)
+        lossy.offer(100_000)
+        loop_lossy.run_until(30.0)
+        assert lossy.mean_delivery_latency() > 2 * clean.mean_delivery_latency()

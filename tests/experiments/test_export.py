@@ -1,0 +1,79 @@
+"""CSV export of figure data."""
+
+import csv
+
+from repro.experiments import figures
+from repro.experiments.export import (
+    export_cdfs,
+    export_curves,
+    export_figure4,
+    export_table,
+)
+
+
+def read_csv(path):
+    with open(path, newline="") as handle:
+        return list(csv.reader(handle))
+
+
+class TestTableExport:
+    def test_header_and_rows(self, tmp_path):
+        table = figures.TableResult("t", ("a", "b"), [("x", 1.5), ("y", 2.5)])
+        path = export_table(table, tmp_path / "t.csv")
+        rows = read_csv(path)
+        assert rows[0] == ["a", "b"]
+        assert rows[1] == ["x", "1.5"]
+        assert len(rows) == 3
+
+    def test_creates_parent_dirs(self, tmp_path):
+        table = figures.TableResult("t", ("a",), [("x",)])
+        path = export_table(table, tmp_path / "deep" / "nested" / "t.csv")
+        assert path.exists()
+
+
+class TestSeriesExport:
+    def test_figure4_per_second_rows(self, tmp_path):
+        series = figures.Figure4Series(
+            times=[1.0, 2.0],
+            device_rate_mbps=[1.5, 1.6],
+            network_rate_mbps=[1.7, 1.8],
+            cumulative_gap_mb=[0.1, 0.2],
+            rss_dbm=[-85.0, -120.0],
+            connected=[True, False],
+            mean_outage_s=2.0,
+            total_gap_mb=0.2,
+        )
+        path = export_figure4(series, tmp_path / "fig4.csv")
+        rows = read_csv(path)
+        assert len(rows) == 3
+        assert rows[1][0] == "1.0"
+        assert rows[2][5] == "False"
+
+    def test_cdf_export_one_file_per_curve(self, tmp_path):
+        result = figures.Figure12Result(
+            cdfs={
+                "app-a": {"legacy": [(1.0, 50.0), (2.0, 100.0)]},
+                "app-b": {"tlc-optimal": [(0.5, 100.0)]},
+            }
+        )
+        paths = export_cdfs(result, tmp_path)
+        assert len(paths) == 2
+        rows = read_csv(sorted(paths)[0])
+        assert rows[0] == ["gap_mb_per_hr", "percentile"]
+
+    def test_curve_family_long_form(self, tmp_path):
+        curves = {0.0: [(5.0, 100.0)], 0.5: [(2.0, 50.0), (3.0, 100.0)]}
+        path = export_curves(curves, tmp_path / "f15.csv", "mu")
+        rows = read_csv(path)
+        assert rows[0] == ["parameter", "mu", "percentile"]
+        assert len(rows) == 4
+
+
+class TestCliCsvFlag:
+    def test_run_with_csv_export(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["run", "figure16a", "--csv", str(tmp_path)]) == 0
+        assert (tmp_path / "figure16a.csv").exists()
+        rows = read_csv(tmp_path / "figure16a.csv")
+        assert rows[0] == ["device", "w/o TLC", "w/ TLC"]

@@ -1,0 +1,39 @@
+"""Rendering and helper utilities of the figures module."""
+
+from repro.experiments.figures import Figure12Result, TableResult, _fmt
+
+
+class TestTableRendering:
+    def test_columns_align(self):
+        table = TableResult("Title", ("name", "value"), [("short", 1.0), ("a-much-longer-name", 22.5)])
+        lines = table.render().splitlines()
+        assert lines[0] == "Title"
+        # Header and rows share column offsets.
+        value_col = lines[1].index("value")
+        assert lines[2][value_col - 1] == " "
+        assert "22.50" in lines[3]
+
+    def test_floats_two_decimals(self):
+        assert _fmt(3.14159) == "3.14"
+
+    def test_non_floats_passthrough(self):
+        assert _fmt("abc") == "abc"
+        assert _fmt(7) == "7"
+
+    def test_empty_rows_render_header_only(self):
+        table = TableResult("T", ("a", "b"))
+        assert len(table.render().splitlines()) == 2
+
+
+class TestFigure12Rendering:
+    def test_summarizes_median_and_max(self):
+        result = Figure12Result(
+            cdfs={"app": {"legacy": [(1.0, 33.3), (2.0, 66.6), (9.0, 100.0)]}}
+        )
+        text = result.render()
+        assert "median=" in text and "max=" in text
+        assert "9.00" in text
+
+    def test_empty_cdf_safe(self):
+        result = Figure12Result(cdfs={"app": {"legacy": []}})
+        assert "0.00" in result.render()

@@ -1,0 +1,150 @@
+"""Smoke tests for every figure/table generator (tiny configurations).
+
+These verify each generator runs, produces the right row/series shape,
+and reproduces the paper's qualitative orderings — the full-size runs
+live in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.experiments import figures
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return figures.figure3(n_cycles=2)
+
+    def test_three_apps(self, table):
+        assert len(table.rows) == 3
+
+    def test_gap_grows_with_congestion(self, table):
+        for row in table.rows:
+            values = row[1:]
+            assert values[-1] > values[0]
+
+    def test_render_contains_title(self, table):
+        assert "Figure 3" in table.render()
+
+
+class TestFigure4:
+    @pytest.fixture(scope="class")
+    def series(self):
+        return figures.figure4(duration_s=120.0)
+
+    def test_per_second_series(self, series):
+        assert len(series.times) == 120
+        assert len(series.rss_dbm) == 120
+
+    def test_gap_is_cumulative_nondecreasing_mostly(self, series):
+        """Buffer drains can dent the gap (t≈240 s in the paper) but the
+        series must end above where it started."""
+        assert series.cumulative_gap_mb[-1] >= series.cumulative_gap_mb[0]
+
+    def test_outages_present(self, series):
+        assert not all(series.connected)
+
+    def test_mean_outage_near_configured(self, series):
+        assert 0.5 <= series.mean_outage_s <= 6.0
+
+
+class TestFigure12AndTable2:
+    def test_figure12_cdfs_shape(self):
+        result = figures.figure12(n_cycles=1)
+        assert len(result.cdfs) == 4
+        for schemes in result.cdfs.values():
+            assert set(schemes) == {"legacy", "tlc-random", "tlc-optimal"}
+            for points in schemes.values():
+                assert points[-1][1] == 100.0
+
+    def test_table2_optimal_beats_legacy(self):
+        table = figures.table2(n_cycles=1)
+        for row in table.rows:
+            legacy_delta, optimal_delta = row[2], row[4]
+            assert optimal_delta < legacy_delta
+
+
+class TestFigure13:
+    def test_rows_per_app_and_scheme(self):
+        table = figures.figure13(n_cycles=1)
+        assert len(table.rows) == 4 * 3
+
+    def test_optimal_flat_under_congestion(self):
+        table = figures.figure13(n_cycles=1)
+        for row in table.rows:
+            if row[1] == "tlc-optimal":
+                assert max(row[2:]) < 8.0  # percent
+
+
+class TestFigure14:
+    def test_legacy_grows_with_eta(self):
+        table = figures.figure14(n_cycles=1)
+        legacy = next(r for r in table.rows if r[0] == "legacy")
+        assert legacy[-1] > legacy[1]
+
+    def test_optimal_below_legacy(self):
+        table = figures.figure14(n_cycles=1)
+        legacy = next(r for r in table.rows if r[0] == "legacy")
+        optimal = next(r for r in table.rows if r[0] == "tlc-optimal")
+        assert sum(optimal[1:]) < sum(legacy[1:])
+
+
+class TestFigure15:
+    def test_mu_decreases_with_c(self):
+        curves = figures.figure15(n_cycles=1)
+        medians = {}
+        for c, points in curves.items():
+            medians[c] = points[len(points) // 2][0] if points else 0.0
+        assert medians[0.0] >= medians[0.5] >= medians[1.0]
+
+    def test_c_one_collapses_to_zero(self):
+        curves = figures.figure15(n_cycles=1)
+        points = curves[1.0]
+        median = points[len(points) // 2][0]
+        assert abs(median) < 2.0
+
+
+class TestFigure16:
+    def test_16a_tlc_adds_no_latency(self):
+        table = figures.figure16a(pings=40)
+        for device, without, with_tlc in table.rows:
+            assert with_tlc == pytest.approx(without, rel=0.15)
+
+    def test_16b_optimal_one_round(self):
+        table = figures.figure16b(n_cycles=1)
+        for row in table.rows:
+            assert row[2] <= 1.5  # TLC-optimal column
+
+    def test_16b_random_more_rounds(self):
+        table = figures.figure16b(n_cycles=1)
+        assert any(row[1] > row[2] for row in table.rows)
+
+
+class TestFigure17:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return figures.figure17(samples=6, key_bits=512)
+
+    def test_four_devices_plus_sizes(self, table):
+        assert len(table.rows) == 5
+
+    def test_workstation_fastest(self, table):
+        times = {row[0]: row[1] for row in table.rows[:4]}
+        assert times["HP Z840"] == min(times.values())
+
+    def test_crypto_fraction_near_paper(self, table):
+        """Paper: 54.9 % crypto on average (phones)."""
+        phone_rows = [r for r in table.rows[:4] if r[0] != "HP Z840"]
+        for row in phone_rows:
+            assert 35 <= row[2] <= 75
+
+
+class TestFigure18:
+    def test_error_summaries(self):
+        table = figures.figure18(n_cycles=6)
+        operator_row = table.rows[0]
+        edge_row = table.rows[1]
+        # Paper: γo mean 2.0 %, γe mean 1.2 % — allow generous band.
+        assert 0.5 <= operator_row[1] <= 5.0
+        assert 0.3 <= edge_row[1] <= 3.5
+        assert operator_row[2] >= operator_row[1]  # p95 ≥ mean

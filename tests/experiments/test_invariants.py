@@ -1,0 +1,65 @@
+"""Property-based invariants over randomized scenario configurations.
+
+Hypothesis draws small scenario variations (loss, congestion, outages,
+plan weight) and checks the structural facts every run must satisfy —
+the counting geometry, scheme bounds and Theorem 2 at the system level.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenarios import VRIDGE_DL, WEBCAM_UDP_UL
+from repro.netsim import Direction
+
+conditions = st.fixed_dictionaries(
+    {
+        "seed": st.integers(min_value=0, max_value=50),
+        "c": st.sampled_from([0.0, 0.25, 0.5, 1.0]),
+        "base_loss": st.sampled_from([0.0, 0.03, 0.1]),
+        "background_mbps": st.sampled_from([0.0, 140.0]),
+    }
+)
+
+
+@settings(max_examples=10, deadline=None)
+@given(conditions)
+def test_uplink_scenario_invariants(overrides):
+    result = run_scenario(WEBCAM_UDP_UL.with_(n_cycles=2, **overrides))
+    plan_c = overrides["c"]
+    for usage, legacy, optimal in zip(
+        result.usages, result.outcomes["legacy"], result.outcomes["tlc-optimal"]
+    ):
+        # Counting geometry.
+        assert usage.true_received <= usage.true_sent
+        assert usage.gateway_count == usage.operator_received_record
+        # Expected charge interpolates the truth pair.
+        assert usage.true_received <= legacy.expected <= usage.true_sent
+        # Uplink legacy bills the received volume: gap = c · loss, up to
+        # the in-flight traffic crossing the cycle boundary (~path RTT).
+        boundary_slack = usage.true_sent * 0.001 + 2
+        assert legacy.delta == pytest.approx(
+            plan_c * usage.loss_bytes, abs=boundary_slack
+        )
+        # System-level Theorem 2 (records err by a few percent at most).
+        assert optimal.charged >= usage.true_received * 0.90
+        assert optimal.charged <= usage.true_sent * 1.10
+
+
+@settings(max_examples=8, deadline=None)
+@given(conditions)
+def test_downlink_scenario_invariants(overrides):
+    result = run_scenario(VRIDGE_DL.with_(n_cycles=2, **overrides))
+    plan_c = overrides["c"]
+    for usage, legacy in zip(result.usages, result.outcomes["legacy"]):
+        assert usage.direction is Direction.DOWNLINK
+        # DL gateway counts at/above what the device received, at/below
+        # what the server sent (lossless LAN).
+        assert usage.true_received <= usage.gateway_count <= usage.true_sent
+        # Downlink legacy bills the gateway count: gap = (1−c) · loss, up
+        # to in-flight boundary traffic.
+        boundary_slack = usage.true_sent * 0.001 + 2
+        assert legacy.delta == pytest.approx(
+            (1.0 - plan_c) * usage.loss_bytes, abs=boundary_slack
+        )

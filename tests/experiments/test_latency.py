@@ -1,0 +1,36 @@
+"""Figure 16a's RTT measurement utility."""
+
+import statistics
+
+import pytest
+
+from repro.edge.device import EL20, PIXEL_2XL
+from repro.experiments.latency import measure_rtt
+
+
+class TestRtt:
+    def test_returns_one_sample_per_ping(self):
+        rtts = measure_rtt(EL20, pings=40, seed=2)
+        assert len(rtts) == 40
+
+    def test_rtt_near_device_profile(self):
+        rtts = measure_rtt(EL20, pings=60, seed=2)
+        assert statistics.mean(rtts) == pytest.approx(EL20.rtt_ms, rel=0.3)
+
+    def test_slower_device_higher_rtt(self):
+        fast = statistics.mean(measure_rtt(EL20, pings=40, seed=3))
+        slow = statistics.mean(measure_rtt(PIXEL_2XL, pings=40, seed=3))
+        assert slow > fast
+
+    def test_tlc_does_not_move_in_cycle_rtt(self):
+        """The paper's Figure 16a claim: TLC adds no in-cycle latency."""
+        without = statistics.mean(measure_rtt(EL20, pings=80, seed=4, tlc_enabled=False))
+        with_tlc = statistics.mean(measure_rtt(EL20, pings=80, seed=4, tlc_enabled=True))
+        assert with_tlc == pytest.approx(without, rel=0.1)
+
+    def test_congestion_raises_rtt(self):
+        clean = statistics.mean(measure_rtt(EL20, pings=40, seed=5))
+        congested = statistics.mean(
+            measure_rtt(EL20, pings=40, seed=5, background_mbps=120.0)
+        )
+        assert congested > clean

@@ -1,0 +1,46 @@
+"""Multi-operator extension (§8)."""
+
+import pytest
+
+from repro.experiments.multi_operator import OperatorShare, run_multi_operator
+from repro.experiments.scenarios import WEBCAM_UDP_UL
+
+
+@pytest.fixture(scope="module")
+def result():
+    shares = [OperatorShare("operator-A", 0.6), OperatorShare("operator-B", 0.4)]
+    return run_multi_operator(WEBCAM_UDP_UL, shares, seed=7, n_cycles=2)
+
+
+class TestMultiOperator:
+    def test_one_result_per_operator(self, result):
+        assert set(result.per_operator) == {"operator-A", "operator-B"}
+
+    def test_traffic_split_by_share(self, result):
+        a = result.per_operator["operator-A"].measured_bitrate_bps
+        b = result.per_operator["operator-B"].measured_bitrate_bps
+        assert a / (a + b) == pytest.approx(0.6, abs=0.08)
+
+    def test_combined_optimal_gap_small(self, result):
+        assert result.combined_gap_ratio("tlc-optimal") < 0.05
+
+    def test_combined_beats_legacy(self, result):
+        assert result.combined_gap_ratio("tlc-optimal") < result.combined_gap_ratio("legacy")
+
+    def test_total_charged_positive(self, result):
+        assert result.total_charged("tlc-optimal") > 0
+
+    def test_rounds_aggregate(self, result):
+        assert result.mean_rounds("tlc-optimal") >= 1.0
+
+
+class TestValidation:
+    def test_shares_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            run_multi_operator(WEBCAM_UDP_UL, [OperatorShare("x", 0.5)], n_cycles=1)
+
+    def test_share_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            OperatorShare("x", 0.0)
+        with pytest.raises(ValueError):
+            OperatorShare("x", 1.5)

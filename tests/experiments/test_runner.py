@@ -1,0 +1,113 @@
+"""ScenarioRunner: record extraction and scheme evaluation."""
+
+import pytest
+
+from repro.experiments.runner import SCHEMES, ScenarioRunner, run_scenario
+from repro.experiments.scenarios import GAMING_DL, VRIDGE_DL, WEBCAM_UDP_UL
+from repro.netsim import Direction
+
+
+@pytest.fixture(scope="module")
+def udp_result():
+    return run_scenario(WEBCAM_UDP_UL.with_(n_cycles=4, seed=11))
+
+
+@pytest.fixture(scope="module")
+def vr_result():
+    return run_scenario(VRIDGE_DL.with_(n_cycles=3, seed=12))
+
+
+class TestGroundTruth:
+    def test_one_usage_per_cycle(self, udp_result):
+        assert len(udp_result.usages) == 4
+
+    def test_received_never_exceeds_sent(self, udp_result, vr_result):
+        for usage in udp_result.usages + vr_result.usages:
+            assert usage.true_received <= usage.true_sent
+
+    def test_uplink_gateway_equals_received(self, udp_result):
+        """UL: the gateway *is* the receiving record."""
+        for usage in udp_result.usages:
+            assert usage.gateway_count == usage.operator_received_record
+
+    def test_downlink_gateway_equals_sent_estimate(self, vr_result):
+        for usage in vr_result.usages:
+            assert usage.gateway_count == usage.operator_sent_estimate
+
+    def test_loss_present_with_base_loss(self, udp_result):
+        total_loss = sum(u.loss_bytes for u in udp_result.usages)
+        assert total_loss > 0
+
+    def test_records_close_to_truth(self, udp_result):
+        """Measured records err by a few percent, not wildly."""
+        for usage in udp_result.usages:
+            assert usage.edge_sent_record == pytest.approx(usage.true_sent, rel=0.2)
+            assert usage.operator_received_record == pytest.approx(
+                usage.true_received, rel=0.2
+            )
+
+    def test_bitrate_near_profile(self, udp_result):
+        assert udp_result.measured_bitrate_bps == pytest.approx(1.73e6, rel=0.2)
+
+
+class TestSchemes:
+    def test_all_schemes_evaluated_per_cycle(self, udp_result):
+        for scheme in SCHEMES:
+            assert len(udp_result.outcomes[scheme]) == 4
+
+    def test_optimal_beats_legacy_on_lossy_uplink(self, udp_result):
+        assert udp_result.mean_delta_mb_per_hr("tlc-optimal") < udp_result.mean_delta_mb_per_hr("legacy")
+
+    def test_optimal_converges_in_one_round_mostly(self, udp_result):
+        assert udp_result.mean_rounds("tlc-optimal") <= 1.5
+
+    def test_legacy_is_single_shot(self, udp_result):
+        assert udp_result.mean_rounds("legacy") == 1.0
+
+    def test_expected_charge_consistent_across_schemes(self, udp_result):
+        for a, b in zip(udp_result.outcomes["legacy"], udp_result.outcomes["tlc-optimal"]):
+            assert a.expected == b.expected
+
+    def test_gaps_mb_per_hr_length(self, udp_result):
+        assert len(udp_result.gaps_mb_per_hr("legacy")) == 4
+
+
+class TestConditions:
+    def test_congestion_grows_legacy_gap(self):
+        clean = run_scenario(VRIDGE_DL.with_(n_cycles=2, seed=5))
+        congested = run_scenario(VRIDGE_DL.with_(n_cycles=2, seed=5, background_mbps=160.0))
+        assert congested.mean_delta_mb_per_hr("legacy") > 2 * clean.mean_delta_mb_per_hr("legacy")
+
+    def test_gaming_protected_under_congestion(self):
+        congested = run_scenario(GAMING_DL.with_(n_cycles=2, seed=5, background_mbps=160.0))
+        assert congested.mean_epsilon("legacy") < 0.08
+
+    def test_outages_grow_legacy_gap(self):
+        clean = run_scenario(WEBCAM_UDP_UL.with_(n_cycles=2, seed=6, base_loss=0.0))
+        flaky = run_scenario(
+            WEBCAM_UDP_UL.with_(n_cycles=2, seed=6, base_loss=0.0, outage_eta=0.12)
+        )
+        assert flaky.mean_epsilon("legacy") > clean.mean_epsilon("legacy")
+
+    def test_deterministic_given_seed(self):
+        a = run_scenario(WEBCAM_UDP_UL.with_(n_cycles=2, seed=9))
+        b = run_scenario(WEBCAM_UDP_UL.with_(n_cycles=2, seed=9))
+        assert [u.true_sent for u in a.usages] == [u.true_sent for u in b.usages]
+        assert a.outcomes["tlc-random"][0].charged == b.outcomes["tlc-random"][0].charged
+
+
+class TestDirectionSemantics:
+    def test_uplink_runner_counts_device_side(self, udp_result):
+        assert all(u.direction is Direction.UPLINK for u in udp_result.usages)
+
+    def test_downlink_runner_counts_server_side(self, vr_result):
+        assert all(u.direction is Direction.DOWNLINK for u in vr_result.usages)
+
+
+class TestUplinkRecordExactness:
+    def test_uplink_records_are_exact(self):
+        """Paper: 'For the uplink, TLC achieves 100 % accuracy' — the
+        operator's record *is* the gateway counter."""
+        result = run_scenario(WEBCAM_UDP_UL.with_(n_cycles=3, seed=61))
+        for usage in result.usages:
+            assert usage.operator_received_record == usage.gateway_count

@@ -1,0 +1,69 @@
+"""Scenario configuration semantics."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.scenarios import (
+    ALL_APPS,
+    FIG3_APPS,
+    GAMING_DL,
+    VRIDGE_DL,
+    WEBCAM_RTSP_UL,
+    WEBCAM_UDP_UL,
+    ScenarioConfig,
+)
+from repro.netsim import Direction
+
+
+class TestCatalogue:
+    def test_four_apps_match_table2(self):
+        assert len(ALL_APPS) == 4
+        assert {a.name for a in ALL_APPS} == {
+            "webcam-rtsp-ul", "webcam-udp-ul", "vridge-gvsp-dl", "gaming-qci7-dl",
+        }
+
+    def test_fig3_subset(self):
+        assert set(FIG3_APPS) <= set(ALL_APPS)
+        assert GAMING_DL not in FIG3_APPS  # gaming joined in Table 2 only
+
+    def test_directions_match_paper(self):
+        assert WEBCAM_RTSP_UL.direction is Direction.UPLINK
+        assert WEBCAM_UDP_UL.direction is Direction.UPLINK
+        assert VRIDGE_DL.direction is Direction.DOWNLINK
+        assert GAMING_DL.direction is Direction.DOWNLINK
+
+    def test_workload_bitrates_match_paper_averages(self):
+        assert WEBCAM_RTSP_UL.workload.mean_bitrate_bps == pytest.approx(0.77e6)
+        assert WEBCAM_UDP_UL.workload.mean_bitrate_bps == pytest.approx(1.73e6)
+        assert VRIDGE_DL.workload.mean_bitrate_bps == pytest.approx(9.0e6)
+        assert GAMING_DL.workload.mean_bitrate_bps == pytest.approx(0.02e6)
+
+    def test_gaming_rides_qci7(self):
+        assert GAMING_DL.workload.qci == 7
+
+
+class TestWith:
+    def test_with_overrides_single_field(self):
+        modified = WEBCAM_UDP_UL.with_(background_mbps=120.0)
+        assert modified.background_mbps == 120.0
+        assert modified.workload is WEBCAM_UDP_UL.workload
+
+    def test_with_does_not_mutate_original(self):
+        WEBCAM_UDP_UL.with_(seed=999)
+        assert WEBCAM_UDP_UL.seed == 1
+
+    def test_configs_are_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            WEBCAM_UDP_UL.seed = 2
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(TypeError):
+            WEBCAM_UDP_UL.with_(nonexistent_field=1)
+
+    def test_mobility_defaults_off(self):
+        config = ScenarioConfig(
+            name="x", workload=WEBCAM_UDP_UL.workload, direction=Direction.UPLINK
+        )
+        assert config.handover_interval_s is None
+        assert config.sla_budget_s is None

@@ -1,0 +1,61 @@
+"""Statistics helpers."""
+
+import pytest
+
+from repro.experiments.stats import Summary, cdf_points, mb, percentile
+
+
+class TestCdf:
+    def test_sorted_with_percentiles(self):
+        points = cdf_points([3.0, 1.0, 2.0])
+        assert points == [
+            (1.0, pytest.approx(100 / 3)),
+            (2.0, pytest.approx(200 / 3)),
+            (3.0, pytest.approx(100.0)),
+        ]
+
+    def test_empty(self):
+        assert cdf_points([]) == []
+
+    def test_last_point_is_100(self):
+        assert cdf_points([5, 9, 1])[-1][1] == 100.0
+
+
+class TestPercentile:
+    def test_median_of_odd(self):
+        assert percentile([1, 2, 3], 50) == 2
+
+    def test_p95_nearest_rank(self):
+        values = list(range(1, 101))
+        assert percentile(values, 95) == 95
+
+    def test_p100_is_max(self):
+        assert percentile([4, 8, 2], 100) == 8
+
+    def test_p0_is_min_by_nearest_rank(self):
+        assert percentile([4, 8, 2], 0) == 2
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_pct(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        summary = Summary.of([1.0, 2.0, 3.0, 10.0])
+        assert summary.mean == 4.0
+        assert summary.max == 10.0
+        assert summary.n == 4
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            Summary.of([])
+
+
+class TestUnits:
+    def test_mb_is_decimal(self):
+        assert mb(5_000_000) == 5.0

@@ -1,0 +1,37 @@
+"""Keep the fast examples from rotting: run them as scripts.
+
+The heavier simulation examples are exercised implicitly through the
+experiment tests; these three are cheap enough to run whole.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+@pytest.mark.skipif(not EXAMPLES.exists(), reason="examples directory not present")
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "negotiated x" in out
+        assert "ok=True" in out
+        assert "replayed-poc" in out
+
+    def test_dispute_audit(self, capsys):
+        out = run_example("dispute_audit.py", capsys)
+        assert "Scenario 1" in out and "Scenario 3" in out
+        assert "ok=False (poc-signature)" in out
+
+    def test_generic_mobile_charging(self, capsys):
+        out = run_example("generic_mobile_charging.py", capsys)
+        assert "bound" in out
+        assert "over-charge" in out

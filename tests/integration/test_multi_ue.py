@@ -1,0 +1,96 @@
+"""Multiple UEs on one cell: charging isolation and shared-fate physics."""
+
+import pytest
+
+from repro.cellular import CellularNetwork, RadioProfile, make_test_imsi
+from repro.edge import EdgeDevice, EdgeServer
+from repro.netsim import Direction, EventLoop, StreamRegistry
+
+
+def build_cell(n_devices=3, seed=1, base_loss=0.0):
+    loop = EventLoop()
+    net = CellularNetwork(loop, StreamRegistry(seed))
+    endpoints = []
+    for i in range(n_devices):
+        imsi = make_test_imsi(i + 1)
+        flow = f"app-{i}"
+        device = EdgeDevice(loop, imsi, flow)
+        access = net.attach_device(
+            imsi, RadioProfile(base_loss=base_loss), deliver=device.deliver
+        )
+        device.bind(access)
+        net.create_bearer(imsi, flow)
+        server = EdgeServer(loop, net, flow)
+        endpoints.append((device, server, flow))
+    return loop, net, endpoints
+
+
+class TestChargingIsolation:
+    def test_per_flow_counters_do_not_bleed(self):
+        """Each bearer is charged exactly its own traffic."""
+        loop, net, endpoints = build_cell()
+        volumes = [10, 20, 30]
+        for (device, server, flow), count in zip(endpoints, volumes):
+            for _ in range(count):
+                device.send(1000)
+        loop.run()
+        for (device, server, flow), count in zip(endpoints, volumes):
+            assert net.gateway_usage(flow, 0, loop.now(), Direction.UPLINK) == count * 1000
+
+    def test_per_ue_modem_counters_isolated(self):
+        loop, net, endpoints = build_cell()
+        for i, (device, server, flow) in enumerate(endpoints):
+            for _ in range(i + 1):
+                server.send(500)
+        loop.run()
+        for i, (device, server, flow) in enumerate(endpoints):
+            assert device.access.modem.dl_received.total == (i + 1) * 500
+
+    def test_one_ue_outage_does_not_charge_others(self):
+        """UE 0's radio dies; UEs 1-2 keep clean charging."""
+        loop, net, endpoints = build_cell()
+        victim = endpoints[0][0]
+        victim.access.radio.connected = False
+        for device, server, flow in endpoints:
+            for _ in range(20):
+                server.send(1000)
+        loop.run()
+        assert endpoints[0][0].access.modem.dl_received.total == 0
+        for device, server, flow in endpoints[1:]:
+            assert device.access.modem.dl_received.total == 20_000
+
+
+class TestSharedAir:
+    def test_foreground_flows_share_congested_fate(self):
+        """All best-effort flows on a saturated cell lose proportionally."""
+        loop, net, endpoints = build_cell(seed=5)
+        net.set_background_load(1e9, 0.0)
+        for device, server, flow in endpoints:
+            for i in range(300):
+                loop.schedule_at(i * 0.01, server.send, 1000)
+        loop.run()
+        losses = []
+        for device, server, flow in endpoints:
+            delivered = device.access.modem.dl_received.total
+            losses.append(1 - delivered / 300_000)
+        assert all(loss > 0.3 for loss in losses)
+        assert max(losses) - min(losses) < 0.25  # proportional, not starved
+
+    def test_distinct_radio_processes_per_ue(self):
+        """Seeded independence: UEs see different outage patterns."""
+        loop, net, endpoints = build_cell(seed=7)
+        radios = [d.access.radio for d, _, _ in endpoints]
+        profiles = [RadioProfile.for_disconnectivity(0.2) for _ in radios]
+        # Rebuild with outage-enabled radios for this check.
+        loop2, net2, _ = build_cell(seed=7)
+        imsis = [make_test_imsi(10 + i) for i in range(2)]
+        outage_radios = []
+        for i, imsi in enumerate(imsis):
+            access = net2.attach_device(imsi, profiles[i])
+            outage_radios.append(access.radio)
+        loop2.run_until(500.0)
+        counts = [r.outage_count for r in outage_radios]
+        assert all(c > 0 for c in counts)
+        # The named RNG streams differ per IMSI: patterns are not identical.
+        times = [r.total_outage_time for r in outage_radios]
+        assert times[0] != times[1]

@@ -1,0 +1,99 @@
+"""Prepaid tranches: quota-triggered cycles each negotiated to a PoC."""
+
+import random
+
+import pytest
+
+from repro.cellular import CellularNetwork, RadioProfile, make_test_imsi
+from repro.core import (
+    DataPlan,
+    OptimalStrategy,
+    PartyKnowledge,
+    PartyRole,
+    QuotaWatcher,
+)
+from repro.crypto import generate_keypair
+from repro.edge import EdgeDevice, EdgeServer
+from repro.netsim import EventLoop, StreamRegistry
+from repro.poc import NegotiationDriver
+
+
+@pytest.fixture(scope="module")
+def keys():
+    rng = random.Random(71)
+    return generate_keypair(512, rng), generate_keypair(512, rng)
+
+
+class TestPrepaidWorkflow:
+    def test_each_tranche_negotiates_to_a_poc(self, keys):
+        """Stream until several quota tranches close; negotiate each from
+        the parties' per-tranche records and check every tranche's charge
+        lands on its own x̂."""
+        edge_key, operator_key = keys
+        loop = EventLoop()
+        net = CellularNetwork(loop, StreamRegistry(3))
+        imsi = make_test_imsi(1)
+        device = EdgeDevice(loop, imsi, "prepaid")
+        access = net.attach_device(
+            imsi, RadioProfile(base_loss=0.05), deliver=device.deliver
+        )
+        device.bind(access)
+        net.create_bearer(imsi, "prepaid")
+        server = EdgeServer(loop, net, "prepaid")
+        bearer = net.bearers.by_flow("prepaid")
+        watcher = QuotaWatcher(
+            loop, bearer.uplink, quota_bytes=200_000, max_cycle_s=10_000.0,
+            poll_interval_s=0.5,
+        )
+        watcher.start()
+        for i in range(1200):
+            loop.schedule_at(i * 0.05, device.send, 1000)  # 160 kbps offered
+        loop.run_until(70.0)
+
+        assert len(watcher.triggers) >= 2
+        rng = random.Random(3)
+        for trigger in watcher.triggers[:2]:
+            assert trigger.by_quota
+            t1, t2 = trigger.cycle.t_start, trigger.cycle.t_end
+            sent = device.ul_monitor.true_usage(t1, t2)
+            received = bearer.uplink.bytes_between(t1, t2)
+            plan = DataPlan(c=0.5, cycle_duration_s=trigger.cycle.duration)
+            driver = NegotiationDriver(
+                plan, t1,
+                OptimalStrategy(PartyKnowledge(PartyRole.EDGE, sent, received)),
+                OptimalStrategy(PartyKnowledge(PartyRole.OPERATOR, received, sent)),
+                edge_key, operator_key, rng,
+            )
+            result = driver.run()
+            expected = plan.expected_charge(sent, received)
+            assert result.volume == pytest.approx(expected, abs=1)
+            # Each tranche's received volume is (about) the quota.
+            assert received == pytest.approx(200_000, rel=0.2)
+
+
+class TestHandoverDuringOutage:
+    def test_evict_cancels_rlf_timer(self):
+        """A UE evicted mid-outage must not fire the source cell's RLF."""
+        from repro.cellular import NetworkConfig
+        from repro.cellular.enodeb import ENodeBConfig
+
+        loop = EventLoop()
+        net = CellularNetwork(
+            loop, StreamRegistry(5),
+            NetworkConfig(n_cells=2, enodeb=ENodeBConfig(rlf_timeout_s=2.0)),
+        )
+        imsi = make_test_imsi(1)
+        access = net.attach_device(imsi, RadioProfile(), cell=0)
+        net.create_bearer(imsi, "app")
+        ue = net.enodebs[0].ue(str(imsi))
+        # Outage starts at the source cell...
+        access.radio.connected = False
+        for callback in access.radio.on_outage_start:
+            callback()
+        assert ue.rlf_timer is not None
+        # ...the UE hands over before the RLF timer expires.
+        net.handover(imsi, 1, interruption_s=0.1)
+        loop.run_until(5.0)
+        # No detach fired: the UE is still attached at the target.
+        assert ue.attached
+        assert net.mme.is_attached(str(imsi))

@@ -1,0 +1,71 @@
+"""Quota throttling end-to-end: the 'unlimited' plan's 128 Kbps tail."""
+
+import pytest
+
+from repro.cellular import CellularNetwork, QuotaPolicy, RadioProfile, make_test_imsi
+from repro.core import QuotaWatcher
+from repro.netsim import Direction, EventLoop, Packet, StreamRegistry
+
+
+def build(quota_bytes, throttle_bps=128_000.0, seed=1):
+    loop = EventLoop()
+    net = CellularNetwork(loop, StreamRegistry(seed))
+    imsi = make_test_imsi(1)
+    delivered = []
+    access = net.attach_device(imsi, RadioProfile(), deliver=delivered.append)
+    net.create_bearer(imsi, "app")
+    net.pcrf.set_quota("app", QuotaPolicy(quota_bytes=quota_bytes, throttle_bps=throttle_bps))
+    return loop, net, access, delivered
+
+
+def stream_downlink(loop, net, rate_pps=50, size=1000, duration=20.0):
+    count = int(rate_pps * duration)
+    for i in range(count):
+        loop.schedule_at(i / rate_pps, net.send_downlink, Packet(
+            size=size, flow_id="app", direction=Direction.DOWNLINK,
+        ))
+    return count * size
+
+
+class TestThrottling:
+    def test_full_speed_under_quota(self):
+        loop, net, access, delivered = build(quota_bytes=10**9)
+        offered = stream_downlink(loop, net)
+        loop.run()
+        assert access.modem.dl_received.total == offered
+        assert net.spgw.policed_drops.packets == 0
+
+    def test_throttle_kicks_in_after_quota(self):
+        """AT&T-style plan: full speed to the quota, ~128 Kbps after."""
+        loop, net, access, delivered = build(quota_bytes=100_000)
+        stream_downlink(loop, net, rate_pps=50, size=1000, duration=20.0)  # 400 kbps
+        loop.run()
+        # Everything up to the quota passed at full speed...
+        assert access.modem.dl_received.total >= 100_000
+        # ...then the policer clamped the rest near the throttle rate.
+        assert net.spgw.policed_drops.packets > 0
+        post_quota = access.modem.dl_received.total - 100_000
+        # 18 s of post-quota time at 128 kbps = 288 kB + one 16 kB burst.
+        assert post_quota <= 305_000
+
+    def test_policed_traffic_not_charged(self):
+        loop, net, access, delivered = build(quota_bytes=100_000)
+        offered = stream_downlink(loop, net, duration=20.0)
+        loop.run()
+        charged = net.gateway_usage("app", 0, loop.now(), Direction.DOWNLINK)
+        assert charged < offered
+        assert charged == access.modem.dl_received.total  # no loss besides policing
+
+    def test_quota_watcher_pairs_with_throttling(self):
+        """The prepaid workflow: the watcher closes the tranche as the
+        policer starts squeezing."""
+        loop, net, access, delivered = build(quota_bytes=100_000)
+        bearer = net.bearers.by_flow("app")
+        watcher = QuotaWatcher(loop, bearer.downlink, quota_bytes=100_000,
+                               max_cycle_s=1000.0, poll_interval_s=0.5)
+        watcher.start()
+        stream_downlink(loop, net, duration=20.0)
+        loop.run_until(25.0)
+        assert watcher.triggers
+        assert watcher.triggers[0].by_quota
+        assert watcher.triggers[0].charged_bytes == pytest.approx(100_000, rel=0.25)

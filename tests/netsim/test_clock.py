@@ -1,0 +1,49 @@
+"""Clock and SkewedClock behaviour."""
+
+import pytest
+
+from repro.netsim.clock import Clock, SkewedClock
+
+
+class TestClock:
+    def test_starts_at_zero_by_default(self):
+        assert Clock().now() == 0.0
+
+    def test_starts_at_given_time(self):
+        assert Clock(5.5).now() == 5.5
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            Clock(-1.0)
+
+    def test_advances_forward(self):
+        clock = Clock()
+        clock.advance_to(3.25)
+        assert clock.now() == 3.25
+
+    def test_advance_to_same_time_is_noop(self):
+        clock = Clock(2.0)
+        clock.advance_to(2.0)
+        assert clock.now() == 2.0
+
+    def test_never_rewinds(self):
+        clock = Clock(10.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(9.999)
+
+
+class TestSkewedClock:
+    def test_positive_skew_runs_ahead(self):
+        base = Clock(100.0)
+        skewed = SkewedClock(base, skew=2.5)
+        assert skewed.now() == 102.5
+
+    def test_negative_skew_runs_behind(self):
+        base = Clock(100.0)
+        assert SkewedClock(base, skew=-3.0).now() == 97.0
+
+    def test_tracks_base_clock(self):
+        base = Clock()
+        skewed = SkewedClock(base, skew=1.0)
+        base.advance_to(50.0)
+        assert skewed.now() == 51.0

@@ -1,0 +1,87 @@
+"""CumulativeCounter window queries (the charging primitive)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netsim.counters import CumulativeCounter
+
+
+class TestBasics:
+    def test_starts_empty(self):
+        counter = CumulativeCounter()
+        assert counter.total == 0
+        assert counter.cumulative_at(100.0) == 0
+
+    def test_accumulates(self):
+        counter = CumulativeCounter()
+        counter.add(1.0, 100)
+        counter.add(2.0, 50)
+        assert counter.total == 150
+
+    def test_window_is_half_open_left(self):
+        """Bytes exactly at t1 belong to the previous window."""
+        counter = CumulativeCounter()
+        counter.add(1.0, 100)
+        assert counter.bytes_between(1.0, 2.0) == 0
+        assert counter.bytes_between(0.0, 1.0) == 100
+
+    def test_window_includes_right_edge(self):
+        counter = CumulativeCounter()
+        counter.add(2.0, 70)
+        assert counter.bytes_between(1.0, 2.0) == 70
+
+    def test_same_time_adds_merge(self):
+        counter = CumulativeCounter()
+        counter.add(1.0, 10)
+        counter.add(1.0, 20)
+        assert counter.cumulative_at(1.0) == 30
+        assert counter.events == 1
+
+    def test_rejects_time_reversal(self):
+        counter = CumulativeCounter()
+        counter.add(2.0, 10)
+        with pytest.raises(ValueError):
+            counter.add(1.0, 10)
+
+    def test_rejects_negative_bytes(self):
+        with pytest.raises(ValueError):
+            CumulativeCounter().add(0.0, -1)
+
+    def test_rejects_inverted_window(self):
+        with pytest.raises(ValueError):
+            CumulativeCounter().bytes_between(2.0, 1.0)
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=1000, allow_nan=False),
+                st.integers(min_value=0, max_value=10_000),
+            ),
+            max_size=50,
+        )
+    )
+    def test_adjacent_windows_partition_total(self, events):
+        """Usage over (0, t] + (t, ∞) always equals the total."""
+        counter = CumulativeCounter()
+        for t, nbytes in sorted(events, key=lambda e: e[0]):
+            counter.add(t, nbytes)
+        split = 500.0
+        left = counter.bytes_between(0.0, split)
+        right = counter.bytes_between(split, 2000.0)
+        at_zero = counter.cumulative_at(0.0)
+        assert at_zero + left + right == counter.total
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=30)
+    )
+    def test_window_sums_are_monotone_in_width(self, sizes):
+        counter = CumulativeCounter()
+        for i, nbytes in enumerate(sizes):
+            counter.add(float(i), nbytes)
+        n = len(sizes)
+        narrow = counter.bytes_between(0.0, n / 2)
+        wide = counter.bytes_between(0.0, float(n))
+        assert narrow <= wide

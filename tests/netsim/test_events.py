@@ -1,0 +1,104 @@
+"""Event loop ordering, cancellation and time semantics."""
+
+import pytest
+
+from repro.netsim.events import EventLoop
+
+
+class TestScheduling:
+    def test_dispatches_in_time_order(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule_at(2.0, order.append, "b")
+        loop.schedule_at(1.0, order.append, "a")
+        loop.schedule_at(3.0, order.append, "c")
+        loop.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        loop = EventLoop()
+        order = []
+        for tag in ("first", "second", "third"):
+            loop.schedule_at(1.0, order.append, tag)
+        loop.run()
+        assert order == ["first", "second", "third"]
+
+    def test_relative_delay(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(0.5, lambda: seen.append(loop.now()))
+        loop.run()
+        assert seen == [0.5]
+
+    def test_cannot_schedule_in_past(self):
+        loop = EventLoop()
+        loop.schedule_at(1.0, lambda: None)
+        loop.run()
+        with pytest.raises(ValueError):
+            loop.schedule_at(0.5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        loop = EventLoop()
+        with pytest.raises(ValueError):
+            loop.schedule(-0.1, lambda: None)
+
+    def test_events_scheduled_during_dispatch_run(self):
+        loop = EventLoop()
+        seen = []
+
+        def first():
+            loop.schedule(1.0, lambda: seen.append(loop.now()))
+
+        loop.schedule_at(1.0, first)
+        loop.run()
+        assert seen == [2.0]
+
+
+class TestRunUntil:
+    def test_stops_at_horizon(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule_at(1.0, seen.append, 1)
+        loop.schedule_at(5.0, seen.append, 5)
+        dispatched = loop.run_until(2.0)
+        assert seen == [1] and dispatched == 1
+        assert loop.now() == 2.0
+        assert loop.pending() == 1
+
+    def test_clock_lands_on_horizon_with_no_events(self):
+        loop = EventLoop()
+        loop.run_until(7.0)
+        assert loop.now() == 7.0
+
+    def test_event_exactly_at_horizon_runs(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule_at(2.0, seen.append, "edge")
+        loop.run_until(2.0)
+        assert seen == ["edge"]
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        loop = EventLoop()
+        seen = []
+        event = loop.schedule_at(1.0, seen.append, "x")
+        event.cancel()
+        dispatched = loop.run()
+        assert seen == [] and dispatched == 0
+
+    def test_pending_excludes_cancelled(self):
+        loop = EventLoop()
+        keep = loop.schedule_at(1.0, lambda: None)
+        drop = loop.schedule_at(2.0, lambda: None)
+        drop.cancel()
+        assert loop.pending() == 1
+        assert not keep.cancelled
+
+    def test_dispatched_counter_accumulates(self):
+        loop = EventLoop()
+        for i in range(5):
+            loop.schedule_at(float(i), lambda: None)
+        loop.run_until(2.0)
+        loop.run()
+        assert loop.dispatched == 5

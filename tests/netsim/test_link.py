@@ -1,0 +1,94 @@
+"""Link serialization, latency and loss behaviour."""
+
+import pytest
+
+from repro.netsim.events import EventLoop
+from repro.netsim.link import Link
+from repro.netsim.packet import Direction, Packet
+
+
+def packet(size=1000):
+    return Packet(size=size, flow_id="f", direction=Direction.UPLINK)
+
+
+class TestDelivery:
+    def test_pure_delay_link(self):
+        loop = EventLoop()
+        arrivals = []
+        link = Link(loop, lambda p: arrivals.append(loop.now()), latency=0.01)
+        link.send(packet())
+        loop.run()
+        assert arrivals == [0.01]
+
+    def test_serialization_time_at_rate(self):
+        loop = EventLoop()
+        arrivals = []
+        # 1000 bytes at 1 Mbps = 8 ms serialization.
+        link = Link(loop, lambda p: arrivals.append(loop.now()), rate_bps=1e6)
+        link.send(packet(1000))
+        loop.run()
+        assert arrivals == [pytest.approx(0.008)]
+
+    def test_back_to_back_packets_queue_on_rate(self):
+        loop = EventLoop()
+        arrivals = []
+        link = Link(loop, lambda p: arrivals.append(loop.now()), rate_bps=1e6)
+        link.send(packet(1000))
+        link.send(packet(1000))
+        loop.run()
+        assert arrivals == [pytest.approx(0.008), pytest.approx(0.016)]
+
+    def test_preserves_order(self):
+        loop = EventLoop()
+        seen = []
+        link = Link(loop, lambda p: seen.append(p.seq), rate_bps=1e6, latency=0.005)
+        for i in range(5):
+            p = packet()
+            p.seq = i
+            link.send(p)
+        loop.run()
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_counters_track_sent_and_delivered(self):
+        loop = EventLoop()
+        link = Link(loop, lambda p: None, latency=0.001)
+        for _ in range(3):
+            link.send(packet(500))
+        loop.run()
+        assert link.sent.packets == 3
+        assert link.delivered.bytes == 1500
+
+
+class TestLoss:
+    def test_loss_fn_drops_and_labels(self):
+        loop = EventLoop()
+        arrivals = []
+        link = Link(
+            loop, arrivals.append, loss_fn=lambda p: True, drop_layer="ip-congestion"
+        )
+        p = packet()
+        link.send(p)
+        loop.run()
+        assert arrivals == []
+        assert p.dropped_at == "ip-congestion"
+        assert link.lost.packets == 1
+
+    def test_selective_loss(self):
+        loop = EventLoop()
+        arrivals = []
+        link = Link(loop, arrivals.append, loss_fn=lambda p: p.size > 500)
+        link.send(packet(100))
+        link.send(packet(1000))
+        loop.run()
+        assert len(arrivals) == 1
+        assert arrivals[0].size == 100
+
+
+class TestValidation:
+    def test_rejects_zero_rate(self):
+        with pytest.raises(ValueError):
+            Link(EventLoop(), lambda p: None, rate_bps=0)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            Link(EventLoop(), lambda p: None, latency=-0.001)

@@ -1,0 +1,69 @@
+"""Coverage of smaller substrate paths not exercised elsewhere."""
+
+import pytest
+
+from repro.cellular.air import AirInterface
+from repro.netsim import EventLoop, StreamRegistry
+from repro.netsim.link import Link
+from repro.netsim.packet import Direction, Packet
+
+
+def packet(size=1000, qci=9):
+    return Packet(size=size, flow_id="f", direction=Direction.UPLINK, qci=qci)
+
+
+class TestLinkReset:
+    def test_utilization_window_clear_forgets_backlog(self):
+        loop = EventLoop()
+        arrivals = []
+        link = Link(loop, lambda p: arrivals.append(loop.now()), rate_bps=8e3)
+        link.send(packet(1000))  # 1 s of serialization backlog
+        link.utilization_window_clear()
+        link.send(packet(1000))
+        loop.run()
+        # Without the clear the second packet would finish at t=2.
+        assert arrivals[-1] == pytest.approx(1.0, abs=0.01)
+
+
+class TestAirUtilization:
+    def test_utilization_counts_background_and_foreground(self):
+        loop = EventLoop()
+        air = AirInterface(loop, StreamRegistry(1), "u", capacity_bps=10e6)
+        assert air.utilization() == 0.0
+        air.set_background(9, 5e6)
+        assert air.utilization() == pytest.approx(0.5)
+
+    def test_priority_aware_queue_delay(self):
+        """QCI 5 ignores QCI 9 saturation; QCI 9 feels it."""
+        loop = EventLoop()
+        air = AirInterface(loop, StreamRegistry(1), "u", capacity_bps=10e6)
+        air.set_background(9, 9.9e6)
+        assert air.queue_delay(5) == 0.0
+        assert air.queue_delay(9) > 0.0
+
+    def test_qci_agnostic_delay_is_the_worst_case(self):
+        loop = EventLoop()
+        air = AirInterface(loop, StreamRegistry(1), "u", capacity_bps=10e6)
+        air.set_background(9, 9.9e6)
+        assert air.queue_delay() >= air.queue_delay(9)
+
+
+class TestRadioElapsed:
+    def test_outage_elapsed_zero_when_connected(self):
+        from repro.cellular.radio import RadioChannel, RadioProfile
+
+        loop = EventLoop()
+        radio = RadioChannel(loop, StreamRegistry(1), RadioProfile())
+        assert radio.outage_elapsed() == 0.0
+
+    def test_outage_elapsed_tracks_current_outage(self):
+        from repro.cellular.radio import RadioChannel, RadioProfile
+
+        loop = EventLoop()
+        profile = RadioProfile.for_disconnectivity(0.5, mean_outage_s=10.0)
+        radio = RadioChannel(loop, StreamRegistry(2), profile)
+        radio.start()
+        loop.run_until(200.0)
+        if not radio.connected:
+            assert radio.outage_elapsed() > 0.0
+        assert radio.measured_disconnectivity() > 0.1

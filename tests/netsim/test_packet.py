@@ -1,0 +1,58 @@
+"""Packet and FlowStats semantics."""
+
+import pytest
+
+from repro.netsim.packet import Direction, FlowStats, Packet, Transport
+
+
+def make_packet(size=100, **kw):
+    defaults = dict(size=size, flow_id="f", direction=Direction.UPLINK)
+    defaults.update(kw)
+    return Packet(**defaults)
+
+
+class TestPacket:
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ValueError):
+            make_packet(size=0)
+        with pytest.raises(ValueError):
+            make_packet(size=-5)
+
+    def test_packet_ids_unique(self):
+        assert make_packet().pkt_id != make_packet().pkt_id
+
+    def test_not_delivered_initially(self):
+        assert not make_packet().delivered
+
+    def test_delivered_after_timestamp(self):
+        packet = make_packet()
+        packet.delivered_at = 1.5
+        assert packet.delivered
+
+    def test_first_drop_layer_sticks(self):
+        packet = make_packet()
+        packet.mark_dropped("phy-rss")
+        packet.mark_dropped("ip-congestion")
+        assert packet.dropped_at == "phy-rss"
+
+    def test_default_transport_is_udp(self):
+        assert make_packet().transport is Transport.UDP
+
+
+class TestFlowStats:
+    def test_counts_packets_and_bytes(self):
+        stats = FlowStats()
+        stats.count(make_packet(size=100))
+        stats.count(make_packet(size=250))
+        assert stats.packets == 2
+        assert stats.bytes == 350
+
+    def test_merge_sums_elementwise(self):
+        a, b = FlowStats(2, 200), FlowStats(3, 300)
+        merged = a.merge(b)
+        assert (merged.packets, merged.bytes) == (5, 500)
+
+    def test_merge_does_not_mutate(self):
+        a, b = FlowStats(1, 10), FlowStats(1, 10)
+        a.merge(b)
+        assert a.packets == 1 and b.packets == 1

@@ -1,0 +1,88 @@
+"""Trace record / replay round-trips."""
+
+from repro.netsim.events import EventLoop
+from repro.netsim.packet import Direction, Packet, Transport
+from repro.netsim.pcap import TraceEntry, TraceRecorder, TraceReplayer, load_trace
+
+
+def make_packet(size=100, flow="f", qci=9):
+    return Packet(size=size, flow_id=flow, direction=Direction.UPLINK, qci=qci)
+
+
+class TestRecording:
+    def test_records_timestamp_and_shape(self):
+        loop = EventLoop()
+        recorder = TraceRecorder(loop)
+        loop.schedule_at(1.5, lambda: recorder.observe(make_packet(333)))
+        loop.run()
+        entry = recorder.entries[0]
+        assert entry.timestamp == 1.5
+        assert entry.size == 333
+        assert entry.direction == "UL"
+
+    def test_json_roundtrip(self):
+        entry = TraceEntry(1.25, 700, "vr", "DL", 7, "udp")
+        assert TraceEntry.from_json(entry.to_json()) == entry
+
+    def test_save_and_load(self, tmp_path):
+        loop = EventLoop()
+        recorder = TraceRecorder(loop)
+        for i in range(3):
+            loop.schedule_at(float(i), lambda i=i: recorder.observe(make_packet(100 + i)))
+        loop.run()
+        path = tmp_path / "trace.jsonl"
+        recorder.save(path)
+        loaded = load_trace(path)
+        assert loaded == recorder.entries
+
+    def test_empty_trace_saves_empty_file(self, tmp_path):
+        loop = EventLoop()
+        recorder = TraceRecorder(loop)
+        path = tmp_path / "empty.jsonl"
+        recorder.save(path)
+        assert load_trace(path) == []
+
+
+class TestReplay:
+    def test_replays_with_original_timing(self):
+        entries = [
+            TraceEntry(0.5, 100, "g", "DL", 7, "udp"),
+            TraceEntry(1.0, 200, "g", "DL", 7, "udp"),
+        ]
+        loop = EventLoop()
+        arrivals = []
+        replayer = TraceReplayer(loop, entries, lambda p: arrivals.append((loop.now(), p.size)))
+        replayer.start()
+        loop.run()
+        assert arrivals == [(0.5, 100), (1.0, 200)]
+
+    def test_replay_reconstructs_packet_fields(self):
+        entries = [TraceEntry(0.0, 512, "vr", "DL", 3, "tcp")]
+        loop = EventLoop()
+        seen = []
+        TraceReplayer(loop, entries, seen.append).start()
+        loop.run()
+        packet = seen[0]
+        assert packet.qci == 3
+        assert packet.transport is Transport.TCP
+        assert packet.direction is Direction.DOWNLINK
+
+    def test_looping_replay_repeats_trace(self):
+        entries = [TraceEntry(0.2, 100, "g", "UL", 9, "udp")]
+        loop = EventLoop()
+        arrivals = []
+        replayer = TraceReplayer(
+            loop, entries, lambda p: arrivals.append(loop.now()), loop_duration=1.0
+        )
+        scheduled = replayer.start(until=3.0)
+        loop.run()
+        assert scheduled == 3
+        assert arrivals == [0.2, 1.2, 2.2]
+
+    def test_time_offset_shifts_replay(self):
+        entries = [TraceEntry(0.0, 100, "g", "UL", 9, "udp")]
+        loop = EventLoop()
+        arrivals = []
+        TraceReplayer(loop, entries, lambda p: arrivals.append(loop.now()), time_offset=5.0).start()
+        loop.run()
+        assert arrivals == [5.0]

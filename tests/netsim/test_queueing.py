@@ -1,0 +1,104 @@
+"""Drop-tail queue and strict-priority scheduler behaviour."""
+
+import pytest
+
+from repro.netsim.events import EventLoop
+from repro.netsim.packet import Direction, Packet
+from repro.netsim.queueing import DropTailQueue, PriorityScheduler
+
+
+def packet(size=1000, qci=9):
+    return Packet(size=size, flow_id="f", direction=Direction.DOWNLINK, qci=qci)
+
+
+class TestDropTailQueue:
+    def test_fifo_order(self):
+        queue = DropTailQueue(10_000)
+        first, second = packet(), packet()
+        queue.push(first)
+        queue.push(second)
+        assert queue.pop() is first
+        assert queue.pop() is second
+
+    def test_pop_empty_returns_none(self):
+        assert DropTailQueue(100).pop() is None
+
+    def test_tail_drop_when_full(self):
+        queue = DropTailQueue(1500)
+        assert queue.push(packet(1000))
+        overflow = packet(1000)
+        assert not queue.push(overflow)
+        assert overflow.dropped_at == "ip-congestion"
+        assert queue.dropped.packets == 1
+
+    def test_backlog_tracks_bytes(self):
+        queue = DropTailQueue(10_000)
+        queue.push(packet(400))
+        queue.push(packet(600))
+        assert queue.backlog_bytes == 1000
+        queue.pop()
+        assert queue.backlog_bytes == 600
+
+    def test_drain_empties_queue(self):
+        queue = DropTailQueue(10_000)
+        for _ in range(3):
+            queue.push(packet(100))
+        drained = queue.drain()
+        assert len(drained) == 3
+        assert len(queue) == 0 and queue.backlog_bytes == 0
+
+    def test_custom_drop_layer(self):
+        queue = DropTailQueue(100, drop_layer="phy-intermittent")
+        p = packet(200)
+        queue.push(p)
+        assert p.dropped_at == "phy-intermittent"
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            DropTailQueue(0)
+
+
+class TestPriorityScheduler:
+    def test_serves_at_configured_rate(self):
+        loop = EventLoop()
+        done = []
+        sched = PriorityScheduler(loop, lambda p: done.append(loop.now()), rate_bps=8e6)
+        sched.submit(packet(1000))  # 1 ms service at 8 Mbps
+        loop.run()
+        assert done == [pytest.approx(0.001)]
+
+    def test_lower_qci_served_first(self):
+        """A queued QCI-3 packet preempts queued QCI-9 packets."""
+        loop = EventLoop()
+        order = []
+        sched = PriorityScheduler(loop, lambda p: order.append(p.qci), rate_bps=8e6)
+        sched.submit(packet(1000, qci=9))  # starts serving immediately
+        sched.submit(packet(1000, qci=9))
+        sched.submit(packet(1000, qci=3))
+        loop.run()
+        assert order == [9, 3, 9]
+
+    def test_queue_overflow_counts_as_drop(self):
+        loop = EventLoop()
+        sched = PriorityScheduler(
+            loop, lambda p: None, rate_bps=8e3, queue_capacity_bytes=1500
+        )
+        for _ in range(5):
+            sched.submit(packet(1000))
+        assert sched.dropped.packets >= 2
+
+    def test_backlog_reflects_queued_bytes(self):
+        loop = EventLoop()
+        sched = PriorityScheduler(loop, lambda p: None, rate_bps=8e3)
+        sched.submit(packet(1000))  # in service
+        sched.submit(packet(1000))  # queued
+        assert sched.backlog_bytes() == 1000
+
+    def test_all_submitted_eventually_served_or_dropped(self):
+        loop = EventLoop()
+        served = []
+        sched = PriorityScheduler(loop, served.append, rate_bps=1e6)
+        for qci in (9, 7, 3, 9, 7):
+            sched.submit(packet(500, qci=qci))
+        loop.run()
+        assert len(served) + sched.dropped.packets == 5

@@ -1,0 +1,133 @@
+"""TCP-like transport: ARQ, retransmission, spurious counting."""
+
+import pytest
+
+from repro.netsim.events import EventLoop
+from repro.netsim.transport import TcpLikeReceiver, TcpLikeSender
+
+
+class Harness:
+    """Sender and receiver joined by a controllable one-way channel."""
+
+    def __init__(self, loop, loss_seqs=(), delay=0.01, ack_delay=0.01, **sender_kw):
+        self.loop = loop
+        self.loss_seqs = set(loss_seqs)  # first transmission of these drops
+        self.delay = delay
+        self.ack_delay = ack_delay
+        self.sender = TcpLikeSender(loop, self._transmit, **sender_kw)
+        self.receiver = TcpLikeReceiver(loop, self._send_ack)
+        self._dropped_once: set[int] = set()
+
+    def _transmit(self, size, seq):
+        if seq in self.loss_seqs and seq not in self._dropped_once:
+            self._dropped_once.add(seq)
+            return  # lost in the network
+        sent_at = self.sender.first_sent_at(seq)
+        if sent_at is None:
+            sent_at = self.loop.now()
+        self.loop.schedule(self.delay, self.receiver.on_segment, size, seq, sent_at)
+
+    def _send_ack(self, seq):
+        self.loop.schedule(self.ack_delay, self.sender.on_ack, seq)
+
+
+class TestReliability:
+    def test_lossless_delivery_no_retransmission(self):
+        loop = EventLoop()
+        h = Harness(loop)
+        h.sender.offer(5000)
+        loop.run()
+        assert h.receiver.delivered_bytes == 5000
+        assert h.sender.retransmitted_bytes == 0
+        assert h.sender.overhead_ratio == 1.0
+
+    def test_segmentation_at_mss(self):
+        loop = EventLoop()
+        h = Harness(loop, mss=1000)
+        seqs = h.sender.offer(2500)
+        assert len(seqs) == 3  # 1000 + 1000 + 500
+        loop.run()
+        assert h.receiver.delivered_bytes == 2500
+
+    def test_lost_segment_recovered_by_retransmission(self):
+        loop = EventLoop()
+        h = Harness(loop, loss_seqs=[0], mss=1000, rto_s=0.1)
+        h.sender.offer(1000)
+        loop.run()
+        assert h.receiver.delivered_bytes == 1000
+        assert h.sender.retransmitted_bytes == 1000
+        assert h.sender.unacked_segments == 0
+
+    def test_recovery_costs_latency(self):
+        """Theorem 1's trade-off in miniature: the recovered segment
+        arrives at least one RTO later than a clean one."""
+        loop = EventLoop()
+        h = Harness(loop, loss_seqs=[0], mss=1000, rto_s=0.1)
+        h.sender.offer(2000)  # seq 0 lost once, seq 1 clean
+        loop.run()
+        latencies = sorted(h.receiver.delivery_latencies)
+        assert latencies[0] == pytest.approx(0.01, abs=0.002)  # clean
+        assert latencies[1] >= 0.1  # waited out the RTO
+
+    def test_abandon_after_max_retries(self):
+        loop = EventLoop()
+        h = Harness(loop, mss=1000, rto_s=0.05, max_retries=3)
+        h.loss_seqs = {0}
+        h._dropped_once = set()
+        # Drop *every* transmission of seq 0.
+        h._transmit_orig = h._transmit
+
+        def always_lose(size, seq):
+            if seq == 0:
+                return
+            h._transmit_orig(size, seq)
+
+        h.sender.transmit = always_lose
+        h.sender.offer(1000)
+        loop.run()
+        assert h.sender.abandoned_segments == 1
+        assert h.receiver.delivered_bytes == 0
+
+
+class TestSpuriousRetransmission:
+    def test_slow_ack_triggers_spurious_retransmission(self):
+        """The [12] over-charging vector: the data arrived, the ACK was
+        slow, the RTO fired anyway — bytes charged twice."""
+        loop = EventLoop()
+        h = Harness(loop, mss=1000, rto_s=0.05, ack_delay=0.2)
+        h.sender.offer(1000)
+        loop.run()
+        assert h.receiver.delivered_bytes == 1000
+        assert h.sender.spurious_retransmissions >= 1
+        assert h.receiver.duplicate_segments >= 1
+        assert h.sender.overhead_ratio > 1.0
+
+    def test_duplicates_not_delivered_twice(self):
+        loop = EventLoop()
+        h = Harness(loop, mss=1000, rto_s=0.05, ack_delay=0.2)
+        h.sender.offer(3000)
+        loop.run()
+        assert h.receiver.delivered_bytes == 3000  # exactly once each
+
+    def test_duplicate_ack_ignored(self):
+        loop = EventLoop()
+        h = Harness(loop, mss=1000)
+        h.sender.offer(1000)
+        loop.run()
+        h.sender.on_ack(0)  # replayed ACK for a finished segment
+        assert h.sender.unacked_segments == 0
+
+
+class TestValidation:
+    def test_rejects_bad_mss(self):
+        with pytest.raises(ValueError):
+            TcpLikeSender(EventLoop(), lambda s, q: None, mss=0)
+
+    def test_rejects_bad_rto(self):
+        with pytest.raises(ValueError):
+            TcpLikeSender(EventLoop(), lambda s, q: None, rto_s=0)
+
+    def test_rejects_empty_offer(self):
+        sender = TcpLikeSender(EventLoop(), lambda s, q: None)
+        with pytest.raises(ValueError):
+            sender.offer(0)

@@ -1,0 +1,22 @@
+"""Shared fixtures: small RSA keys so the protocol tests stay fast."""
+
+import random
+
+import pytest
+
+from repro.crypto import generate_keypair
+
+
+@pytest.fixture(scope="session")
+def edge_key():
+    return generate_keypair(512, random.Random(101))
+
+
+@pytest.fixture(scope="session")
+def operator_key():
+    return generate_keypair(512, random.Random(102))
+
+
+@pytest.fixture(scope="session")
+def intruder_key():
+    return generate_keypair(512, random.Random(103))

@@ -1,0 +1,90 @@
+"""Fuzzing the wire decoders: malformed input must fail *cleanly*.
+
+A public verifier ingests PoCs from untrusted parties; the decoders must
+reject arbitrary or mutated bytes with :class:`MessageError` — never an
+unexpected exception type and never a bogus accepted message.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import generate_keypair
+from repro.poc.messages import Cda, Cdr, MessageError, PlanParams, Poc, Role
+
+PLAN = PlanParams(0.0, 3600.0, 0.5)
+
+
+@pytest.fixture(scope="module")
+def chain():
+    rng = random.Random(301)
+    edge_key = generate_keypair(512, rng)
+    operator_key = generate_keypair(512, rng)
+    cdr = Cdr.build(Role.OPERATOR, PLAN, 0, bytes(16), 1000, operator_key)
+    cda = Cda.build(Role.EDGE, PLAN, 0, bytes(range(16)), 900, cdr, edge_key)
+    poc = Poc.build(Role.OPERATOR, PLAN, 950, cda, operator_key)
+    return edge_key, operator_key, cdr, cda, poc
+
+
+DECODERS = [Cdr.decode, Cda.decode, Poc.decode]
+
+
+class TestRandomBytes:
+    @settings(max_examples=150)
+    @given(st.binary(max_size=600))
+    def test_random_blobs_never_crash_unexpectedly(self, blob):
+        for decode in DECODERS:
+            try:
+                decode(blob)
+            except (MessageError, ValueError):
+                pass  # clean rejection (MessageError subclasses ValueError)
+
+    @settings(max_examples=100)
+    @given(st.binary(min_size=1, max_size=600))
+    def test_decoded_blobs_never_verify_under_fresh_keys(self, blob):
+        rng = random.Random(999)
+        key = generate_keypair(512, rng)
+        for decode in DECODERS:
+            try:
+                message = decode(blob)
+            except (MessageError, ValueError):
+                continue
+            assert not message.verify(key.public)
+
+
+class TestMutations:
+    @settings(max_examples=100, deadline=None)
+    @given(st.data())
+    def test_single_byte_mutation_of_poc(self, chain, data):
+        """Flipping any byte either breaks decoding or breaks a signature
+        somewhere in the chain — never yields a different valid PoC."""
+        edge_key, operator_key, _, _, poc = chain
+        blob = bytearray(poc.encode())
+        index = data.draw(st.integers(min_value=0, max_value=len(blob) - 1))
+        bit = data.draw(st.integers(min_value=0, max_value=7))
+        blob[index] ^= 1 << bit
+        try:
+            mutated = Poc.decode(bytes(blob))
+        except (MessageError, ValueError):
+            return
+        if mutated == poc:
+            return  # mutation hit a redundant encoding (none expected)
+        chain_valid = (
+            mutated.verify(operator_key.public)
+            and mutated.peer_cda.verify(edge_key.public)
+            and mutated.peer_cda.peer_cdr.verify(operator_key.public)
+            and mutated.nonce_edge == mutated.peer_cda.nonce
+            and mutated.nonce_operator == mutated.peer_cda.peer_cdr.nonce
+        )
+        assert not chain_valid, f"mutation at byte {index} produced a valid forgery"
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_truncations_rejected(self, chain, data):
+        _, _, _, _, poc = chain
+        blob = poc.encode()
+        cut = data.draw(st.integers(min_value=0, max_value=len(blob) - 1))
+        with pytest.raises((MessageError, ValueError)):
+            Poc.decode(blob[:cut])

@@ -1,0 +1,147 @@
+"""Multi-cycle PoC ledger and whole-history audits."""
+
+import random
+
+import pytest
+
+from repro.core import DataPlan, OptimalStrategy, PartyKnowledge, PartyRole
+from repro.poc import NegotiationDriver, PocLedger
+from repro.poc.verifier import VerificationFailure
+
+PLAN = DataPlan(c=0.5, cycle_duration_s=60.0)
+
+
+def negotiate_cycle(edge_key, operator_key, cycle_index, sent, received, seed=0):
+    driver = NegotiationDriver(
+        PLAN, cycle_index * 60.0,
+        OptimalStrategy(PartyKnowledge(PartyRole.EDGE, sent, received)),
+        OptimalStrategy(PartyKnowledge(PartyRole.OPERATOR, received, sent)),
+        edge_key, operator_key, random.Random(seed + cycle_index),
+    )
+    return driver.run().poc
+
+
+@pytest.fixture()
+def ledger(edge_key, operator_key):
+    ledger = PocLedger(PLAN)
+    volumes = [(1_000_000, 950_000), (800_000, 800_000), (1_200_000, 1_100_000)]
+    for i, (sent, received) in enumerate(volumes):
+        ledger.append(negotiate_cycle(edge_key, operator_key, i, sent, received))
+    return ledger
+
+
+class TestLedger:
+    def test_cycles_stored_in_order(self, ledger):
+        assert len(ledger) == 3
+        assert [e.cycle_index for e in map(ledger.entry, range(3))] == [0, 1, 2]
+
+    def test_total_volume_sums_receipts(self, ledger):
+        assert ledger.total_volume() == 975_000 + 800_000 + 1_150_000
+
+    def test_volumes_per_cycle(self, ledger):
+        assert ledger.volumes() == [975_000, 800_000, 1_150_000]
+
+    def test_rejects_gap_in_cycles(self, edge_key, operator_key):
+        ledger = PocLedger(PLAN)
+        ledger.append(negotiate_cycle(edge_key, operator_key, 0, 100, 100))
+        with pytest.raises(ValueError, match="consecutive"):
+            ledger.append(negotiate_cycle(edge_key, operator_key, 2, 100, 100))
+
+    def test_rejects_wrong_cycle_duration(self, edge_key, operator_key):
+        short_plan = DataPlan(c=0.5, cycle_duration_s=30.0)
+        driver = NegotiationDriver(
+            short_plan, 0.0,
+            OptimalStrategy(PartyKnowledge(PartyRole.EDGE, 100, 100)),
+            OptimalStrategy(PartyKnowledge(PartyRole.OPERATOR, 100, 100)),
+            edge_key, operator_key, random.Random(9),
+        )
+        ledger = PocLedger(PLAN)
+        with pytest.raises(ValueError, match="duration"):
+            ledger.append(driver.run().poc)
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, ledger, tmp_path, edge_key, operator_key):
+        path = ledger.save(tmp_path / "receipts.jsonl")
+        loaded = PocLedger.load(path, PLAN)
+        assert len(loaded) == len(ledger)
+        assert loaded.volumes() == ledger.volumes()
+        assert loaded.audit(edge_key.public, operator_key.public).ok
+
+    def test_empty_ledger_roundtrip(self, tmp_path):
+        path = PocLedger(PLAN).save(tmp_path / "empty.jsonl")
+        assert len(PocLedger.load(path, PLAN)) == 0
+
+    def test_corrupted_poc_rejected_at_load(self, ledger, tmp_path):
+        import base64 as b64
+        import json as js
+
+        path = ledger.save(tmp_path / "receipts.jsonl")
+        lines = path.read_text().splitlines()
+        row = js.loads(lines[0])
+        blob = bytearray(b64.b64decode(row["poc"]))
+        blob[10] ^= 0xFF  # corrupt the cycle-end timestamp (plan field)
+        row["poc"] = b64.b64encode(bytes(blob)).decode()
+        lines[0] = js.dumps(row)
+        path.write_text("\n".join(lines) + "\n")
+        from repro.poc.messages import MessageError
+
+        with pytest.raises((MessageError, ValueError)):
+            PocLedger.load(path, PLAN)
+
+    def test_malformed_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json at all\n")
+        with pytest.raises(ValueError, match="line 1"):
+            PocLedger.load(path, PLAN)
+
+    def test_bitflip_in_signature_survives_load_but_fails_audit(
+        self, ledger, tmp_path, edge_key, operator_key
+    ):
+        """Corruption that still decodes must be caught by the audit."""
+        import base64 as b64
+        import json as js
+
+        path = ledger.save(tmp_path / "receipts.jsonl")
+        lines = path.read_text().splitlines()
+        row = js.loads(lines[1])
+        blob = bytearray(b64.b64decode(row["poc"]))
+        blob[-40] ^= 0x01  # inside the signature region
+        row["poc"] = b64.b64encode(bytes(blob)).decode()
+        lines[1] = js.dumps(row)
+        path.write_text("\n".join(lines) + "\n")
+        loaded = PocLedger.load(path, PLAN)
+        report = loaded.audit(edge_key.public, operator_key.public)
+        assert not report.ok
+
+
+class TestAudit:
+    def test_clean_history_passes(self, ledger, edge_key, operator_key):
+        report = ledger.audit(edge_key.public, operator_key.public)
+        assert report.ok
+        assert report.entries_checked == 3
+        assert report.total_volume == ledger.total_volume()
+
+    def test_duplicated_receipt_caught_as_replay(self, edge_key, operator_key):
+        """Billing the same PoC twice across cycles is a replay."""
+        poc = negotiate_cycle(edge_key, operator_key, 0, 1_000_000, 950_000)
+        ledger = PocLedger(PLAN)
+        ledger.append(poc)
+        # Force the same receipt in as "the next cycle" by rebuilding the
+        # entry list directly (an adversarial ledger).
+        from repro.poc.ledger import LedgerEntry
+        from repro.poc.messages import PlanParams
+
+        ledger._entries.append(
+            LedgerEntry(1, PlanParams(60.0, 120.0, 0.5), poc)
+        )
+        report = ledger.audit(edge_key.public, operator_key.public)
+        assert not report.ok
+        kinds = {failure for _, failure in report.failures}
+        # The duplicate fails: wrong plan window *and* replayed nonces.
+        assert kinds & {VerificationFailure.REPLAYED, VerificationFailure.PLAN_MISMATCH}
+
+    def test_wrong_keys_fail_every_entry(self, ledger, edge_key, operator_key):
+        report = ledger.audit(operator_key.public, edge_key.public)
+        assert not report.ok
+        assert len(report.failures) == 3

@@ -1,0 +1,149 @@
+"""Negotiation over the simulated network: latency, loss survival."""
+
+import random
+
+import pytest
+
+from repro.cellular import CellularNetwork, RadioProfile, make_test_imsi
+from repro.core import DataPlan, OptimalStrategy, PartyKnowledge, PartyRole
+from repro.edge import EdgeDevice
+from repro.edge.device import EL20, Z840
+from repro.netsim import EventLoop, StreamRegistry
+from repro.poc import PlanParams, PublicVerifier
+from repro.poc.netdriver import NetworkNegotiation
+
+X_E, X_O = 1_000_000, 930_000
+PLAN = DataPlan(c=0.5, cycle_duration_s=60.0)
+
+
+def build(seed=5, base_loss=0.0, background_bps=0.0, edge_key=None, operator_key=None):
+    loop = EventLoop()
+    net = CellularNetwork(loop, StreamRegistry(seed))
+    imsi = make_test_imsi(1)
+    device = EdgeDevice(loop, imsi, "app")
+    access = net.attach_device(
+        imsi, RadioProfile(base_loss=base_loss), deliver=device.deliver
+    )
+    device.bind(access)
+    net.create_bearer(imsi, "app")
+    if background_bps:
+        net.set_background_load(background_bps, background_bps)
+    rng = random.Random(seed)
+    negotiation = NetworkNegotiation(
+        net, str(imsi), PLAN, 0.0,
+        OptimalStrategy(PartyKnowledge(PartyRole.EDGE, X_E, X_O)),
+        OptimalStrategy(PartyKnowledge(PartyRole.OPERATOR, X_O, X_E)),
+        edge_key, operator_key, rng,
+        edge_profile=EL20, operator_profile=Z840,
+        retransmit_timeout_s=0.3,
+    )
+    return loop, net, device, negotiation
+
+
+class TestCleanNetwork:
+    def test_completes_with_expected_volume(self, edge_key, operator_key):
+        loop, net, device, negotiation = build(edge_key=edge_key, operator_key=operator_key)
+        negotiation.start()
+        loop.run_until(10.0)
+        result = negotiation.result()
+        assert result.volume == 965_000
+        assert result.messages_sent == 3
+        assert result.retransmissions == 0
+
+    def test_poc_publicly_verifiable(self, edge_key, operator_key):
+        loop, net, device, negotiation = build(edge_key=edge_key, operator_key=operator_key)
+        negotiation.start()
+        loop.run_until(10.0)
+        report = PublicVerifier(PLAN).verify(
+            negotiation.result().poc,
+            PlanParams(0.0, 60.0, 0.5),
+            edge_key.public, operator_key.public,
+        )
+        assert report.ok
+
+    def test_elapsed_decomposes_into_crypto_plus_network(self, edge_key, operator_key):
+        loop, net, device, negotiation = build(edge_key=edge_key, operator_key=operator_key)
+        negotiation.start()
+        loop.run_until(10.0)
+        result = negotiation.result()
+        assert 0 < result.crypto_s < result.elapsed_s
+
+    def test_app_traffic_still_reaches_device(self, edge_key, operator_key):
+        """The signalling dispatch must not swallow application packets."""
+        loop, net, device, negotiation = build(edge_key=edge_key, operator_key=operator_key)
+        from repro.netsim import Direction, Packet
+
+        negotiation.start()
+        loop.schedule_at(0.5, net.send_downlink, Packet(
+            size=500, flow_id="app", direction=Direction.DOWNLINK,
+        ))
+        loop.run_until(10.0)
+        assert device.dl_monitor.total == 500
+
+    def test_result_before_completion_raises(self, edge_key, operator_key):
+        loop, net, device, negotiation = build(edge_key=edge_key, operator_key=operator_key)
+        with pytest.raises(RuntimeError):
+            negotiation.result()
+
+
+class TestDeadline:
+    def test_deadline_gives_up_on_dead_channel(self, edge_key, operator_key):
+        """Total loss + a deadline: the negotiation stops retransmitting
+        and reports timed_out — no PoC, no payment."""
+        loop, net, device, negotiation = build(
+            seed=13, base_loss=1.0, edge_key=edge_key, operator_key=operator_key
+        )
+        negotiation.deadline_s = 5.0
+        negotiation.start()
+        loop.run_until(30.0)
+        assert negotiation.timed_out
+        assert not negotiation.complete
+        with pytest.raises(RuntimeError):
+            negotiation.result()
+        # Retransmissions stopped at the deadline, not the horizon.
+        assert negotiation.operator_endpoint.messages_sent <= 5.0 / 0.3 + 2
+
+    def test_deadline_noop_when_completed(self, edge_key, operator_key):
+        loop, net, device, negotiation = build(
+            seed=14, edge_key=edge_key, operator_key=operator_key
+        )
+        negotiation.deadline_s = 5.0
+        negotiation.start()
+        loop.run_until(30.0)
+        assert not negotiation.timed_out
+        assert negotiation.result().volume == 965_000
+
+
+class TestAdverseNetwork:
+    def test_survives_air_loss_via_retransmission(self, edge_key, operator_key):
+        loop, net, device, negotiation = build(
+            seed=8, base_loss=0.4, edge_key=edge_key, operator_key=operator_key
+        )
+        negotiation.start()
+        loop.run_until(60.0)
+        result = negotiation.result()
+        assert result.volume == 965_000
+        assert result.retransmissions > 0
+
+    def test_lost_final_poc_recovered(self, edge_key, operator_key):
+        """Regression: when the *final* PoC message is lost over the air,
+        the finished operator must replay it in response to the edge's
+        CDA retransmissions instead of going silent (deadlock)."""
+        loop, net, device, negotiation = build(
+            seed=20, base_loss=0.2, edge_key=edge_key, operator_key=operator_key
+        )
+        negotiation.start()
+        loop.run_until(60.0)
+        result = negotiation.result()  # raised RuntimeError before the fix
+        assert result.volume == 965_000
+
+    def test_congestion_does_not_stall_signalling(self, edge_key, operator_key):
+        """QCI-5 signalling is prioritized over the saturating background."""
+        loop, net, device, negotiation = build(
+            seed=9, background_bps=160e6, edge_key=edge_key, operator_key=operator_key
+        )
+        negotiation.start()
+        loop.run_until(10.0)
+        result = negotiation.result()
+        assert result.volume == 965_000
+        assert result.elapsed_s < 0.5  # well under one retransmission storm

@@ -1,0 +1,117 @@
+"""NegotiationDriver: timing, loss recovery and cost accounting."""
+
+import random
+
+import pytest
+
+from repro.core.plan import DataPlan
+from repro.core.strategies import (
+    HonestStrategy,
+    OptimalStrategy,
+    PartyKnowledge,
+    PartyRole,
+    RandomSelfishStrategy,
+)
+from repro.edge.device import EL20, PIXEL_2XL, Z840
+from repro.poc.messages import Role
+from repro.poc.protocol import NegotiationDriver
+
+X_E, X_O = 1_000_000, 930_000
+PLAN = DataPlan(c=0.5, cycle_duration_s=3600.0)
+
+
+def driver(edge_key, operator_key, seed=1, **kw):
+    defaults = dict(
+        edge_strategy=OptimalStrategy(PartyKnowledge(PartyRole.EDGE, X_E, X_O)),
+        operator_strategy=OptimalStrategy(PartyKnowledge(PartyRole.OPERATOR, X_O, X_E)),
+    )
+    defaults.update(kw)
+    return NegotiationDriver(
+        PLAN, 0.0, defaults["edge_strategy"], defaults["operator_strategy"],
+        edge_key, operator_key, random.Random(seed),
+        **{k: v for k, v in kw.items() if k not in ("edge_strategy", "operator_strategy")},
+    )
+
+
+class TestOutcome:
+    def test_optimal_one_round_three_messages(self, edge_key, operator_key):
+        result = driver(edge_key, operator_key).run()
+        assert result.rounds == 1
+        assert result.messages == 3
+        assert result.volume == 965_000
+
+    def test_edge_can_initiate(self, edge_key, operator_key):
+        result = driver(edge_key, operator_key, initiator=Role.EDGE).run()
+        assert result.volume == 965_000
+
+    def test_elapsed_splits_into_crypto_and_network(self, edge_key, operator_key):
+        result = driver(edge_key, operator_key).run()
+        assert result.crypto_s > 0 and result.network_s > 0
+        assert result.crypto_s + result.network_s == pytest.approx(result.elapsed_s)
+
+    def test_crypto_fraction_in_unit_interval(self, edge_key, operator_key):
+        result = driver(edge_key, operator_key).run()
+        assert 0.0 < result.crypto_fraction < 1.0
+
+
+class TestDeviceProfiles:
+    def test_slow_device_slower_negotiation(self, edge_key, operator_key):
+        fast = driver(edge_key, operator_key, seed=5, edge_profile=Z840).run()
+        slow = driver(edge_key, operator_key, seed=5, edge_profile=PIXEL_2XL).run()
+        assert slow.elapsed_s > fast.elapsed_s
+
+    def test_el20_near_paper_latency(self, edge_key, operator_key):
+        """The paper measures 65.8 ms mean on the EL20."""
+        times = [
+            driver(edge_key, operator_key, seed=s, edge_profile=EL20).run().elapsed_s
+            for s in range(30)
+        ]
+        mean_ms = sum(times) / len(times) * 1000
+        assert 45 <= mean_ms <= 95
+
+
+class TestLossyChannel:
+    def test_recovers_via_retransmission(self, edge_key, operator_key):
+        result = driver(edge_key, operator_key, seed=3, message_loss=0.4).run()
+        assert result.volume == 965_000
+        assert result.retransmissions > 0
+
+    def test_retransmissions_add_latency(self, edge_key, operator_key):
+        clean = driver(edge_key, operator_key, seed=3).run()
+        lossy = driver(edge_key, operator_key, seed=3, message_loss=0.4).run()
+        assert lossy.elapsed_s > clean.elapsed_s
+
+    def test_unusable_channel_raises(self, edge_key, operator_key):
+        with pytest.raises(RuntimeError, match="unusable"):
+            driver(
+                edge_key, operator_key, seed=3,
+                message_loss=0.999, max_transmissions=3,
+            ).run()
+
+    def test_rejects_invalid_loss_rate(self, edge_key, operator_key):
+        with pytest.raises(ValueError):
+            driver(edge_key, operator_key, message_loss=1.0)
+
+
+class TestStrategies:
+    def test_random_play_produces_valid_poc(self, edge_key, operator_key):
+        rng = random.Random(9)
+        result = driver(
+            edge_key, operator_key,
+            edge_strategy=RandomSelfishStrategy(
+                PartyKnowledge(PartyRole.EDGE, X_E, X_O), rng
+            ),
+            operator_strategy=RandomSelfishStrategy(
+                PartyKnowledge(PartyRole.OPERATOR, X_O, X_E), rng
+            ),
+        ).run()
+        assert result.poc is not None
+        assert X_O * 0.95 <= result.volume <= X_E * 1.05
+
+    def test_honest_play_reaches_expected(self, edge_key, operator_key):
+        result = driver(
+            edge_key, operator_key,
+            edge_strategy=HonestStrategy(PartyKnowledge(PartyRole.EDGE, X_E, X_O)),
+            operator_strategy=HonestStrategy(PartyKnowledge(PartyRole.OPERATOR, X_O, X_E)),
+        ).run()
+        assert result.volume == 965_000

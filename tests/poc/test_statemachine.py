@@ -1,0 +1,180 @@
+"""TlcSession: the Figure-7a state machines."""
+
+import random
+
+import pytest
+
+from repro.core.plan import DataPlan
+from repro.core.strategies import (
+    HonestStrategy,
+    OptimalStrategy,
+    PartyKnowledge,
+    PartyRole,
+    StubbornStrategy,
+)
+from repro.poc.messages import Cdr, MessageType, PlanParams, Role
+from repro.poc.statemachine import ProtocolViolation, SessionState, TlcSession
+
+X_E, X_O = 1_000_000, 930_000
+
+
+def make_sessions(edge_key, operator_key, edge_strategy=None, operator_strategy=None, c=0.5):
+    plan = DataPlan(c=c, cycle_duration_s=3600.0)
+    edge = TlcSession(
+        Role.EDGE, plan, 0.0,
+        edge_strategy or OptimalStrategy(PartyKnowledge(PartyRole.EDGE, X_E, X_O)),
+        edge_key, operator_key.public, random.Random(1),
+    )
+    operator = TlcSession(
+        Role.OPERATOR, plan, 0.0,
+        operator_strategy or OptimalStrategy(PartyKnowledge(PartyRole.OPERATOR, X_O, X_E)),
+        operator_key, edge_key.public, random.Random(2),
+    )
+    return edge, operator
+
+
+def pump(initiator, responder):
+    """Shuttle messages until someone stops responding."""
+    wire = initiator.start()
+    sender, receiver = initiator, responder
+    hops = 0
+    while wire is not None:
+        hops += 1
+        assert hops < 300, "protocol did not terminate"
+        wire, (sender, receiver) = receiver.handle(wire), (receiver, sender)
+    return initiator, responder
+
+
+class TestHappyPath:
+    def test_operator_initiated_completes(self, edge_key, operator_key):
+        edge, operator = make_sessions(edge_key, operator_key)
+        pump(operator, edge)
+        assert edge.state is SessionState.DONE
+        assert operator.state is SessionState.DONE
+
+    def test_both_parties_hold_same_poc_volume(self, edge_key, operator_key):
+        edge, operator = make_sessions(edge_key, operator_key)
+        pump(operator, edge)
+        assert edge.poc is not None and operator.poc is not None
+        assert edge.poc.volume == operator.poc.volume == 965_000
+
+    def test_edge_initiated_symmetric(self, edge_key, operator_key):
+        edge, operator = make_sessions(edge_key, operator_key)
+        pump(edge, operator)
+        assert edge.poc.volume == 965_000
+
+    def test_optimal_play_three_messages(self, edge_key, operator_key):
+        """1-round = CDR, CDA, PoC — the paper's 3-message figure."""
+        edge, operator = make_sessions(edge_key, operator_key)
+        pump(operator, edge)
+        total = edge.stats.messages_sent + operator.stats.messages_sent
+        assert total == 3
+
+    def test_honest_play_same_charge(self, edge_key, operator_key):
+        edge, operator = make_sessions(
+            edge_key, operator_key,
+            HonestStrategy(PartyKnowledge(PartyRole.EDGE, X_E, X_O)),
+            HonestStrategy(PartyKnowledge(PartyRole.OPERATOR, X_O, X_E)),
+        )
+        pump(operator, edge)
+        assert edge.poc.volume == 965_000
+
+
+class TestRejectionPaths:
+    def test_stubborn_operator_forces_reclaims(self, edge_key, operator_key):
+        """Case 2/3 of Figure 7b: rejection re-enters with a CDR."""
+        edge, operator = make_sessions(
+            edge_key, operator_key,
+            operator_strategy=StubbornStrategy(
+                PartyKnowledge(PartyRole.OPERATOR, X_O, X_E), fixed_claim=2_000_000
+            ),
+        )
+        pump(operator, edge)
+        total = edge.stats.messages_sent + operator.stats.messages_sent
+        assert total > 3  # took more than the minimal exchange
+
+    def test_negotiation_still_terminates(self, edge_key, operator_key):
+        edge, operator = make_sessions(
+            edge_key, operator_key,
+            edge_strategy=StubbornStrategy(
+                PartyKnowledge(PartyRole.EDGE, X_E, X_O), fixed_claim=1
+            ),
+        )
+        pump(operator, edge)
+        assert edge.state is SessionState.DONE
+
+
+class TestProtocolViolations:
+    def test_cannot_start_twice(self, edge_key, operator_key):
+        edge, operator = make_sessions(edge_key, operator_key)
+        operator.start()
+        with pytest.raises(ProtocolViolation):
+            operator.start()
+
+    def test_rejects_forged_signature(self, edge_key, operator_key, intruder_key):
+        edge, operator = make_sessions(edge_key, operator_key)
+        forged = Cdr.build(
+            Role.OPERATOR, PlanParams(0.0, 3600.0, 0.5), 0, bytes(16), 10**9, intruder_key
+        )
+        with pytest.raises(ProtocolViolation, match="signature"):
+            edge.handle(forged.encode())
+
+    def test_rejects_own_role_message(self, edge_key, operator_key):
+        edge, operator = make_sessions(edge_key, operator_key)
+        own = Cdr.build(Role.EDGE, PlanParams(0.0, 3600.0, 0.5), 0, bytes(16), 1, edge_key)
+        with pytest.raises(ProtocolViolation, match="role"):
+            edge.handle(own.encode())
+
+    def test_rejects_wrong_plan_binding(self, edge_key, operator_key):
+        edge, operator = make_sessions(edge_key, operator_key)
+        wrong_plan = Cdr.build(
+            Role.OPERATOR, PlanParams(0.0, 3600.0, 0.9), 0, bytes(16), 100, operator_key
+        )
+        with pytest.raises(ProtocolViolation, match="plan"):
+            edge.handle(wrong_plan.encode())
+
+    def test_rejects_empty_message(self, edge_key, operator_key):
+        edge, _ = make_sessions(edge_key, operator_key)
+        with pytest.raises(ProtocolViolation):
+            edge.handle(b"")
+
+    def test_rejects_unknown_type(self, edge_key, operator_key):
+        edge, _ = make_sessions(edge_key, operator_key)
+        with pytest.raises(ProtocolViolation):
+            edge.handle(bytes([99]) + bytes(100))
+
+    def test_poc_volume_must_match_claims(self, edge_key, operator_key):
+        """A finalizer announcing a volume inconsistent with the signed
+        claims is caught immediately by the counterpart."""
+        edge, operator = make_sessions(edge_key, operator_key)
+        wire = operator.start()
+        cda_wire = edge.handle(wire)
+        poc_wire = operator.handle(cda_wire)
+        assert poc_wire is not None and poc_wire[0] == MessageType.POC.value
+        # Corrupt the volume field and re-sign is impossible; flip a byte
+        # in the announced volume region instead (signature then fails) —
+        # so craft a *consistent-looking* PoC with the wrong volume.
+        from repro.poc.messages import Poc
+
+        good = Poc.decode(poc_wire)
+        bad = Poc.build(good.role, good.plan, good.volume + 1, good.peer_cda, operator_key)
+        with pytest.raises(ProtocolViolation, match="inconsistent"):
+            edge.handle(bad.encode())
+
+
+class TestStats:
+    def test_signature_and_verification_counts_minimal_run(self, edge_key, operator_key):
+        edge, operator = make_sessions(edge_key, operator_key)
+        pump(operator, edge)
+        # Operator: sign CDR + sign PoC; verify CDA + embedded CDR.
+        assert operator.stats.signatures_made == 2
+        assert operator.stats.verifications_made == 2
+        # Edge: sign CDA; verify CDR + PoC.
+        assert edge.stats.signatures_made == 1
+        assert edge.stats.verifications_made == 2
+
+    def test_bytes_sent_accumulate(self, edge_key, operator_key):
+        edge, operator = make_sessions(edge_key, operator_key)
+        pump(operator, edge)
+        assert operator.stats.bytes_sent > 0
+        assert edge.stats.bytes_sent > 0

@@ -1,0 +1,111 @@
+"""Algorithm 2: public verification, failure branches, replay defence."""
+
+import random
+
+import pytest
+
+from repro.core.plan import DataPlan
+from repro.core.strategies import OptimalStrategy, PartyKnowledge, PartyRole
+from repro.poc.messages import Cda, Cdr, PlanParams, Poc, Role
+from repro.poc.protocol import NegotiationDriver
+from repro.poc.verifier import PublicVerifier, VerificationFailure
+
+X_E, X_O = 1_000_000, 930_000
+PLAN = DataPlan(c=0.5, cycle_duration_s=3600.0)
+PLAN_PARAMS = PlanParams(0.0, 3600.0, 0.5)
+
+
+@pytest.fixture()
+def poc(edge_key, operator_key):
+    driver = NegotiationDriver(
+        PLAN, 0.0,
+        OptimalStrategy(PartyKnowledge(PartyRole.EDGE, X_E, X_O)),
+        OptimalStrategy(PartyKnowledge(PartyRole.OPERATOR, X_O, X_E)),
+        edge_key, operator_key, random.Random(11),
+    )
+    return driver.run().poc
+
+
+class TestAccepts:
+    def test_valid_poc_verifies(self, poc, edge_key, operator_key):
+        report = PublicVerifier(PLAN).verify(poc, PLAN_PARAMS, edge_key.public, operator_key.public)
+        assert report.ok
+        assert report.volume == 965_000
+        assert report.edge_claim == X_O and report.operator_claim == X_E
+
+    def test_verifier_counts(self, poc, edge_key, operator_key):
+        verifier = PublicVerifier(PLAN)
+        verifier.verify(poc, PLAN_PARAMS, edge_key.public, operator_key.public)
+        assert verifier.verified == 1 and verifier.rejected == 0
+
+
+class TestRejects:
+    def test_wrong_plan_parameters(self, poc, edge_key, operator_key):
+        """Algorithm 2 line 2: T′ ≠ T or c′ ≠ c ⇒ false."""
+        other = PlanParams(0.0, 3600.0, 0.75)
+        report = PublicVerifier(PLAN).verify(poc, other, edge_key.public, operator_key.public)
+        assert not report.ok
+        assert report.failure is VerificationFailure.PLAN_MISMATCH
+
+    def test_swapped_keys_fail_signatures(self, poc, edge_key, operator_key):
+        report = PublicVerifier(PLAN).verify(poc, PLAN_PARAMS, operator_key.public, edge_key.public)
+        assert not report.ok
+        assert report.failure in (
+            VerificationFailure.BAD_POC_SIGNATURE,
+            VerificationFailure.BAD_CDA_SIGNATURE,
+        )
+
+    def test_forged_volume_detected(self, poc, edge_key, operator_key):
+        """A party announcing a different charge cannot re-sign the PoC."""
+        forged = Poc(
+            poc.role, poc.plan, poc.volume + 1000, poc.peer_cda,
+            poc.signature, poc.nonce_edge, poc.nonce_operator,
+        )
+        report = PublicVerifier(PLAN).verify(forged, PLAN_PARAMS, edge_key.public, operator_key.public)
+        assert not report.ok
+        assert report.failure is VerificationFailure.BAD_POC_SIGNATURE
+
+    def test_replay_rejected_second_time(self, poc, edge_key, operator_key):
+        """Algorithm 2's nonce freshness: the same PoC verifies once."""
+        verifier = PublicVerifier(PLAN)
+        assert verifier.verify(poc, PLAN_PARAMS, edge_key.public, operator_key.public).ok
+        replayed = verifier.verify(poc, PLAN_PARAMS, edge_key.public, operator_key.public)
+        assert not replayed.ok
+        assert replayed.failure is VerificationFailure.REPLAYED
+
+    def test_distinct_verifiers_have_independent_registries(self, poc, edge_key, operator_key):
+        PublicVerifier(PLAN).verify(poc, PLAN_PARAMS, edge_key.public, operator_key.public)
+        fresh = PublicVerifier(PLAN)
+        assert fresh.verify(poc, PLAN_PARAMS, edge_key.public, operator_key.public).ok
+
+    def test_nonce_trailer_mismatch(self, poc, edge_key, operator_key):
+        tampered = Poc(
+            poc.role, poc.plan, poc.volume, poc.peer_cda,
+            poc.signature, bytes(16), poc.nonce_operator,
+        )
+        report = PublicVerifier(PLAN).verify(tampered, PLAN_PARAMS, edge_key.public, operator_key.public)
+        assert not report.ok
+        assert report.failure is VerificationFailure.NONCE_MISMATCH
+
+    def test_sequence_mismatch(self, edge_key, operator_key):
+        """A CDA answering a different round's CDR is incoherent."""
+        cdr = Cdr.build(Role.OPERATOR, PLAN_PARAMS, 0, bytes(16), X_E, operator_key)
+        cda = Cda.build(Role.EDGE, PLAN_PARAMS, 3, bytes(range(16)), X_O, cdr, edge_key)
+        poc = Poc.build(Role.OPERATOR, PLAN_PARAMS, 965_000, cda, operator_key)
+        report = PublicVerifier(PLAN).verify(poc, PLAN_PARAMS, edge_key.public, operator_key.public)
+        assert not report.ok
+        assert report.failure is VerificationFailure.SEQUENCE_MISMATCH
+
+    def test_volume_inconsistent_with_claims(self, edge_key, operator_key):
+        """Line 8 replay: x must equal the charge of the signed claims."""
+        cdr = Cdr.build(Role.OPERATOR, PLAN_PARAMS, 0, bytes(16), X_E, operator_key)
+        cda = Cda.build(Role.EDGE, PLAN_PARAMS, 0, bytes(range(16)), X_O, cdr, edge_key)
+        poc = Poc.build(Role.OPERATOR, PLAN_PARAMS, 999_999, cda, operator_key)
+        report = PublicVerifier(PLAN).verify(poc, PLAN_PARAMS, edge_key.public, operator_key.public)
+        assert not report.ok
+        assert report.failure is VerificationFailure.VOLUME_MISMATCH
+
+    def test_rejection_increments_counter(self, poc, edge_key, operator_key):
+        verifier = PublicVerifier(PLAN)
+        verifier.verify(poc, PlanParams(0.0, 3600.0, 0.1), edge_key.public, operator_key.public)
+        assert verifier.rejected == 1

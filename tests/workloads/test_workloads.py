@@ -1,0 +1,146 @@
+"""Workload generators: bitrate fidelity, framing, packetization."""
+
+import pytest
+
+from repro.netsim import EventLoop, StreamRegistry
+from repro.netsim.packet import Direction, Packet, Transport
+from repro.workloads import (
+    CONGESTION_SWEEP_MBPS,
+    KING_OF_GLORY,
+    VRIDGE_GVSP,
+    WEBCAM_RTSP,
+    WEBCAM_UDP,
+    FrameWorkload,
+    WorkloadProfile,
+    iperf_profile,
+)
+
+
+class CollectingSender:
+    def __init__(self):
+        self.packets = []
+
+    def send(self, size, qci=9, transport=Transport.UDP):
+        packet = Packet(
+            size=size, flow_id="w", direction=Direction.UPLINK,
+            qci=qci, transport=transport,
+        )
+        self.packets.append(packet)
+        return packet
+
+
+def run_workload(profile, duration=30.0, seed=1):
+    loop = EventLoop()
+    sender = CollectingSender()
+    workload = FrameWorkload(loop, StreamRegistry(seed), profile, sender)
+    workload.start(until=duration)
+    loop.run_until(duration + 1.0)
+    return workload, sender
+
+
+class TestBitrateFidelity:
+    @pytest.mark.parametrize(
+        "profile,target_mbps",
+        [
+            (WEBCAM_RTSP, 0.77),
+            (WEBCAM_UDP, 1.73),
+            (VRIDGE_GVSP, 9.0),
+            (KING_OF_GLORY, 0.02),
+        ],
+    )
+    def test_achieved_bitrate_near_paper_average(self, profile, target_mbps):
+        """Each workload must land on the paper's measured bitrate."""
+        workload, _ = run_workload(profile, duration=60.0)
+        achieved = workload.achieved_bitrate_bps(60.0) / 1e6
+        assert achieved == pytest.approx(target_mbps, rel=0.15)
+
+    def test_frame_pacing(self):
+        workload, _ = run_workload(WEBCAM_UDP, duration=10.0)
+        assert workload.frames_sent == pytest.approx(10 * 30, abs=3)
+
+
+class TestFraming:
+    def test_iframes_are_larger(self):
+        """GoP structure: the periodic I-frame dominates P-frames."""
+        profile = WorkloadProfile(
+            name="gop", mean_bitrate_bps=1e6, fps=10.0,
+            iframe_interval=10, iframe_scale=5.0, size_sigma=0.0,
+            packet_bytes=10**6,  # no fragmentation: one send per frame
+        )
+        loop = EventLoop()
+        frames = []
+
+        class FrameSender:
+            def send(self, size, qci=9, transport=Transport.UDP):
+                frames.append(size)
+                return Packet(size=size, flow_id="w", direction=Direction.UPLINK)
+
+        workload = FrameWorkload(loop, StreamRegistry(1), profile, FrameSender())
+        workload.start(until=5.0)
+        loop.run_until(6.0)
+        # With sigma=0 and one packet per frame, sizes alternate I/P cleanly.
+        assert max(frames) > 3 * min(frames)
+
+    def test_mean_frame_size_preserved_with_gop(self):
+        profile = WorkloadProfile(
+            name="gop", mean_bitrate_bps=1e6, fps=10.0,
+            iframe_interval=10, iframe_scale=5.0, size_sigma=0.0,
+            packet_bytes=10**6,
+        )
+        workload, sender = run_workload(profile, duration=60.0)
+        achieved = workload.achieved_bitrate_bps(60.0)
+        assert achieved == pytest.approx(1e6, rel=0.1)
+
+    def test_fragmentation_at_packet_bytes(self):
+        profile = WorkloadProfile(
+            name="frag", mean_bitrate_bps=1e6, fps=1.0, packet_bytes=1400, size_sigma=0.0
+        )
+        _, sender = run_workload(profile, duration=5.0)
+        assert all(p.size <= 1400 for p in sender.packets)
+        assert any(p.size == 1400 for p in sender.packets)
+
+    def test_minimum_frame_size(self):
+        profile = WorkloadProfile(
+            name="tiny", mean_bitrate_bps=100.0, fps=10.0, size_sigma=0.0
+        )
+        _, sender = run_workload(profile, duration=5.0)
+        assert all(p.size >= 64 for p in sender.packets)
+
+
+class TestQosMarking:
+    def test_gaming_rides_qci7(self):
+        _, sender = run_workload(KING_OF_GLORY, duration=5.0)
+        assert all(p.qci == 7 for p in sender.packets)
+
+    def test_webcam_rides_default_qci(self):
+        _, sender = run_workload(WEBCAM_RTSP, duration=5.0)
+        assert all(p.qci == 9 for p in sender.packets)
+
+
+class TestIperf:
+    def test_profile_rate(self):
+        profile = iperf_profile(50e6)
+        workload, _ = run_workload(profile, duration=10.0)
+        assert workload.achieved_bitrate_bps(10.0) == pytest.approx(50e6, rel=0.05)
+
+    def test_rejects_non_positive_rate(self):
+        with pytest.raises(ValueError):
+            iperf_profile(0)
+
+    def test_sweep_matches_paper_points(self):
+        assert CONGESTION_SWEEP_MBPS == (0, 100, 120, 140, 160)
+
+
+class TestValidation:
+    def test_rejects_bad_bitrate(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(name="x", mean_bitrate_bps=0, fps=30)
+
+    def test_rejects_bad_packet_bytes(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(name="x", mean_bitrate_bps=1e6, fps=30, packet_bytes=0)
+
+    def test_deterministic_for_seed(self):
+        a, sa = run_workload(WEBCAM_UDP, duration=5.0, seed=3)
+        b, sb = run_workload(WEBCAM_UDP, duration=5.0, seed=3)
+        assert [p.size for p in sa.packets] == [p.size for p in sb.packets]
