@@ -4,13 +4,35 @@ Each benchmark regenerates one of the paper's tables or figures, prints
 the rendered rows/series (captured into ``bench_output.txt`` by the
 harness invocation) and archives them under ``benchmarks/out/`` so
 EXPERIMENTS.md can reference exact reproduced numbers.
+
+Scenario execution goes through :mod:`repro.experiments.parallel`:
+``REPRO_WORKERS=N`` fans the scenario sweeps out over N processes, and
+results land in the content-addressed cache under ``benchmarks/.cache/``
+so a re-run only simulates scenarios whose config changed.  Set
+``REPRO_CACHE_DIR=off`` to force every scenario to simulate.
 """
 
+import os
 from pathlib import Path
 
 import pytest
 
+from repro.experiments import parallel
+
 OUT_DIR = Path(__file__).parent / "out"
+CACHE_DIR = Path(__file__).parent / ".cache"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def scenario_engine():
+    """Point the default engine at the benchmark cache (env-overridable)."""
+    workers = int(os.environ.get("REPRO_WORKERS", "0") or 0)
+    cache_dir = os.environ.get("REPRO_CACHE_DIR", str(CACHE_DIR))
+    if cache_dir.lower() in ("", "0", "off", "none"):
+        cache_dir = None
+    parallel.configure(workers=workers, cache_dir=cache_dir)
+    yield
+    parallel.configure(workers=0, cache_dir=os.environ.get("REPRO_CACHE_DIR") or None)
 
 
 @pytest.fixture(scope="session")

@@ -78,6 +78,12 @@ class CounterCheckMonitor:
     each counter check (periodic + before releases).  Usage for a cycle is
     the difference between the last reports before each (skewed) boundary,
     so the record is additionally quantized at check epochs.
+
+    A modem's cumulative counters legitimately restart from zero on a
+    detach/reattach or a reboot; a backwards jump therefore re-baselines
+    the record (the new absolute value is taken as the delta since the
+    restart) instead of rejecting the report.  ``resets_observed`` counts
+    how often that happened.
     """
 
     def __init__(self, loop: EventLoop, name: str = "operator-rrc") -> None:
@@ -89,6 +95,7 @@ class CounterCheckMonitor:
         self._last_ul = 0
         self.skew = 0.0
         self.reports_received = 0
+        self.resets_observed = 0
 
     def set_skew(self, skew_s: float) -> None:
         """Set the operator app's clock skew for cycle boundaries."""
@@ -99,7 +106,13 @@ class CounterCheckMonitor:
         dl_delta = response.downlink_bytes - self._last_dl
         ul_delta = response.uplink_bytes - self._last_ul
         if dl_delta < 0 or ul_delta < 0:
-            raise ValueError("modem counter went backwards")
+            # Modem counter reset (detach/reattach, reboot): everything
+            # counted since the restart is the new absolute value.
+            self.resets_observed += 1
+            if dl_delta < 0:
+                dl_delta = response.downlink_bytes
+            if ul_delta < 0:
+                ul_delta = response.uplink_bytes
         self._dl_reports.add(self.loop.now(), dl_delta)
         self._ul_reports.add(self.loop.now(), ul_delta)
         self._last_dl = response.downlink_bytes

@@ -2,6 +2,15 @@
 
 from .latency import measure_rtt
 from .multi_operator import MultiOperatorResult, OperatorShare, run_multi_operator
+from .parallel import (
+    ResultCache,
+    RunReport,
+    derive_seed,
+    result_from_dict,
+    result_to_dict,
+    run_scenarios,
+    scenario_key,
+)
 from .runner import SCHEMES, ScenarioResult, ScenarioRunner, run_scenario
 from .scenarios import (
     ALL_APPS,
@@ -19,6 +28,13 @@ __all__ = [
     "MultiOperatorResult",
     "OperatorShare",
     "run_multi_operator",
+    "ResultCache",
+    "RunReport",
+    "derive_seed",
+    "result_from_dict",
+    "result_to_dict",
+    "run_scenarios",
+    "scenario_key",
     "SCHEMES",
     "ScenarioResult",
     "ScenarioRunner",

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
 
-from . import export, figures
+from . import export, figures, parallel
 
 
 @dataclass(frozen=True)
@@ -92,6 +92,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
+
+    def add_engine_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--workers", type=int, default=None, metavar="N",
+            help="simulate scenarios on N worker processes "
+            "(default: $REPRO_WORKERS or serial)",
+        )
+        p.add_argument(
+            "--cache-dir", metavar="DIR", default=None,
+            help="content-addressed scenario result cache "
+            "(default: $REPRO_CACHE_DIR or no cache)",
+        )
+        p.add_argument(
+            "--no-cache", action="store_true",
+            help="disable the scenario result cache for this invocation",
+        )
+
     report = sub.add_parser(
         "report", help="run every experiment and write a markdown report"
     )
@@ -99,6 +116,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", metavar="FILE", default="REPORT.md",
         help="report path (default: REPORT.md)",
     )
+    add_engine_options(report)
     verify = sub.add_parser(
         "verify", help="audit a saved PoC ledger as an independent third party"
     )
@@ -121,7 +139,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also export plot-ready CSV data into DIR",
     )
+    add_engine_options(run)
     return parser
+
+
+def _configure_engine(args) -> None:
+    """Apply --workers/--cache-dir/--no-cache on top of the env defaults."""
+    import os
+
+    workers = args.workers
+    if workers is None:
+        workers = int(os.environ.get("REPRO_WORKERS", "0") or 0)
+    cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR") or None
+    if args.no_cache:
+        cache_dir = None
+    parallel.configure(workers=workers, cache_dir=cache_dir)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -133,10 +165,12 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "report":
+        _configure_engine(args)
         return _write_report(Path(args.out))
     if args.command == "verify":
         return _verify_ledger(args)
 
+    _configure_engine(args)
     names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:

@@ -24,6 +24,7 @@ from ..edge.monitors import record_error_ratio
 from ..netsim import Direction
 from ..poc import LEGACY_LTE_CDR_BYTES, NegotiationDriver
 from ..workloads import CONGESTION_SWEEP_MBPS, WEBCAM_UDP
+from .parallel import run_scenarios
 from .runner import ScenarioResult, run_scenario
 from .scenarios import ALL_APPS, FIG3_APPS, VRIDGE_DL, WEBCAM_UDP_UL, ScenarioConfig
 from .stats import Summary, cdf_points
@@ -74,13 +75,15 @@ def figure3(seed: int = 1, n_cycles: int = DEFAULT_CYCLES) -> TableResult:
         "Figure 3: data charging gap (MB/hr) under congestion (RSS ≥ -95 dBm)",
         ("app", *[f"{m}Mbps" for m in CONGESTION_SWEEP_MBPS]),
     )
+    results = iter(run_scenarios([
+        app.with_(seed=seed, n_cycles=n_cycles, background_mbps=float(mbps))
+        for app in FIG3_APPS
+        for mbps in CONGESTION_SWEEP_MBPS
+    ]))
     for app in FIG3_APPS:
         row: list = [app.name]
-        for mbps in CONGESTION_SWEEP_MBPS:
-            result = run_scenario(
-                app.with_(seed=seed, n_cycles=n_cycles, background_mbps=float(mbps))
-            )
-            row.append(statistics.mean(_raw_gap_mb_hr(result)))
+        for _ in CONGESTION_SWEEP_MBPS:
+            row.append(statistics.mean(_raw_gap_mb_hr(next(results))))
         table.rows.append(tuple(row))
     return table
 
@@ -206,12 +209,10 @@ def _pooled_results(
         {"background_mbps": 160.0},
         {"outage_eta": 0.08},
     ]
-    results = []
-    for i, cond in enumerate(conditions):
-        results.append(
-            run_scenario(app.with_(seed=seed + i, n_cycles=n_cycles, **cond))
-        )
-    return results
+    return run_scenarios([
+        app.with_(seed=seed + i, n_cycles=n_cycles, **cond)
+        for i, cond in enumerate(conditions)
+    ])
 
 
 def figure12(
@@ -263,11 +264,14 @@ def figure13(seed: int = 1, n_cycles: int = DEFAULT_CYCLES) -> TableResult:
         "Figure 13: charging gap ratio (%) under congestion",
         ("app", "scheme", *[f"{m}Mbps" for m in CONGESTION_SWEEP_MBPS]),
     )
-    for app in ALL_APPS:
-        per_level = [
-            run_scenario(app.with_(seed=seed, n_cycles=n_cycles, background_mbps=float(m)))
-            for m in CONGESTION_SWEEP_MBPS
-        ]
+    all_results = run_scenarios([
+        app.with_(seed=seed, n_cycles=n_cycles, background_mbps=float(m))
+        for app in ALL_APPS
+        for m in CONGESTION_SWEEP_MBPS
+    ])
+    n_levels = len(CONGESTION_SWEEP_MBPS)
+    for j, app in enumerate(ALL_APPS):
+        per_level = all_results[j * n_levels:(j + 1) * n_levels]
         for scheme in ("legacy", "tlc-random", "tlc-optimal"):
             row = [app.name, scheme]
             row.extend(r.mean_epsilon(scheme) * 100 for r in per_level)
@@ -287,10 +291,10 @@ def figure14(seed: int = 1, n_cycles: int = DEFAULT_CYCLES) -> TableResult:
         "Figure 14: charging gap ratio (%) vs intermittent disconnectivity η",
         ("scheme", *[f"η={e:.0%}" for e in ETA_SWEEP]),
     )
-    per_eta = [
-        run_scenario(WEBCAM_UDP_UL.with_(seed=seed, n_cycles=n_cycles, outage_eta=eta))
+    per_eta = run_scenarios([
+        WEBCAM_UDP_UL.with_(seed=seed, n_cycles=n_cycles, outage_eta=eta)
         for eta in ETA_SWEEP
-    ]
+    ])
     for scheme in ("legacy", "tlc-random", "tlc-optimal"):
         table.rows.append((scheme, *[r.mean_epsilon(scheme) * 100 for r in per_eta]))
     return table
@@ -307,12 +311,17 @@ def figure15(seed: int = 1, n_cycles: int = DEFAULT_CYCLES) -> dict[float, list[
     c = 1 TLC matches honest legacy and μ collapses to ≈ 0).
     """
     out: dict[float, list[tuple[float, float]]] = {}
-    for c in (0.0, 0.25, 0.5, 0.75, 1.0):
+    c_values = (0.0, 0.25, 0.5, 0.75, 1.0)
+    backgrounds = (0.0, 120.0, 160.0)
+    results = iter(run_scenarios([
+        VRIDGE_DL.with_(seed=seed + i, n_cycles=n_cycles, c=c, background_mbps=background)
+        for c in c_values
+        for i, background in enumerate(backgrounds)
+    ]))
+    for c in c_values:
         mus: list[float] = []
-        for i, background in enumerate((0.0, 120.0, 160.0)):
-            result = run_scenario(
-                VRIDGE_DL.with_(seed=seed + i, n_cycles=n_cycles, c=c, background_mbps=background)
-            )
+        for _ in backgrounds:
+            result = next(results)
             for usage, outcome in zip(result.usages, result.outcomes["tlc-optimal"]):
                 legacy = usage.gateway_count
                 if legacy > 0:
@@ -452,8 +461,10 @@ def figure18(seed: int = 1, n_cycles: int = 12) -> TableResult:
     """
     gammas_o: list[float] = []
     gammas_e: list[float] = []
-    for i, app in enumerate((VRIDGE_DL,)):
-        result = run_scenario(app.with_(seed=seed + i, n_cycles=n_cycles))
+    apps = (VRIDGE_DL,)
+    for result in run_scenarios(
+        [app.with_(seed=seed + i, n_cycles=n_cycles) for i, app in enumerate(apps)]
+    ):
         for usage in result.usages:
             if usage.gateway_count == 0:
                 continue

@@ -1,0 +1,302 @@
+"""Process-pool scenario execution with a content-addressed result cache.
+
+The paper's evaluation is an embarrassingly parallel sweep: every figure
+and table runs many independent (workload × network-condition) scenarios,
+each already deterministic given its :class:`ScenarioConfig` — the runner
+builds a fresh :class:`~repro.netsim.events.EventLoop` and derives every
+random stream from ``StreamRegistry(config.seed)``, so a scenario's result
+depends on nothing outside its config.  This module exploits both facts:
+
+* :func:`run_scenarios` fans configs out over a process pool; results are
+  shipped across the process boundary through an explicit dataclass↔dict
+  codec (live results reference simulator objects, so we serialize the
+  record content, not the object graph).  Per-scenario determinism makes
+  parallel results bit-identical to serial ones.
+* :class:`ResultCache` stores the same codec output on disk under a
+  content-addressed key — a stable hash of the full ``ScenarioConfig``
+  plus a codec version.  Re-running a figure benchmark only simulates
+  scenarios whose config (or the codec) changed; everything else is a
+  cache hit.  Invalidation is by key: any config field change, or a bump
+  of :data:`CODEC_VERSION`, produces a new key and the stale entry is
+  simply never read again.
+
+Module-level defaults (set by :func:`configure`, seeded from the
+``REPRO_WORKERS`` / ``REPRO_CACHE_DIR`` environment variables) let the
+CLI and the benchmark harness opt whole sweeps in without threading
+options through every figure function.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..cellular.radio import RssSample
+from ..core.gap import SchemeOutcome
+from ..core.plan import ChargingCycle
+from ..core.records import CycleUsage
+from ..netsim.packet import Direction, Transport
+from ..netsim.rng import StreamRegistry
+from ..workloads.base import WorkloadProfile
+from .runner import ScenarioResult, run_scenario
+from .scenarios import ScenarioConfig
+
+#: Bump when the codec or anything influencing simulation output changes;
+#: every cache key embeds it, so old entries stop matching.
+CODEC_VERSION = 1
+
+
+# ------------------------------------------------------------------ codec
+
+
+def config_to_dict(config: ScenarioConfig) -> dict:
+    """JSON-safe dict for a :class:`ScenarioConfig` (enums → values)."""
+    encoded = dataclasses.asdict(config)
+    encoded["direction"] = config.direction.value
+    encoded["workload"] = dict(encoded["workload"])
+    encoded["workload"]["transport"] = config.workload.transport.value
+    return encoded
+
+
+def config_from_dict(data: dict) -> ScenarioConfig:
+    """Inverse of :func:`config_to_dict`."""
+    decoded = dict(data)
+    workload = dict(decoded["workload"])
+    workload["transport"] = Transport(workload["transport"])
+    decoded["workload"] = WorkloadProfile(**workload)
+    decoded["direction"] = Direction(decoded["direction"])
+    return ScenarioConfig(**decoded)
+
+
+def result_to_dict(result: ScenarioResult) -> dict:
+    """Serialize a :class:`ScenarioResult` for IPC or the on-disk cache."""
+    return {
+        "version": CODEC_VERSION,
+        "config": config_to_dict(result.config),
+        "usages": [
+            {
+                "cycle": [u.cycle.t_start, u.cycle.t_end],
+                "direction": u.direction.value,
+                "flow_id": u.flow_id,
+                "true_sent": u.true_sent,
+                "true_received": u.true_received,
+                "gateway_count": u.gateway_count,
+                "edge_sent_record": u.edge_sent_record,
+                "edge_received_estimate": u.edge_received_estimate,
+                "operator_received_record": u.operator_received_record,
+                "operator_sent_estimate": u.operator_sent_estimate,
+            }
+            for u in result.usages
+        ],
+        "outcomes": {
+            scheme: [
+                {"scheme": o.scheme, "charged": o.charged,
+                 "expected": o.expected, "rounds": o.rounds}
+                for o in outcomes
+            ]
+            for scheme, outcomes in result.outcomes.items()
+        },
+        "measured_bitrate_bps": result.measured_bitrate_bps,
+        "rss_history": [
+            [s.t, s.rss_dbm, s.connected] for s in result.rss_history
+        ],
+    }
+
+
+def result_from_dict(data: dict) -> ScenarioResult:
+    """Inverse of :func:`result_to_dict`."""
+    if data.get("version") != CODEC_VERSION:
+        raise ValueError(
+            f"result codec version {data.get('version')!r} != {CODEC_VERSION}"
+        )
+    usages = [
+        CycleUsage(
+            cycle=ChargingCycle(u["cycle"][0], u["cycle"][1]),
+            direction=Direction(u["direction"]),
+            flow_id=u["flow_id"],
+            true_sent=u["true_sent"],
+            true_received=u["true_received"],
+            gateway_count=u["gateway_count"],
+            edge_sent_record=u["edge_sent_record"],
+            edge_received_estimate=u["edge_received_estimate"],
+            operator_received_record=u["operator_received_record"],
+            operator_sent_estimate=u["operator_sent_estimate"],
+        )
+        for u in data["usages"]
+    ]
+    outcomes = {
+        scheme: [
+            SchemeOutcome(o["scheme"], o["charged"], o["expected"], o["rounds"])
+            for o in rows
+        ]
+        for scheme, rows in data["outcomes"].items()
+    }
+    return ScenarioResult(
+        config=config_from_dict(data["config"]),
+        usages=usages,
+        outcomes=outcomes,
+        measured_bitrate_bps=data["measured_bitrate_bps"],
+        rss_history=[RssSample(t, rss, conn) for t, rss, conn in data["rss_history"]],
+    )
+
+
+# ------------------------------------------------------------ seeding/keys
+
+
+def derive_seed(base_seed: int, salt: str) -> int:
+    """A per-scenario seed from a sweep's base seed and a stable salt.
+
+    Uses the same SHA-256 derivation as :meth:`StreamRegistry.fork`, so a
+    sweep can hand every scenario an independent, reproducible seed that
+    is identical however the sweep is partitioned across processes.
+    """
+    return StreamRegistry(base_seed).fork(salt).seed
+
+
+def scenario_key(config: ScenarioConfig) -> str:
+    """Content-addressed cache key: stable hash of the full config."""
+    canonical = json.dumps(
+        {"codec": CODEC_VERSION, "config": config_to_dict(config)},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+# ------------------------------------------------------------------- cache
+
+
+class ResultCache:
+    """On-disk scenario results, content-addressed by config hash.
+
+    One JSON file per scenario under ``directory``.  Unreadable or
+    version-mismatched entries are treated as misses and removed, so a
+    corrupt cache can never poison a sweep.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+
+    def path_for(self, config: ScenarioConfig) -> Path:
+        return self.directory / f"{scenario_key(config)}.json"
+
+    def get(self, config: ScenarioConfig) -> ScenarioResult | None:
+        path = self.path_for(config)
+        try:
+            data = json.loads(path.read_text())
+            return result_from_dict(data)
+        except FileNotFoundError:
+            return None
+        except (ValueError, KeyError, TypeError, IndexError, OSError):
+            path.unlink(missing_ok=True)
+            return None
+
+    def put(self, config: ScenarioConfig, result: ScenarioResult) -> Path:
+        path = self.path_for(config)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(result_to_dict(result), separators=(",", ":")))
+        tmp.replace(path)  # atomic publish: readers never see partial JSON
+        return path
+
+
+# ------------------------------------------------------------------ engine
+
+
+@dataclass
+class RunReport:
+    """Where each scenario of the last :func:`run_scenarios` came from."""
+
+    simulated: int = 0
+    cached: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.simulated + self.cached
+
+
+_default_workers = 0
+_default_cache: ResultCache | None = None
+
+
+def configure(workers: int | None = None, cache_dir: str | Path | None = None) -> None:
+    """Set process-count and cache defaults for subsequent sweeps.
+
+    ``workers=0``/``1`` means serial; ``cache_dir=None`` disables the
+    cache.  Called by the CLI (``--workers``/``--cache-dir``) and the
+    benchmark harness; initial values come from the ``REPRO_WORKERS`` and
+    ``REPRO_CACHE_DIR`` environment variables.
+    """
+    global _default_workers, _default_cache
+    _default_workers = int(workers) if workers is not None else 0
+    _default_cache = ResultCache(cache_dir) if cache_dir else None
+
+
+configure(
+    workers=int(os.environ.get("REPRO_WORKERS", "0") or 0),
+    cache_dir=os.environ.get("REPRO_CACHE_DIR") or None,
+)
+
+
+def _simulate_to_dict(config_data: dict) -> dict:
+    """Pool worker: decode the config, simulate, encode the result."""
+    return result_to_dict(run_scenario(config_from_dict(config_data)))
+
+
+def run_scenarios(
+    configs: list[ScenarioConfig] | tuple[ScenarioConfig, ...],
+    workers: int | None = None,
+    cache: ResultCache | None | bool = True,
+    report: RunReport | None = None,
+) -> list[ScenarioResult]:
+    """Run a batch of scenarios, in input order, as fast as allowed.
+
+    Cache hits are returned without simulating; misses run either inline
+    (``workers`` ≤ 1, or a single miss) or on a process pool.  Parallel
+    and serial execution produce bit-identical results: every scenario is
+    seeded solely from its own config.
+
+    ``cache=True`` uses the configured default cache (possibly none),
+    ``cache=None``/``False`` disables caching for this call, and an
+    explicit :class:`ResultCache` overrides the default.  ``report``, if
+    given, is filled with simulated/cached counts.
+    """
+    if cache is True:
+        cache = _default_cache
+    elif cache is False:
+        cache = None
+    n_workers = _default_workers if workers is None else int(workers)
+    configs = list(configs)
+    results: list[ScenarioResult | None] = [None] * len(configs)
+
+    misses: list[int] = []
+    for i, config in enumerate(configs):
+        hit = cache.get(config) if cache is not None else None
+        if hit is not None:
+            results[i] = hit
+        else:
+            misses.append(i)
+    if report is not None:
+        report.cached += len(configs) - len(misses)
+        report.simulated += len(misses)
+
+    if misses:
+        if n_workers <= 1 or len(misses) == 1:
+            fresh = [run_scenario(configs[i]) for i in misses]
+        else:
+            with ProcessPoolExecutor(max_workers=min(n_workers, len(misses))) as pool:
+                encoded = pool.map(
+                    _simulate_to_dict, [config_to_dict(configs[i]) for i in misses]
+                )
+                fresh = [result_from_dict(data) for data in encoded]
+        for i, result in zip(misses, fresh):
+            results[i] = result
+            if cache is not None:
+                cache.put(configs[i], result)
+
+    return results  # type: ignore[return-value]  # every slot is filled

@@ -21,18 +21,35 @@ from .clock import Clock
 class Event:
     """Handle for a scheduled callback; supports cancellation."""
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "loop")
 
-    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple,
+        loop: "EventLoop | None" = None,
+    ):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.loop = loop
 
     def cancel(self) -> None:
-        """Mark the event as cancelled; it will be skipped at dispatch."""
+        """Mark the event as cancelled; it will be skipped at dispatch.
+
+        Safe to call repeatedly and after the event has dispatched (the
+        loop drops its backref at dispatch, so a late cancel cannot skew
+        the live-event accounting).
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.loop is not None:
+            self.loop._note_cancel()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -44,13 +61,25 @@ class Event:
 
 
 class EventLoop:
-    """Time-ordered event dispatcher around a shared :class:`Clock`."""
+    """Time-ordered event dispatcher around a shared :class:`Clock`.
+
+    Cancelled events are removed lazily: cancellation just flips a flag
+    and bumps a counter, and the heap is compacted once cancelled entries
+    dominate it.  Heavy cancel/rearm users (ARQ retransmission timers)
+    therefore keep the heap at O(live events) instead of O(timers ever
+    armed), and :meth:`pending` stays O(1).
+    """
+
+    #: Compact only past this many cancelled entries (avoids churn on
+    #: tiny queues, where a linear sweep per cancel would be quadratic).
+    _COMPACT_MIN_CANCELLED = 64
 
     def __init__(self, clock: Clock | None = None) -> None:
         self.clock = clock if clock is not None else Clock()
         self._queue: list[Event] = []
         self._seq = itertools.count()
         self._dispatched = 0
+        self._cancelled = 0
 
     @property
     def dispatched(self) -> int:
@@ -65,7 +94,7 @@ class EventLoop:
         """Schedule ``callback(*args)`` at absolute virtual time ``t``."""
         if t < self.clock.now():
             raise ValueError(f"cannot schedule in the past: {t} < {self.clock.now()}")
-        event = Event(t, next(self._seq), callback, args)
+        event = Event(t, next(self._seq), callback, args, self)
         heapq.heappush(self._queue, event)
         return event
 
@@ -76,8 +105,26 @@ class EventLoop:
         return self.schedule_at(self.clock.now() + delay, callback, *args)
 
     def pending(self) -> int:
-        """Number of not-yet-dispatched, not-cancelled events."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of not-yet-dispatched, not-cancelled events (O(1))."""
+        return len(self._queue) - self._cancelled
+
+    def heap_size(self) -> int:
+        """Heap entries including not-yet-reclaimed cancelled ones."""
+        return len(self._queue)
+
+    def _note_cancel(self) -> None:
+        self._cancelled += 1
+        if (
+            self._cancelled >= self._COMPACT_MIN_CANCELLED
+            and self._cancelled * 2 >= len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify; amortized O(1) per cancel."""
+        self._queue = [e for e in self._queue if not e.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled = 0
 
     def run_until(self, t_end: float) -> int:
         """Dispatch all events with ``time <= t_end``; clock ends at ``t_end``.
@@ -88,7 +135,9 @@ class EventLoop:
         while self._queue and self._queue[0].time <= t_end:
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                self._cancelled -= 1
                 continue
+            event.loop = None  # late cancel() must not touch the counter
             self.clock.advance_to(event.time)
             event.callback(*event.args)
             self._dispatched += 1
@@ -101,7 +150,9 @@ class EventLoop:
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                self._cancelled -= 1
                 continue
+            event.loop = None  # late cancel() must not touch the counter
             self.clock.advance_to(event.time)
             event.callback(*event.args)
             self._dispatched += 1

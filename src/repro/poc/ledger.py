@@ -122,11 +122,13 @@ class PocLedger:
             except (json.JSONDecodeError, KeyError, ValueError) as exc:
                 raise ValueError(f"ledger line {line_number} malformed: {exc}") from exc
             poc = Poc.decode(blob)  # raises MessageError on corruption
-            entry = ledger.append(poc)
-            if entry.cycle_index != row["cycle"]:
+            # Validate the row before mutating the ledger: appending first
+            # would leave the bad entry behind when the index check fails.
+            if row["cycle"] != len(ledger):
                 raise ValueError(
                     f"ledger line {line_number}: cycle {row['cycle']} out of order"
                 )
+            ledger.append(poc)
         return ledger
 
     def audit(self, edge_key: PublicKey, operator_key: PublicKey) -> AuditReport:

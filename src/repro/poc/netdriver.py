@@ -204,6 +204,14 @@ class NetworkNegotiation:
         network.register_uplink_sink(self.flow_id, self._deliver_to_operator)
         self._install_device_dispatch()
         self._frames: dict[int, bytes] = {}
+        # In-flight signalling packets per direction, so frames whose
+        # packet the network dropped can be reclaimed when the sender
+        # supersedes them with a retransmission (stop-and-wait ARQ: only
+        # the newest frame per direction can still make progress).
+        self._outstanding: dict[Direction, list[Packet]] = {
+            Direction.UPLINK: [],
+            Direction.DOWNLINK: [],
+        }
         self._started_at: float | None = None
         self._completed_at: float | None = None
         self.timed_out = False
@@ -224,6 +232,33 @@ class NetworkNegotiation:
 
         ue.deliver = dispatch
 
+    def _track(self, packet: Packet, frame: bytes) -> None:
+        """Register an in-flight frame, reclaiming superseded ones.
+
+        Any earlier packet in the same direction that the network already
+        resolved — dropped at some layer, or delivered (its frame was
+        popped on receipt) — is purged from ``_frames``; without this,
+        every retransmission on a lossy link leaks one entry forever.
+        """
+        outstanding = self._outstanding[packet.direction]
+        still_in_flight = []
+        for previous in outstanding:
+            if previous.pkt_id not in self._frames:
+                continue  # delivered: receipt popped the frame already
+            if previous.dropped_at is not None:
+                del self._frames[previous.pkt_id]
+                continue
+            still_in_flight.append(previous)
+        still_in_flight.append(packet)
+        self._outstanding[packet.direction] = still_in_flight
+        self._frames[packet.pkt_id] = frame
+
+    def _release_frames(self) -> None:
+        """Drop all ARQ frame state once no endpoint can still need it."""
+        self._frames.clear()
+        for direction in self._outstanding:
+            self._outstanding[direction] = []
+
     def _send_downlink(self, frame: bytes) -> None:
         packet = Packet(
             size=max(64, len(frame)),
@@ -232,7 +267,7 @@ class NetworkNegotiation:
             qci=SIGNALLING_QCI,
             created_at=self.loop.now(),
         )
-        self._frames[packet.pkt_id] = frame
+        self._track(packet, frame)
         self.network.send_downlink(packet)
 
     def _send_uplink(self, frame: bytes) -> None:
@@ -243,7 +278,7 @@ class NetworkNegotiation:
             qci=SIGNALLING_QCI,
             created_at=self.loop.now(),
         )
-        self._frames[packet.pkt_id] = frame
+        self._track(packet, frame)
         self.network.access(self.imsi).send_uplink(packet)
 
     def _deliver_to_operator(self, packet: Packet) -> None:
@@ -274,10 +309,14 @@ class NetworkNegotiation:
         for endpoint in (self.edge_endpoint, self.operator_endpoint):
             endpoint.done = True
             endpoint._cancel_timer()
+        self._release_frames()
 
     def _note_progress(self) -> None:
         if self.complete and self._completed_at is None:
             self._completed_at = self.loop.now()
+            # Both parties hold the PoC: no retransmission can ever need
+            # a replay again, so the frame table can be emptied.
+            self._release_frames()
 
     @property
     def complete(self) -> bool:

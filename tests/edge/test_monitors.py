@@ -78,13 +78,38 @@ class TestCounterCheckMonitor:
         loop.run()
         assert monitor.reported_usage(0, 4.9) == 0
 
-    def test_backwards_counter_rejected(self):
+    def test_counter_reset_rebaselines(self):
+        """A modem reboot restarts the cumulative counters from zero; the
+        monitor must re-baseline (delta = new absolute value), not crash."""
+        loop = EventLoop()
+        monitor = CounterCheckMonitor(loop)
+        self._report(monitor, loop, 1.0, 100, 1000)
+        self._report(monitor, loop, 2.0, 30, 400)  # detach/reattach reset
+        self._report(monitor, loop, 3.0, 50, 700)
+        loop.run()
+        assert monitor.resets_observed == 1
+        assert monitor.total == 1000 + 400 + 300
+        assert monitor.reported_uplink_usage(0, 10) == 100 + 30 + 20
+        assert monitor.reported_usage(1.5, 2.5) == 400
+
+    def test_reset_on_one_counter_only(self):
+        """Only the backwards counter re-baselines; the other keeps its delta."""
+        loop = EventLoop()
+        monitor = CounterCheckMonitor(loop)
+        self._report(monitor, loop, 1.0, 100, 1000)
+        self._report(monitor, loop, 2.0, 150, 900)
+        loop.run()
+        assert monitor.resets_observed == 1
+        assert monitor.reported_uplink_usage(0, 10) == 150
+        assert monitor.total == 1000 + 900
+
+    def test_no_resets_observed_on_monotone_reports(self):
         loop = EventLoop()
         monitor = CounterCheckMonitor(loop)
         self._report(monitor, loop, 1.0, 0, 1000)
-        self._report(monitor, loop, 2.0, 0, 900)
-        with pytest.raises(ValueError):
-            loop.run()
+        self._report(monitor, loop, 2.0, 0, 1000)  # idle period: equal is fine
+        loop.run()
+        assert monitor.resets_observed == 0
 
     def test_skew_shifts_boundary(self):
         loop = EventLoop()

@@ -102,3 +102,73 @@ class TestCancellation:
         loop.run_until(2.0)
         loop.run()
         assert loop.dispatched == 5
+
+    def test_double_cancel_counted_once(self):
+        loop = EventLoop()
+        keep = loop.schedule_at(1.0, lambda: None)
+        drop = loop.schedule_at(2.0, lambda: None)
+        drop.cancel()
+        drop.cancel()
+        assert loop.pending() == 1
+        loop.run()
+        assert loop.pending() == 0
+        assert not keep.cancelled
+
+    def test_cancel_after_dispatch_does_not_skew_pending(self):
+        loop = EventLoop()
+        fired = loop.schedule_at(1.0, lambda: None)
+        loop.schedule_at(5.0, lambda: None)
+        loop.run_until(2.0)
+        fired.cancel()  # already ran: must not affect live accounting
+        assert loop.pending() == 1
+
+
+class TestLazyCompaction:
+    def test_heap_stays_bounded_under_mass_cancellation(self):
+        """Cancelled far-future events must be reclaimed before expiry."""
+        loop = EventLoop()
+        events = [loop.schedule_at(1000.0, lambda: None) for _ in range(10_000)]
+        for event in events:
+            event.cancel()
+        assert loop.pending() == 0
+        # Lazy compaction keeps the heap proportional to live events, not
+        # to every timer ever armed (the threshold allows a small floor).
+        assert loop.heap_size() < 200
+
+    def test_timer_rearm_pattern_stays_flat(self):
+        """The ARQ cancel-and-rearm idiom: O(live) heap, not O(armed)."""
+        loop = EventLoop()
+        timer = None
+        for _ in range(50_000):
+            if timer is not None:
+                timer.cancel()
+            timer = loop.schedule_at(1000.0, lambda: None)
+        assert loop.pending() == 1
+        assert loop.heap_size() < 200
+        loop.run()
+        assert loop.dispatched == 1
+
+    def test_compaction_preserves_dispatch_order(self):
+        loop = EventLoop()
+        order = []
+        keepers = []
+        for i in range(300):
+            event = loop.schedule_at(float(i), order.append, i)
+            if i % 3:
+                event.cancel()
+            else:
+                keepers.append(i)
+        loop.run()
+        assert order == keepers
+
+    def test_pending_consistent_across_partial_runs(self):
+        loop = EventLoop()
+        for i in range(100):
+            event = loop.schedule_at(float(i), lambda: None)
+            if i % 2:
+                event.cancel()
+        assert loop.pending() == 50
+        loop.run_until(49.0)
+        assert loop.pending() == 25
+        loop.run()
+        assert loop.pending() == 0 and loop.heap_size() == 0

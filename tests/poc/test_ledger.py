@@ -95,6 +95,33 @@ class TestPersistence:
         with pytest.raises(ValueError, match="line 1"):
             PocLedger.load(path, PLAN)
 
+    def test_out_of_order_row_rejected_before_append(self, ledger, tmp_path):
+        """A row with a wrong cycle index must be rejected *before* the
+        receipt is appended: the old order appended first, leaving the bad
+        entry inside the ledger object when the mismatch raised."""
+        import json as js
+
+        path = ledger.save(tmp_path / "receipts.jsonl")
+        lines = path.read_text().splitlines()
+        row = js.loads(lines[1])
+        row["cycle"] = 5  # receipt itself is fine; the index lies
+        lines[1] = js.dumps(row)
+        path.write_text("\n".join(lines) + "\n")
+
+        appended = []
+
+        class RecordingLedger(PocLedger):
+            def append(self, poc):
+                entry = super().append(poc)
+                appended.append(entry.cycle_index)
+                return entry
+
+        with pytest.raises(ValueError, match="line 2.*out of order"):
+            RecordingLedger.load(path, PLAN)
+        # Only the valid first row ever reached append; the bad row was
+        # validated first and never mutated the ledger.
+        assert appended == [0]
+
     def test_bitflip_in_signature_survives_load_but_fails_audit(
         self, ledger, tmp_path, edge_key, operator_key
     ):

@@ -147,3 +147,75 @@ class TestAdverseNetwork:
         result = negotiation.result()
         assert result.volume == 965_000
         assert result.elapsed_s < 0.5  # well under one retransmission storm
+
+
+class TestFrameTableBounded:
+    """Regression: frames of network-dropped packets used to leak forever."""
+
+    def _run_lossy(self, edge_key, operator_key, seed, base_loss, timeout_s):
+        loop = EventLoop()
+        net = CellularNetwork(loop, StreamRegistry(seed))
+        imsi = make_test_imsi(1)
+        device = EdgeDevice(loop, imsi, "app")
+        access = net.attach_device(
+            imsi, RadioProfile(base_loss=base_loss), deliver=device.deliver
+        )
+        device.bind(access)
+        net.create_bearer(imsi, "app")
+        negotiation = NetworkNegotiation(
+            net, str(imsi), PLAN, 0.0,
+            OptimalStrategy(PartyKnowledge(PartyRole.EDGE, X_E, X_O)),
+            OptimalStrategy(PartyKnowledge(PartyRole.OPERATOR, X_O, X_E)),
+            edge_key, operator_key, random.Random(seed),
+            edge_profile=EL20, operator_profile=Z840,
+            retransmit_timeout_s=timeout_s,
+        )
+        high_water = {"frames": 0, "heap": 0}
+
+        def probe():
+            high_water["frames"] = max(high_water["frames"], len(negotiation._frames))
+            high_water["heap"] = max(high_water["heap"], loop.heap_size())
+            if not negotiation.complete and loop.now() < 600.0:
+                loop.schedule(0.05, probe)
+
+        negotiation.start()
+        loop.schedule(0.01, probe)
+        loop.run_until(600.0)
+        return loop, negotiation, high_water
+
+    def test_10k_message_negotiation_leaves_no_frames(self, edge_key, operator_key):
+        """A brutal lossy link: tens of thousands of ARQ retransmissions
+        must not grow the frame table or the event heap without bound."""
+        loop, negotiation, high_water = self._run_lossy(
+            edge_key, operator_key, seed=21, base_loss=0.995, timeout_s=0.001
+        )
+        assert negotiation.complete
+        messages = (
+            negotiation.edge_endpoint.messages_sent
+            + negotiation.operator_endpoint.messages_sent
+        )
+        assert messages >= 10_000
+        assert len(negotiation._frames) == 0
+        # In-flight frames per direction, not one entry per message ever sent.
+        assert high_water["frames"] <= 32
+        # Heap stays O(pending live events), not O(timers ever armed).
+        assert high_water["heap"] <= 256
+
+    def test_moderate_loss_leaves_no_frames(self, edge_key, operator_key):
+        loop, negotiation, high_water = self._run_lossy(
+            edge_key, operator_key, seed=8, base_loss=0.4, timeout_s=0.3
+        )
+        assert negotiation.complete
+        assert len(negotiation._frames) == 0
+        assert high_water["frames"] <= 8
+
+    def test_timeout_clears_frames(self, edge_key, operator_key):
+        """A negotiation that gives up must not keep dead frames around."""
+        loop, net, device, negotiation = build(
+            seed=13, base_loss=1.0, edge_key=edge_key, operator_key=operator_key
+        )
+        negotiation.deadline_s = 5.0
+        negotiation.start()
+        loop.run_until(30.0)
+        assert negotiation.timed_out
+        assert len(negotiation._frames) == 0
