@@ -108,6 +108,12 @@ def build_parser() -> argparse.ArgumentParser:
             "--no-cache", action="store_true",
             help="disable the scenario result cache for this invocation",
         )
+        p.add_argument(
+            "--fault-profile", metavar="NAME", default=None,
+            help="run every scenario under a named deterministic fault "
+            "schedule (see repro.netsim.faults.FAULT_PROFILES; "
+            "default: $REPRO_FAULT_PROFILE or none)",
+        )
 
     report = sub.add_parser(
         "report", help="run every experiment and write a markdown report"
@@ -153,7 +159,12 @@ def _configure_engine(args) -> None:
     cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR") or None
     if args.no_cache:
         cache_dir = None
-    parallel.configure(workers=workers, cache_dir=cache_dir)
+    fault_profile = (
+        args.fault_profile or os.environ.get("REPRO_FAULT_PROFILE") or None
+    )
+    parallel.configure(
+        workers=workers, cache_dir=cache_dir, fault_profile=fault_profile
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -164,13 +175,16 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{name:<{width}}  {experiment.description}")
         return 0
 
-    if args.command == "report":
-        _configure_engine(args)
-        return _write_report(Path(args.out))
     if args.command == "verify":
         return _verify_ledger(args)
 
-    _configure_engine(args)
+    try:
+        _configure_engine(args)
+    except ValueError as exc:  # e.g. an unknown --fault-profile name
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.command == "report":
+        return _write_report(Path(args.out))
     names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:

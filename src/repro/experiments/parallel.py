@@ -40,6 +40,7 @@ from ..cellular.radio import RssSample
 from ..core.gap import SchemeOutcome
 from ..core.plan import ChargingCycle
 from ..core.records import CycleUsage
+from ..netsim.faults import FAULT_PROFILES, FaultEvent, FaultSchedule, FaultTrace
 from ..netsim.packet import Direction, Transport
 from ..netsim.rng import StreamRegistry
 from ..workloads.base import WorkloadProfile
@@ -48,7 +49,8 @@ from .scenarios import ScenarioConfig
 
 #: Bump when the codec or anything influencing simulation output changes;
 #: every cache key embeds it, so old entries stop matching.
-CODEC_VERSION = 1
+#: v2: ScenarioConfig.faults + ScenarioResult.fault_trace.
+CODEC_VERSION = 2
 
 
 # ------------------------------------------------------------------ codec
@@ -60,6 +62,7 @@ def config_to_dict(config: ScenarioConfig) -> dict:
     encoded["direction"] = config.direction.value
     encoded["workload"] = dict(encoded["workload"])
     encoded["workload"]["transport"] = config.workload.transport.value
+    encoded["faults"] = None if config.faults is None else config.faults.to_dict()
     return encoded
 
 
@@ -70,6 +73,8 @@ def config_from_dict(data: dict) -> ScenarioConfig:
     workload["transport"] = Transport(workload["transport"])
     decoded["workload"] = WorkloadProfile(**workload)
     decoded["direction"] = Direction(decoded["direction"])
+    faults = decoded.get("faults")
+    decoded["faults"] = None if faults is None else FaultSchedule.from_dict(faults)
     return ScenarioConfig(**decoded)
 
 
@@ -104,6 +109,9 @@ def result_to_dict(result: ScenarioResult) -> dict:
         "measured_bitrate_bps": result.measured_bitrate_bps,
         "rss_history": [
             [s.t, s.rss_dbm, s.connected] for s in result.rss_history
+        ],
+        "fault_trace": [
+            [e.t, e.kind, e.point, e.detail] for e in result.fault_trace.events
         ],
     }
 
@@ -142,6 +150,10 @@ def result_from_dict(data: dict) -> ScenarioResult:
         outcomes=outcomes,
         measured_bitrate_bps=data["measured_bitrate_bps"],
         rss_history=[RssSample(t, rss, conn) for t, rss, conn in data["rss_history"]],
+        fault_trace=FaultTrace(
+            FaultEvent(t, kind, point, detail)
+            for t, kind, point, detail in data.get("fault_trace", ())
+        ),
     )
 
 
@@ -222,24 +234,56 @@ class RunReport:
 
 _default_workers = 0
 _default_cache: ResultCache | None = None
+_default_faults: FaultSchedule | None = None
 
 
-def configure(workers: int | None = None, cache_dir: str | Path | None = None) -> None:
-    """Set process-count and cache defaults for subsequent sweeps.
+def resolve_fault_profile(profile: FaultSchedule | str | None) -> FaultSchedule | None:
+    """Accept a schedule, a named profile, or None; reject unknown names."""
+    if profile is None or isinstance(profile, FaultSchedule):
+        return profile
+    try:
+        schedule = FAULT_PROFILES[profile]
+    except KeyError:
+        raise ValueError(
+            f"unknown fault profile {profile!r} (know {', '.join(FAULT_PROFILES)})"
+        ) from None
+    return None if schedule.is_empty else schedule
+
+
+def configure(
+    workers: int | None = None,
+    cache_dir: str | Path | None = None,
+    fault_profile: FaultSchedule | str | None = None,
+) -> None:
+    """Set process-count, cache and chaos defaults for subsequent sweeps.
 
     ``workers=0``/``1`` means serial; ``cache_dir=None`` disables the
-    cache.  Called by the CLI (``--workers``/``--cache-dir``) and the
-    benchmark harness; initial values come from the ``REPRO_WORKERS`` and
-    ``REPRO_CACHE_DIR`` environment variables.
+    cache.  ``fault_profile`` (a :class:`FaultSchedule` or a name from
+    :data:`~repro.netsim.faults.FAULT_PROFILES`) is stamped onto every
+    config that doesn't carry its own schedule, *before* cache lookup —
+    so chaos runs occupy distinct cache entries and parallel workers see
+    the faults inside the config they receive.  Called by the CLI
+    (``--workers``/``--cache-dir``/``--fault-profile``) and the benchmark
+    harness; initial values come from the ``REPRO_WORKERS``,
+    ``REPRO_CACHE_DIR`` and ``REPRO_FAULT_PROFILE`` environment variables.
     """
-    global _default_workers, _default_cache
+    global _default_workers, _default_cache, _default_faults
     _default_workers = int(workers) if workers is not None else 0
     _default_cache = ResultCache(cache_dir) if cache_dir else None
+    _default_faults = resolve_fault_profile(fault_profile)
+
+
+def apply_default_faults(config: ScenarioConfig) -> ScenarioConfig:
+    """Stamp the configured default fault schedule onto a plain config."""
+    if _default_faults is None or config.faults is not None:
+        return config
+    return config.with_(faults=_default_faults)
 
 
 configure(
     workers=int(os.environ.get("REPRO_WORKERS", "0") or 0),
     cache_dir=os.environ.get("REPRO_CACHE_DIR") or None,
+    fault_profile=os.environ.get("REPRO_FAULT_PROFILE") or None,
 )
 
 
@@ -271,7 +315,7 @@ def run_scenarios(
     elif cache is False:
         cache = None
     n_workers = _default_workers if workers is None else int(workers)
-    configs = list(configs)
+    configs = [apply_default_faults(config) for config in configs]
     results: list[ScenarioResult | None] = [None] * len(configs)
 
     misses: list[int] = []

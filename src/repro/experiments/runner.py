@@ -41,7 +41,7 @@ from ..core import (
     SchemeOutcome,
 )
 from ..edge import CounterCheckMonitor, EdgeDevice, EdgeServer
-from ..netsim import Direction, EventLoop, StreamRegistry
+from ..netsim import Direction, EventLoop, FaultInjector, FaultTrace, StreamRegistry
 from ..workloads import FrameWorkload
 from .scenarios import ScenarioConfig
 
@@ -57,6 +57,7 @@ class ScenarioResult:
     outcomes: dict[str, list[SchemeOutcome]]
     measured_bitrate_bps: float
     rss_history: list = field(default_factory=list)
+    fault_trace: FaultTrace = field(default_factory=FaultTrace)
 
     def mean_delta_mb_per_hr(self, scheme: str) -> float:
         """Average absolute gap, normalized to MB/hr (Table 2's Δ)."""
@@ -136,6 +137,17 @@ class ScenarioRunner:
         sender = self.device if config.direction is Direction.UPLINK else self.server
         self.workload = FrameWorkload(self.loop, self.rng, config.workload, sender)
         self.flow_id = flow_id
+        # Chaos layer: wrap the device's uplink send path and downlink
+        # delivery path through the injector's uniform hook, and arm any
+        # modem counter resets.  Clock faults apply at record extraction.
+        self.fault_injector: FaultInjector | None = None
+        if config.faults is not None and not config.faults.is_empty:
+            injector = FaultInjector(self.loop, self.rng, config.faults)
+            access.send_uplink = injector.pipe("uplink", access.send_uplink)
+            ue = self.network.enodeb.ue(str(imsi))
+            ue.deliver = injector.pipe("downlink", ue.deliver)
+            injector.attach_modem(access.modem, point="modem")
+            self.fault_injector = injector
 
     def _radio_profile(self) -> RadioProfile:
         config = self.config
@@ -212,6 +224,12 @@ class ScenarioRunner:
             t2 = (k + 1) * config.cycle_duration_s
             edge_skew = skew_rng.gauss(0.0, config.edge_skew_rel_std * config.cycle_duration_s)
             op_skew = skew_rng.gauss(0.0, config.operator_skew_rel_std * config.cycle_duration_s)
+            if self.fault_injector is not None:
+                # Injected clock faults stack on top of the baseline NTP
+                # error: offsets while active, drift accumulated to the
+                # (true-time) cycle boundary.
+                edge_skew += self.fault_injector.extra_skew("edge-clock", t2)
+                op_skew += self.fault_injector.extra_skew("operator-clock", t2)
             usages.append(self._cycle_usage(t1, t2, edge_skew, op_skew))
         return usages
 
@@ -266,6 +284,11 @@ class ScenarioRunner:
             outcomes=outcomes,
             measured_bitrate_bps=self.workload.achieved_bitrate_bps(horizon),
             rss_history=self.access.radio.rss_history,
+            fault_trace=(
+                self.fault_injector.trace
+                if self.fault_injector is not None
+                else FaultTrace()
+            ),
         )
 
 

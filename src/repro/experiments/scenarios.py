@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from ..netsim.faults import FaultSchedule
 from ..netsim.packet import Direction
 from ..workloads import KING_OF_GLORY, VRIDGE_GVSP, WEBCAM_RTSP, WEBCAM_UDP, WorkloadProfile
 
@@ -45,6 +46,10 @@ class ScenarioConfig:
     # Negotiation settings.
     accept_tolerance: float = 0.05
     max_rounds: int = 64
+    # Chaos layer: a deterministic fault schedule (None = no injection).
+    # Part of the config, so it flows through the cache key and the
+    # process-pool codec like every other knob.
+    faults: FaultSchedule | None = None
 
     def with_(self, **overrides) -> "ScenarioConfig":
         """A copy with fields replaced (sweep helper)."""

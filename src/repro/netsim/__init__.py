@@ -7,6 +7,16 @@ built on.
 
 from .clock import Clock, SkewedClock
 from .events import Event, EventLoop
+from .faults import (
+    FAULT_KINDS,
+    FAULT_PROFILES,
+    FaultEvent,
+    FaultInjector,
+    FaultSchedule,
+    FaultSpec,
+    FaultTrace,
+    load_fault_trace,
+)
 from .link import Link
 from .packet import Direction, FlowStats, Packet, Transport
 from .pcap import TraceEntry, TraceRecorder, TraceReplayer, load_trace
@@ -19,6 +29,14 @@ __all__ = [
     "SkewedClock",
     "Event",
     "EventLoop",
+    "FAULT_KINDS",
+    "FAULT_PROFILES",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultSpec",
+    "FaultTrace",
+    "load_fault_trace",
     "Link",
     "Direction",
     "FlowStats",

@@ -49,23 +49,45 @@ class Clock:
 
 
 class SkewedClock:
-    """A read-only view of a base clock shifted by a constant ``skew``.
+    """A read-only view of a base clock with offset *and* rate error.
 
-    Positive skew means this party's clock runs *ahead* of true time: its
-    charging cycle boundaries fire early, so it attributes some traffic to
-    the wrong cycle.  This is the paper's explanation for the residual
-    record errors (Figure 18, §7.2).
+    Positive ``skew`` means this party's clock runs *ahead* of true time:
+    its charging cycle boundaries fire early, so it attributes some
+    traffic to the wrong cycle.  This is the paper's explanation for the
+    residual record errors (Figure 18, §7.2).
+
+    ``skew_ppm`` adds a frequency (rate) error — real oscillators drift,
+    they aren't just offset — accumulating ``skew_ppm`` microseconds of
+    extra skew per second of true time elapsed since ``anchor`` (default:
+    the base clock's time at construction).  The fault layer's
+    ``clock-drift`` specs rely on this term.
     """
 
-    __slots__ = ("_base", "skew")
+    __slots__ = ("_base", "skew", "skew_ppm", "anchor")
 
-    def __init__(self, base: Clock, skew: float = 0.0) -> None:
+    def __init__(
+        self,
+        base: Clock,
+        skew: float = 0.0,
+        skew_ppm: float = 0.0,
+        anchor: float | None = None,
+    ) -> None:
         self._base = base
         self.skew = float(skew)
+        self.skew_ppm = float(skew_ppm)
+        self.anchor = base.now() if anchor is None else float(anchor)
 
     def now(self) -> float:
-        """Return the skewed view of the base clock's time."""
-        return self._base.now() + self.skew
+        """Return the skewed (offset + accumulated drift) view of time."""
+        t = self._base.now()
+        return t + self.skew + self.skew_ppm * 1e-6 * (t - self.anchor)
+
+    def error_at(self, t: float) -> float:
+        """Total clock error (seconds) this view shows at true time ``t``."""
+        return self.skew + self.skew_ppm * 1e-6 * (t - self.anchor)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"SkewedClock(skew={self.skew:+.6f}, t={self.now():.6f})"
+        return (
+            f"SkewedClock(skew={self.skew:+.6f}, ppm={self.skew_ppm:+.1f}, "
+            f"t={self.now():.6f})"
+        )

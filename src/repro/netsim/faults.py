@@ -1,0 +1,530 @@
+"""Deterministic, seed-driven fault injection for the charging simulator.
+
+TLC's guarantees (Theorems 1–4) are claims about behaviour *under
+adversity*: multi-layer loss, clock skew, counter resets and crashing
+endpoints.  This module turns those adversities into first-class,
+composable objects so any experiment can run under chaos and any failure
+reproduces exactly from ``(config, seed)``:
+
+* :class:`FaultSpec` — one fault: a kind (burst loss, reorder, duplicate,
+  corrupt, blackout/link flap, clock skew, clock drift, counter reset,
+  endpoint crash), a time window, a target pattern and a magnitude;
+* :class:`FaultSchedule` — a named, composable set of specs that rides
+  inside :class:`~repro.experiments.scenarios.ScenarioConfig` (it
+  round-trips through the parallel engine's JSON codec, so fault runs
+  cache and parallelize like any other scenario);
+* :class:`FaultInjector` — attaches a schedule to live components through
+  one uniform hook family (``pipe`` for packet paths, ``pipe_frames`` for
+  the PoC netdriver's byte frames, ``pipe_call`` for transport-segment
+  callables, ``attach_link`` / ``attach_modem`` for in-place wrapping),
+  drawing every probabilistic decision from a single named
+  :class:`~repro.netsim.rng.StreamRegistry` stream;
+* :class:`FaultTrace` — a replayable JSON-lines log of every fault the
+  injector actually fired, so two runs can be compared bit-for-bit.
+
+Fault kinds map onto the paper's loss taxonomy and error models — see
+``docs/FAULTS.md`` for the full table.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Callable, Iterable
+
+from .events import EventLoop
+from .packet import Packet
+from .rng import StreamRegistry
+
+#: Every fault kind the injector understands.
+BURST_LOSS = "burst-loss"      # drop packets/frames with probability `magnitude`
+REORDER = "reorder"            # hold a packet up to `jitter_s`, letting later ones pass
+DUPLICATE = "duplicate"        # deliver an extra copy after up to `jitter_s`
+CORRUPT = "corrupt"            # CRC-failed on the wire: dropped, counted as corruption
+BLACKOUT = "blackout"          # link flap: nothing crosses during the window
+CLOCK_SKEW = "clock-skew"      # constant offset of `magnitude` seconds on a party clock
+CLOCK_DRIFT = "clock-drift"    # rate error of `magnitude` ppm accumulating from `start`
+COUNTER_RESET = "counter-reset"  # modem counters restart from zero at `start`
+CRASH = "crash"                # endpoint down for the window; ARQ must recover
+
+FAULT_KINDS = (
+    BURST_LOSS, REORDER, DUPLICATE, CORRUPT, BLACKOUT,
+    CLOCK_SKEW, CLOCK_DRIFT, COUNTER_RESET, CRASH,
+)
+
+#: Kinds that act on traffic in flight (the others act on clocks/counters).
+_PATH_KINDS = frozenset({BURST_LOSS, REORDER, DUPLICATE, CORRUPT, BLACKOUT, CRASH})
+_CLOCK_KINDS = frozenset({CLOCK_SKEW, CLOCK_DRIFT})
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: what happens, when, to which injection point.
+
+    ``target`` is an ``fnmatch`` pattern against injection-point names
+    (``"*"`` hits everything, ``"uplink"`` only the device's send path,
+    ``"poc-*"`` both negotiation endpoints).  ``magnitude`` is
+    kind-specific: a probability for ``burst-loss`` / ``reorder`` /
+    ``duplicate`` / ``corrupt``, seconds for ``clock-skew``, ppm for
+    ``clock-drift``, unused for window-only kinds.  ``duration=None``
+    means "until the end of the run".
+    """
+
+    kind: str
+    start: float = 0.0
+    duration: float | None = None
+    target: str = "*"
+    magnitude: float = 1.0
+    jitter_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r} (know {FAULT_KINDS})")
+        if self.start < 0:
+            raise ValueError(f"fault start must be non-negative, got {self.start}")
+        if self.duration is not None and self.duration < 0:
+            raise ValueError(f"fault duration must be non-negative, got {self.duration}")
+        if self.jitter_s < 0:
+            raise ValueError(f"jitter must be non-negative, got {self.jitter_s}")
+        if self.kind in (BURST_LOSS, REORDER, DUPLICATE, CORRUPT):
+            if not 0.0 <= self.magnitude <= 1.0:
+                raise ValueError(
+                    f"{self.kind} magnitude is a probability, got {self.magnitude}"
+                )
+
+    def active(self, t: float) -> bool:
+        """Whether the fault window covers virtual time ``t``."""
+        if t < self.start:
+            return False
+        return self.duration is None or t < self.start + self.duration
+
+    def matches(self, point: str) -> bool:
+        """Whether this spec targets the named injection point."""
+        return fnmatch.fnmatchcase(point, self.target)
+
+    def to_dict(self) -> dict:
+        """JSON-safe encoding (used by the scenario codec)."""
+        return {
+            "kind": self.kind,
+            "start": self.start,
+            "duration": self.duration,
+            "target": self.target,
+            "magnitude": self.magnitude,
+            "jitter_s": self.jitter_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            kind=str(data["kind"]),
+            start=float(data["start"]),
+            duration=None if data.get("duration") is None else float(data["duration"]),
+            target=str(data.get("target", "*")),
+            magnitude=float(data.get("magnitude", 1.0)),
+            jitter_s=float(data.get("jitter_s", 0.0)),
+        )
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A named, composable collection of :class:`FaultSpec`.
+
+    Immutable so it can live inside the (frozen, hashable-by-codec)
+    :class:`~repro.experiments.scenarios.ScenarioConfig`.
+    """
+
+    name: str = "faults"
+    specs: tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the schedule injects nothing."""
+        return not self.specs
+
+    def compose(self, *others: "FaultSchedule") -> "FaultSchedule":
+        """Concatenate schedules (later specs stack, they don't replace)."""
+        specs = list(self.specs)
+        names = [self.name]
+        for other in others:
+            specs.extend(other.specs)
+            names.append(other.name)
+        return FaultSchedule(name="+".join(names), specs=tuple(specs))
+
+    def shifted(self, dt: float) -> "FaultSchedule":
+        """The same schedule with every window moved ``dt`` seconds later."""
+        return FaultSchedule(
+            name=self.name,
+            specs=tuple(replace(s, start=s.start + dt) for s in self.specs),
+        )
+
+    def active_specs(self, kinds: Iterable[str], point: str, t: float) -> list[FaultSpec]:
+        """Specs of the given kinds targeting ``point`` and covering ``t``."""
+        wanted = set(kinds)
+        return [
+            s for s in self.specs
+            if s.kind in wanted and s.matches(point) and s.active(t)
+        ]
+
+    def skew_at(self, point: str, t: float) -> float:
+        """Total clock error (seconds) for a party clock at time ``t``.
+
+        Constant-offset specs contribute ``magnitude`` while active;
+        drift specs contribute ``magnitude·1e-6`` seconds per second
+        elapsed since their start (capped at their window end).
+        """
+        skew = 0.0
+        for spec in self.specs:
+            if not spec.matches(point) or t < spec.start:
+                continue
+            if spec.kind == CLOCK_SKEW:
+                if spec.active(t):
+                    skew += spec.magnitude
+            elif spec.kind == CLOCK_DRIFT:
+                end = t if spec.duration is None else min(t, spec.start + spec.duration)
+                skew += spec.magnitude * 1e-6 * max(0.0, end - spec.start)
+        return skew
+
+    def to_dict(self) -> dict:
+        """JSON-safe encoding (used by the scenario codec)."""
+        return {"name": self.name, "specs": [s.to_dict() for s in self.specs]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSchedule":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=str(data.get("name", "faults")),
+            specs=tuple(FaultSpec.from_dict(s) for s in data.get("specs", ())),
+        )
+
+
+# ------------------------------------------------------------------- trace
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault the injector actually fired, at one injection point."""
+
+    t: float
+    kind: str
+    point: str
+    detail: str = ""
+
+    def to_json(self) -> str:
+        """Serialize to one JSON line."""
+        return json.dumps(
+            {"t": self.t, "kind": self.kind, "point": self.point, "detail": self.detail},
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "FaultEvent":
+        """Parse one JSON line back into an event."""
+        raw = json.loads(line)
+        return cls(
+            t=float(raw["t"]),
+            kind=str(raw["kind"]),
+            point=str(raw["point"]),
+            detail=str(raw.get("detail", "")),
+        )
+
+
+class FaultTrace:
+    """Replayable log of injected faults; two equal traces ⇒ same chaos."""
+
+    def __init__(self, events: Iterable[FaultEvent] = ()) -> None:
+        self.events: list[FaultEvent] = list(events)
+
+    def record(self, t: float, kind: str, point: str, detail: str = "") -> None:
+        """Append one fired fault."""
+        self.events.append(FaultEvent(t, kind, point, detail))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FaultTrace):
+            return NotImplemented
+        return self.events == other.events
+
+    def counts(self) -> dict[str, int]:
+        """Events per fault kind (quick summary for reports/tests)."""
+        out: dict[str, int] = {}
+        for event in self.events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
+    def save(self, path: str | Path) -> None:
+        """Write the trace as JSON lines."""
+        text = "\n".join(event.to_json() for event in self.events)
+        Path(path).write_text(text + ("\n" if text else ""))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultTrace(events={len(self.events)}, counts={self.counts()})"
+
+
+def load_fault_trace(path: str | Path) -> FaultTrace:
+    """Load a JSON-lines fault trace from disk."""
+    events = []
+    for line in Path(path).read_text().splitlines():
+        if line.strip():
+            events.append(FaultEvent.from_json(line))
+    return FaultTrace(events)
+
+
+# ---------------------------------------------------------------- injector
+
+
+class FaultInjector:
+    """Binds a :class:`FaultSchedule` to live simulator components.
+
+    All probabilistic decisions come from one named stream of the
+    experiment's :class:`StreamRegistry` (``"faults"``), so a given
+    ``(schedule, seed)`` produces the identical chaos on every run —
+    including across serial vs process-pool execution, where each
+    scenario rebuilds its own registry from its config seed.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        rng: StreamRegistry | None,
+        schedule: FaultSchedule,
+        trace: FaultTrace | None = None,
+    ) -> None:
+        self.loop = loop
+        self.schedule = schedule
+        self.trace = trace if trace is not None else FaultTrace()
+        registry = rng if rng is not None else StreamRegistry(0)
+        self._rng = registry.stream("faults")
+
+    # ------------------------------------------------------------ internals
+
+    def _decide(self, point: str) -> tuple[str | None, float]:
+        """One fate decision for a unit of traffic at ``point``, now.
+
+        Returns ``(action, delay)`` where action is ``None`` (pass),
+        ``"drop"`` (with the kind recorded), ``"delay"`` or ``"dup"``.
+        Window kinds (blackout, crash) dominate; probabilistic kinds are
+        then consulted in a fixed order so the RNG draw sequence is
+        stable.
+        """
+        now = self.loop.now()
+        specs = self.schedule.active_specs(_PATH_KINDS, point, now)
+        if not specs:
+            return None, 0.0
+        for spec in specs:
+            if spec.kind in (BLACKOUT, CRASH):
+                self.trace.record(now, spec.kind, point, "dropped")
+                return "drop:" + spec.kind, 0.0
+        for spec in specs:  # fixed order: the schedule's spec order
+            if spec.kind in (BURST_LOSS, CORRUPT):
+                if self._rng.random() < spec.magnitude:
+                    self.trace.record(now, spec.kind, point, "dropped")
+                    return "drop:" + spec.kind, 0.0
+            elif spec.kind == REORDER:
+                if self._rng.random() < spec.magnitude:
+                    delay = self._rng.uniform(0.0, spec.jitter_s)
+                    self.trace.record(now, spec.kind, point, f"held {delay:.6f}s")
+                    return "delay", delay
+            elif spec.kind == DUPLICATE:
+                if self._rng.random() < spec.magnitude:
+                    delay = self._rng.uniform(0.0, spec.jitter_s)
+                    self.trace.record(now, spec.kind, point, f"copy +{delay:.6f}s")
+                    return "dup", delay
+        return None, 0.0
+
+    # ----------------------------------------------------- uniform hooks
+
+    def pipe(self, point: str, downstream: Callable[[Packet], None]) -> Callable[[Packet], None]:
+        """Wrap a packet receiver: the uniform packet-path injection hook.
+
+        Dropped packets are marked with a ``fault-<kind>`` layer so the
+        §3.1 loss-taxonomy accounting attributes them correctly.
+        """
+
+        def receive(packet: Packet) -> None:
+            action, delay = self._decide(point)
+            if action is None:
+                downstream(packet)
+            elif action.startswith("drop:"):
+                packet.mark_dropped("fault-" + action.split(":", 1)[1])
+            elif action == "delay":
+                self.loop.schedule(delay, downstream, packet)
+            else:  # dup: the original goes now, the copy after `delay`
+                downstream(packet)
+                self.loop.schedule(delay, downstream, packet)
+
+        return receive
+
+    def pipe_frames(self, point: str, downstream: Callable[[bytes], None]) -> Callable[[bytes], None]:
+        """Wrap a byte-frame receiver (the PoC netdriver's ARQ endpoints).
+
+        ``crash`` windows model an endpoint being down: every frame that
+        arrives meanwhile is lost and the peer's retransmission timer has
+        to recover after the restart.  ``corrupt`` frames are dropped
+        here too — a frame whose signature cannot verify is equivalent to
+        a lost frame for the protocol, minus wasted crypto time.
+        """
+
+        def receive(frame: bytes) -> None:
+            action, delay = self._decide(point)
+            if action is None:
+                downstream(frame)
+            elif action.startswith("drop:"):
+                return
+            elif action == "delay":
+                self.loop.schedule(delay, downstream, frame)
+            else:
+                downstream(frame)
+                self.loop.schedule(delay, downstream, frame)
+
+        return receive
+
+    def pipe_call(self, point: str, fn: Callable[..., None]) -> Callable[..., None]:
+        """Wrap an arbitrary positional-args callable (transport segments).
+
+        Used to splice faults between :class:`TcpLikeSender.transmit` and
+        the wire, or any other ``(size, seq, ...)``-style hop.
+        """
+
+        def call(*args) -> None:
+            action, delay = self._decide(point)
+            if action is None:
+                fn(*args)
+            elif action.startswith("drop:"):
+                return
+            elif action == "delay":
+                self.loop.schedule(delay, fn, *args)
+            else:
+                fn(*args)
+                self.loop.schedule(delay, fn, *args)
+
+        return call
+
+    # ------------------------------------------------- component adapters
+
+    def attach_link(self, link, point: str | None = None) -> None:
+        """Wrap a :class:`~repro.netsim.link.Link` delivery path in place."""
+        name = point if point is not None else link.name
+        link.receiver = self.pipe(name, link.receiver)
+
+    def attach_modem(self, modem, point: str = "modem") -> None:
+        """Arm every matching ``counter-reset`` spec against a modem.
+
+        At each reset the modem's cumulative counters restart from zero —
+        the legitimate detach/reboot behaviour the operator's
+        :class:`~repro.edge.monitors.CounterCheckMonitor` re-baselines
+        around (its ``resets_observed`` counts these).
+        """
+        from .counters import CumulativeCounter
+
+        def reset() -> None:
+            self.trace.record(self.loop.now(), COUNTER_RESET, point, "counters zeroed")
+            modem.ul_sent = CumulativeCounter()
+            modem.dl_received = CumulativeCounter()
+
+        for spec in self.schedule.specs:
+            if spec.kind == COUNTER_RESET and spec.matches(point):
+                if spec.start >= self.loop.now():
+                    self.loop.schedule_at(spec.start, reset)
+
+    def attach_negotiation(
+        self,
+        negotiation,
+        edge_point: str = "poc-edge",
+        operator_point: str = "poc-operator",
+    ) -> None:
+        """Wrap both PoC netdriver endpoints' receive paths in place."""
+        edge = negotiation.edge_endpoint
+        operator = negotiation.operator_endpoint
+        edge.receive = self.pipe_frames(edge_point, edge.receive)
+        operator.receive = self.pipe_frames(operator_point, operator.receive)
+
+    def extra_skew(self, point: str, t: float) -> float:
+        """Accumulated clock error at ``t`` for a party clock (seconds).
+
+        A nonzero application is logged to the trace (kind of the first
+        matching clock spec), so clock chaos is replayable/comparable
+        like packet chaos.
+        """
+        skew = self.schedule.skew_at(point, t)
+        if skew != 0.0:
+            kinds = [
+                s.kind for s in self.schedule.specs
+                if s.kind in _CLOCK_KINDS and s.matches(point)
+            ]
+            self.trace.record(t, kinds[0], point, f"skew {skew:+.6f}s")
+        return skew
+
+
+# ---------------------------------------------------------------- profiles
+
+
+def _windows(kind: str, target: str, period: float, width: float, n: int,
+             magnitude: float = 1.0, jitter_s: float = 0.0, phase: float = 0.0) -> list[FaultSpec]:
+    """``n`` periodic fault windows (a flapping link, periodic crashes...)."""
+    return [
+        FaultSpec(kind, start=phase + i * period, duration=width,
+                  target=target, magnitude=magnitude, jitter_s=jitter_s)
+        for i in range(n)
+    ]
+
+
+#: Named chaos profiles for ``--fault-profile`` and the benchmark sweeps.
+#: Windows repeat over the first hour, covering default figure scenarios
+#: (10 × 60 s cycles) and longer custom runs alike.
+FAULT_PROFILES: dict[str, FaultSchedule] = {
+    "none": FaultSchedule(name="none"),
+    # §3.1 loss classes 1-3 stacked: steady random loss plus short deep
+    # fades on the whole data path.
+    "bursty": FaultSchedule(
+        name="bursty",
+        specs=tuple(
+            [FaultSpec(BURST_LOSS, start=0.0, target="*link*", magnitude=0.05)]
+            + _windows(BURST_LOSS, "downlink", period=45.0, width=3.0, n=80,
+                       magnitude=0.5, phase=7.0)
+        ),
+    ),
+    # Figure 4-style intermittent connectivity: the device path flaps.
+    "flaky-link": FaultSchedule(
+        name="flaky-link",
+        specs=tuple(
+            _windows(BLACKOUT, "uplink", period=60.0, width=2.0, n=60, phase=11.0)
+            + _windows(BLACKOUT, "downlink", period=90.0, width=3.0, n=40, phase=31.0)
+        ),
+    ),
+    # Figure 18's record-error mechanism, exaggerated: both party clocks
+    # drift apart and the edge carries a constant offset.
+    "clock-drift": FaultSchedule(
+        name="clock-drift",
+        specs=(
+            FaultSpec(CLOCK_DRIFT, start=0.0, target="edge-clock", magnitude=400.0),
+            FaultSpec(CLOCK_DRIFT, start=0.0, target="operator-clock", magnitude=-250.0),
+            FaultSpec(CLOCK_SKEW, start=0.0, target="edge-clock", magnitude=0.05),
+        ),
+    ),
+    # The kitchen sink: loss, reordering, duplication, modem reboots and
+    # drifting clocks, all at once.
+    "chaos": FaultSchedule(
+        name="chaos",
+        specs=tuple(
+            [
+                FaultSpec(BURST_LOSS, start=0.0, target="*link*", magnitude=0.03),
+                FaultSpec(REORDER, start=0.0, target="downlink",
+                          magnitude=0.05, jitter_s=0.02),
+                FaultSpec(DUPLICATE, start=0.0, target="uplink",
+                          magnitude=0.03, jitter_s=0.01),
+                FaultSpec(CLOCK_DRIFT, start=0.0, target="edge-clock", magnitude=300.0),
+                FaultSpec(COUNTER_RESET, start=95.0, target="modem"),
+                FaultSpec(COUNTER_RESET, start=305.0, target="modem"),
+            ]
+            + _windows(BLACKOUT, "downlink", period=120.0, width=2.5, n=30, phase=50.0)
+        ),
+    ),
+}

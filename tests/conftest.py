@@ -1,0 +1,42 @@
+"""Shared test configuration: hypothesis profiles for the whole suite.
+
+Two profiles keep property-based tests fast in the inner loop and
+thorough in CI:
+
+* ``dev`` (default) — few examples, derandomized, so ``pytest -x -q``
+  stays quick and bit-stable from run to run;
+* ``ci``  — 250 examples per property (the acceptance bar is 200+),
+  still derandomized so a red CI run reproduces locally from the same
+  code without chasing a random seed.  Select with
+  ``HYPOTHESIS_PROFILE=ci``.
+
+Deadlines are disabled globally: the simulator's virtual-time runs have
+wall-time jitter (process scheduling, cache state) that hypothesis'
+per-example deadline would misread as flakiness.
+
+Individual heavyweight properties (whole-scenario chaos runs) cap their
+own ``max_examples`` below the profile value and carry
+``@pytest.mark.slow``; the tier-1 command excludes them via the
+``-m "not slow"`` filter wired into ``addopts``.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "dev",
+    max_examples=25,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "ci",
+    max_examples=250,
+    deadline=None,
+    derandomize=True,
+    print_blob=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

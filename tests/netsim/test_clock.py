@@ -47,3 +47,39 @@ class TestSkewedClock:
         skewed = SkewedClock(base, skew=1.0)
         base.advance_to(50.0)
         assert skewed.now() == 51.0
+
+    def test_offset_only_semantics_unchanged_by_default(self):
+        """Regression: without a rate term the clock is a pure offset."""
+        base = Clock(100.0)
+        skewed = SkewedClock(base, skew=0.25)
+        assert skewed.skew_ppm == 0.0
+        base.advance_to(10_000.0)
+        assert skewed.now() == 10_000.25
+
+    def test_drift_accumulates_with_elapsed_time(self):
+        base = Clock()
+        skewed = SkewedClock(base, skew_ppm=100.0)  # 100 µs/s fast
+        base.advance_to(1000.0)
+        assert skewed.now() == pytest.approx(1000.0 + 0.1)
+
+    def test_drift_measured_from_construction_anchor(self):
+        base = Clock(500.0)
+        skewed = SkewedClock(base, skew_ppm=1000.0)
+        assert skewed.now() == 500.0  # no time elapsed yet, no drift
+        base.advance_to(600.0)
+        assert skewed.now() == pytest.approx(600.0 + 0.1)
+
+    def test_explicit_anchor_overrides(self):
+        base = Clock(100.0)
+        skewed = SkewedClock(base, skew_ppm=1000.0, anchor=0.0)
+        assert skewed.now() == pytest.approx(100.1)
+
+    def test_offset_and_drift_compose(self):
+        base = Clock()
+        skewed = SkewedClock(base, skew=-0.5, skew_ppm=200.0)
+        base.advance_to(100.0)
+        assert skewed.now() == pytest.approx(100.0 - 0.5 + 0.02)
+
+    def test_error_at_reports_total_error(self):
+        skewed = SkewedClock(Clock(), skew=0.1, skew_ppm=100.0)
+        assert skewed.error_at(1000.0) == pytest.approx(0.1 + 0.1)

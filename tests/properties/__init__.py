@@ -1,0 +1,7 @@
+"""Property-based invariant harness for the paper's guarantees.
+
+Each module pins one theorem or protocol property to hypothesis-generated
+inputs: Theorem 2 (charging bounds), Theorem 3 (equilibrium of rational
+play), Theorem 4 (one-round convergence), Algorithm 2 (tamper/replay
+rejection), and bit-level determinism of fault-injected experiments.
+"""

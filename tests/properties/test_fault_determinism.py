@@ -1,0 +1,112 @@
+"""Determinism and robustness of fault-injected experiment runs.
+
+A fault-injected scenario must reproduce bit-for-bit from
+``(config, seed)``: the same config re-run serially, or fanned out over
+a process pool, yields the identical codec encoding and the identical
+fault trace.  And even under chaos-grade fault schedules the system-level
+Theorem 2 bound survives: replaying Algorithm 1 on the cycle's true
+usage records brackets what TLC charged.
+
+Whole-scenario simulations are the heavyweight end of the harness, so
+every test here is tier-2 (``slow``) and the hypothesis properties cap
+their own example counts well below the profile value.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DataPlan,
+    NegotiationEngine,
+    OptimalStrategy,
+    PartyKnowledge,
+    PartyRole,
+)
+from repro.experiments.parallel import result_to_dict, run_scenarios
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenarios import VRIDGE_DL, WEBCAM_UDP_UL
+from repro.netsim import FAULT_PROFILES, FaultSchedule, FaultSpec
+
+pytestmark = pytest.mark.slow
+
+BASE = WEBCAM_UDP_UL.with_(n_cycles=2, cycle_duration_s=5.0)
+
+
+fault_specs = st.builds(
+    FaultSpec,
+    kind=st.sampled_from(["burst-loss", "reorder", "duplicate", "blackout"]),
+    start=st.floats(0.0, 8.0, allow_nan=False),
+    duration=st.one_of(st.none(), st.floats(0.1, 5.0, allow_nan=False)),
+    target=st.sampled_from(["*", "uplink", "downlink", "*link*"]),
+    magnitude=st.floats(0.0, 1.0, allow_nan=False),
+    jitter_s=st.floats(0.0, 0.01, allow_nan=False),
+)
+
+fault_schedules = st.builds(
+    lambda specs: FaultSchedule(name="generated", specs=tuple(specs)),
+    st.lists(fault_specs, min_size=1, max_size=4),
+)
+
+
+@settings(max_examples=6)
+@given(schedule=fault_schedules, seed=st.integers(min_value=0, max_value=100))
+def test_fault_runs_reproduce_bit_for_bit(schedule, seed):
+    """Same (config, seed, schedule) → identical encoding and trace."""
+    config = BASE.with_(seed=seed, faults=schedule)
+    first = run_scenario(config)
+    second = run_scenario(config)
+    assert result_to_dict(first) == result_to_dict(second)
+    assert first.fault_trace == second.fault_trace
+
+
+@settings(max_examples=5)
+@given(seed=st.integers(min_value=0, max_value=100))
+def test_chaos_profile_keeps_theorem2_at_system_level(seed):
+    """Replaying Algorithm 1 on the true usage records brackets the
+    charge even when the run suffered the full chaos schedule."""
+    config = VRIDGE_DL.with_(
+        n_cycles=2, cycle_duration_s=5.0, seed=seed, faults=FAULT_PROFILES["chaos"]
+    )
+    result = run_scenario(config)
+    assert len(result.fault_trace) > 0
+    plan = DataPlan(c=config.c, cycle_duration_s=config.cycle_duration_s)
+    for usage in result.usages:
+        x_e, x_o = usage.true_sent, usage.true_received
+        negotiation = NegotiationEngine(
+            plan,
+            OptimalStrategy(
+                PartyKnowledge(PartyRole.EDGE, x_e, x_o), accept_tolerance=0.05
+            ),
+            OptimalStrategy(
+                PartyKnowledge(PartyRole.OPERATOR, x_o, x_e), accept_tolerance=0.05
+            ),
+        ).run()
+        assert negotiation.converged
+        if not negotiation.forced:
+            assert x_o * 0.95 - 2 <= negotiation.volume <= x_e * 1.05 + 2
+
+
+def test_serial_and_parallel_chaos_runs_are_bit_identical():
+    """The pool fan-out must not perturb fault-injected results."""
+    configs = [
+        BASE.with_(seed=seed, faults=FAULT_PROFILES["chaos"]) for seed in (1, 2, 3)
+    ]
+    serial = [run_scenario(config) for config in configs]
+    pooled = run_scenarios(configs, workers=2, cache=False)
+    assert [result_to_dict(r) for r in serial] == [result_to_dict(r) for r in pooled]
+    assert [r.fault_trace for r in serial] == [r.fault_trace for r in pooled]
+
+
+def test_faultless_run_unchanged_by_subsystem_presence():
+    """A config with no schedule matches one with an empty schedule —
+    attaching the machinery only when specs exist is observable nowhere."""
+    plain = run_scenario(BASE.with_(seed=9))
+    empty = run_scenario(BASE.with_(seed=9, faults=FaultSchedule(specs=())))
+    plain_dict = result_to_dict(plain)
+    empty_dict = result_to_dict(empty)
+    # The configs differ (None vs empty schedule) but the physics cannot.
+    plain_dict.pop("config")
+    empty_dict.pop("config")
+    assert plain_dict == empty_dict
+    assert len(plain.fault_trace) == len(empty.fault_trace) == 0

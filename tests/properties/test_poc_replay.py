@@ -1,0 +1,162 @@
+"""Algorithm 2 properties: tampered and replayed PoCs never verify.
+
+Hypothesis drives full CDR/CDA/PoC exchanges over generated records and
+plan weights, then attacks the resulting proof:
+
+* the untouched PoC verifies exactly once — presenting the same nonce
+  pair again is rejected as ``REPLAYED``;
+* any single-field tamper (charged volume, embedded claims, plan
+  binding, nonce trailer, signature bytes) is rejected.
+
+Keys are 512-bit and module-scoped: key generation dominates the cost,
+signing does not, so every example affords a fresh negotiation.
+"""
+
+import dataclasses
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import DataPlan, OptimalStrategy, PartyKnowledge, PartyRole
+from repro.crypto import generate_keypair
+from repro.poc.messages import PlanParams, Poc, Role
+from repro.poc.protocol import NegotiationDriver
+from repro.poc.verifier import PublicVerifier, VerificationFailure
+
+EDGE_KEY = generate_keypair(512, random.Random(41))
+OPERATOR_KEY = generate_keypair(512, random.Random(42))
+PRIVATE_KEYS = {Role.EDGE: EDGE_KEY, Role.OPERATOR: OPERATOR_KEY}
+
+
+exchanges = st.fixed_dictionaries(
+    {
+        "x_e": st.integers(min_value=0, max_value=10**9),
+        "loss_frac": st.floats(0.0, 0.4, allow_nan=False),
+        "c": st.sampled_from([0.0, 0.3, 0.5, 1.0]),
+        "seed": st.integers(min_value=0, max_value=2**32 - 1),
+    }
+)
+
+
+def negotiate(params):
+    """One full protocol exchange; returns (plan, plan_params, poc)."""
+    x_e = params["x_e"]
+    x_o = int(x_e * (1.0 - params["loss_frac"]))
+    plan = DataPlan(c=params["c"], cycle_duration_s=60.0)
+    driver = NegotiationDriver(
+        plan,
+        cycle_start=0.0,
+        edge_strategy=OptimalStrategy(
+            PartyKnowledge(PartyRole.EDGE, x_e, x_o), accept_tolerance=0.02
+        ),
+        operator_strategy=OptimalStrategy(
+            PartyKnowledge(PartyRole.OPERATOR, x_o, x_e), accept_tolerance=0.02
+        ),
+        edge_key=EDGE_KEY,
+        operator_key=OPERATOR_KEY,
+        rng=random.Random(params["seed"]),
+    )
+    result = driver.run()
+    return plan, PlanParams(0.0, 60.0, params["c"]), result.poc
+
+
+@given(exchanges)
+def test_genuine_poc_verifies_once_then_replay_rejected(params):
+    plan, plan_params, poc = negotiate(params)
+    verifier = PublicVerifier(plan)
+    first = verifier.verify(poc, plan_params, EDGE_KEY.public, OPERATOR_KEY.public)
+    assert first.ok
+    assert first.volume == poc.volume
+    edge_claim, operator_claim = poc.claims
+    assert first.edge_claim == edge_claim
+    assert first.operator_claim == operator_claim
+    # Presenting the same PoC (same nonce pair) again must fail.
+    replay = verifier.verify(poc, plan_params, EDGE_KEY.public, OPERATOR_KEY.public)
+    assert not replay.ok
+    assert replay.failure is VerificationFailure.REPLAYED
+    assert (verifier.verified, verifier.rejected) == (1, 1)
+
+
+TAMPER_KINDS = ("volume", "claim", "plan", "nonce", "signature")
+
+
+def tamper(poc, kind):
+    """Return a single-field-tampered copy of a genuine PoC.
+
+    ``volume`` and ``plan`` are insider forgeries: the finalizing party
+    *re-signs* the altered proof with its own key, so the signature chain
+    is intact and the deeper Algorithm 2 steps must catch the lie.  The
+    other kinds are wire-level edits caught by signature/nonce checks.
+    """
+    if kind == "volume":
+        return Poc.build(
+            poc.role, poc.plan, poc.volume + 1, poc.peer_cda, PRIVATE_KEYS[poc.role]
+        )
+    if kind == "plan":
+        shifted = PlanParams(poc.plan.t_start, poc.plan.t_end + 1.0, poc.plan.c)
+        return Poc.build(
+            poc.role, shifted, poc.volume, poc.peer_cda, PRIVATE_KEYS[poc.role]
+        )
+    if kind == "claim":
+        # The PoC signature covers the embedded CDA bytes, so a claim
+        # edit must also be re-signed by the finalizer to get past the
+        # outer check — the *counterpart's* CDA signature then fails.
+        cda = poc.peer_cda
+        tampered_cda = dataclasses.replace(cda, volume=cda.volume + 1)
+        return Poc.build(
+            poc.role, poc.plan, poc.volume, tampered_cda, PRIVATE_KEYS[poc.role]
+        )
+    if kind == "nonce":
+        flipped = bytes([poc.nonce_edge[0] ^ 0xFF]) + poc.nonce_edge[1:]
+        return dataclasses.replace(poc, nonce_edge=flipped)
+    if kind == "signature":
+        flipped = bytes([poc.signature[0] ^ 0xFF]) + poc.signature[1:]
+        return dataclasses.replace(poc, signature=flipped)
+    raise AssertionError(kind)
+
+
+@given(exchanges, st.sampled_from(TAMPER_KINDS))
+def test_tampered_poc_is_rejected(params, kind):
+    plan, plan_params, poc = negotiate(params)
+    verifier = PublicVerifier(plan)
+    forged = tamper(poc, kind)
+    report = verifier.verify(forged, plan_params, EDGE_KEY.public, OPERATOR_KEY.public)
+    assert not report.ok
+    assert report.failure is not None
+    assert verifier.verified == 0
+    # The failed attempt must not burn the nonce pair: the genuine PoC
+    # still verifies afterwards.
+    assert verifier.verify(poc, plan_params, EDGE_KEY.public, OPERATOR_KEY.public).ok
+
+
+def test_poc_from_wire_bytes_round_trips_through_verifier():
+    """Decode-from-wire (not just in-memory objects) verifies too."""
+    from repro.poc.messages import Poc
+
+    params = {"x_e": 123_456_789, "loss_frac": 0.1, "c": 0.5, "seed": 7}
+    plan, plan_params, poc = negotiate(params)
+    rewired = Poc.decode(poc.encode())
+    assert rewired == poc
+    verifier = PublicVerifier(plan)
+    assert verifier.verify(rewired, plan_params, EDGE_KEY.public, OPERATOR_KEY.public).ok
+
+
+@pytest.mark.parametrize("kind", TAMPER_KINDS)
+def test_each_tamper_kind_maps_to_a_distinct_failure(kind):
+    """Spot-check the failure taxonomy on one fixed exchange."""
+    params = {"x_e": 10**8, "loss_frac": 0.2, "c": 0.5, "seed": 3}
+    plan, plan_params, poc = negotiate(params)
+    report = PublicVerifier(plan).verify(
+        tamper(poc, kind), plan_params, EDGE_KEY.public, OPERATOR_KEY.public
+    )
+    assert not report.ok
+    expected = {
+        "volume": VerificationFailure.VOLUME_MISMATCH,
+        "claim": VerificationFailure.BAD_CDA_SIGNATURE,
+        "plan": VerificationFailure.PLAN_MISMATCH,
+        "nonce": VerificationFailure.NONCE_MISMATCH,
+        "signature": VerificationFailure.BAD_POC_SIGNATURE,
+    }
+    assert report.failure is expected[kind]

@@ -1,0 +1,158 @@
+"""Theorem 2: the negotiated volume is bounded by the parties' records.
+
+For any pair of strategies that (a) never claim past their own provable
+record and (b) apply the cross-check accept rule, an *agreed* charging
+volume x̂ satisfies
+
+    x̂_o · (1 − tol)  ≤  x̂  ≤  x̂_e · (1 + tol)
+
+where x̂_o is the operator's received record, x̂_e the edge's sent record
+and ``tol`` the accept tolerance both sides run with.  The proof follows
+the paper's §5.1 argument: a double accept means the operator approved a
+claim no lower than its record (minus tolerance) and the edge approved a
+claim no higher than its record (plus tolerance), and line 8's charging
+formula interpolates between the two approved claims.
+
+Force-converged settlements (the engine collapsing a degenerate bound
+interval) can creep past the accept thresholds by at most one byte per
+round of clamping, so they carry a ``max_rounds`` additive slack.
+"""
+
+import math
+import random
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    DataPlan,
+    HonestStrategy,
+    NegotiationEngine,
+    OptimalStrategy,
+    PartyKnowledge,
+    PartyRole,
+    RandomSelfishStrategy,
+    RubinsteinStrategy,
+)
+
+# Integer rounding in line 8 (`int(round(...))`) and in the tolerance
+# thresholds can each shift the volume by one byte.
+ROUNDING_SLACK = 2
+
+STRATEGY_KINDS = ("honest", "optimal", "random", "rubinstein")
+
+
+def build_strategy(kind, role, own_record, other_estimate, tolerance, seed):
+    knowledge = PartyKnowledge(role, own_record, other_estimate)
+    if kind == "honest":
+        return HonestStrategy(knowledge, accept_tolerance=tolerance)
+    if kind == "optimal":
+        return OptimalStrategy(knowledge, accept_tolerance=tolerance)
+    if kind == "random":
+        return RandomSelfishStrategy(
+            knowledge, random.Random(seed), accept_tolerance=tolerance
+        )
+    if kind == "rubinstein":
+        return RubinsteinStrategy(knowledge, delta=0.85, accept_tolerance=tolerance)
+    raise AssertionError(kind)
+
+
+matchups = st.fixed_dictionaries(
+    {
+        "x_e": st.integers(min_value=0, max_value=10**9),
+        "loss_frac": st.floats(0.0, 0.5, allow_nan=False),
+        "edge_noise": st.floats(-0.08, 0.08, allow_nan=False),
+        "operator_noise": st.floats(-0.08, 0.08, allow_nan=False),
+        "tolerance": st.sampled_from([0.0, 0.015, 0.05, 0.1]),
+        "c": st.sampled_from([0.0, 0.3, 0.5, 1.0]),
+        "edge_kind": st.sampled_from(STRATEGY_KINDS),
+        "operator_kind": st.sampled_from(STRATEGY_KINDS),
+        "seed": st.integers(min_value=0, max_value=2**32 - 1),
+    }
+)
+
+
+def run_matchup(params):
+    """Build the records/estimates and run Algorithm 1 once."""
+    x_e = params["x_e"]
+    x_o = int(x_e * (1.0 - params["loss_frac"]))
+    edge_estimate = max(0, int(x_o * (1.0 + params["edge_noise"])))
+    operator_estimate = max(0, int(x_e * (1.0 + params["operator_noise"])))
+    tol = params["tolerance"]
+    edge = build_strategy(
+        params["edge_kind"], PartyRole.EDGE, x_e, edge_estimate, tol, params["seed"]
+    )
+    operator = build_strategy(
+        params["operator_kind"],
+        PartyRole.OPERATOR,
+        x_o,
+        operator_estimate,
+        tol,
+        params["seed"] + 1,
+    )
+    engine = NegotiationEngine(DataPlan(c=params["c"]), edge, operator)
+    return x_e, x_o, engine, engine.run()
+
+
+@given(matchups)
+def test_agreed_volume_within_record_bounds(params):
+    """Double-accept outcomes respect x̂_o(1−tol) ≤ x̂ ≤ x̂_e(1+tol)."""
+    x_e, x_o, engine, result = run_matchup(params)
+    assert result.volume >= 0
+    if not result.converged or result.forced:
+        return
+    tol = params["tolerance"]
+    assert result.volume >= x_o * (1.0 - tol) - ROUNDING_SLACK
+    assert result.volume <= x_e * (1.0 + tol) + ROUNDING_SLACK
+
+
+@given(matchups)
+def test_forced_settlement_within_bounds_plus_clamp_creep(params):
+    """Force-converged settlements drift ≤ 1 byte/round past the bound."""
+    x_e, x_o, engine, result = run_matchup(params)
+    if not result.converged:
+        return
+    tol = params["tolerance"]
+    creep = engine.max_rounds if result.forced else 0
+    assert result.volume >= x_o * (1.0 - tol) - ROUNDING_SLACK - creep
+    assert result.volume <= x_e * (1.0 + tol) + ROUNDING_SLACK + creep
+
+
+def estimate_within(record, tolerance, fraction):
+    """An integer estimate of ``record`` with relative error ≤ tolerance.
+
+    ``fraction`` ∈ [0, 1] picks a point in the closed integer interval
+    [⌈record·(1−tol)⌉, ⌊record·(1+tol)⌋], so the accept thresholds hold
+    exactly despite integer truncation.
+    """
+    lo = min(math.ceil(record * (1.0 - tolerance)), record)
+    hi = max(math.floor(record * (1.0 + tolerance)), record)
+    return lo + int(round(fraction * (hi - lo)))
+
+
+@given(matchups)
+def test_charging_gap_bounded_by_record_error(params):
+    """Figure 18's gap bound: rational play on records within relative
+    error e ≤ tol charges within e·(x̂_o + x̂_e) of the expected charge."""
+    x_e = params["x_e"]
+    x_o = int(x_e * (1.0 - params["loss_frac"]))
+    tol = max(params["tolerance"], 0.015)
+    edge_estimate = estimate_within(x_o, tol, (params["edge_noise"] + 0.08) / 0.16)
+    operator_estimate = estimate_within(
+        x_e, tol, (params["operator_noise"] + 0.08) / 0.16
+    )
+    edge = OptimalStrategy(
+        PartyKnowledge(PartyRole.EDGE, x_e, edge_estimate), accept_tolerance=tol
+    )
+    operator = OptimalStrategy(
+        PartyKnowledge(PartyRole.OPERATOR, x_o, operator_estimate), accept_tolerance=tol
+    )
+    plan = DataPlan(c=params["c"])
+    result = NegotiationEngine(plan, edge, operator).run()
+    assert result.converged and not result.forced
+    expected = plan.expected_charge(x_e, x_o)
+    # charge() is 1-Lipschitz in each claim, so the gap is bounded by the
+    # sum of both parties' absolute estimate errors (≤ tol·record each).
+    error_budget = abs(edge_estimate - x_o) + abs(operator_estimate - x_e)
+    assert abs(result.volume - expected) <= error_budget + ROUNDING_SLACK
+

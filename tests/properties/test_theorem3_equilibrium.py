@@ -1,0 +1,126 @@
+"""Theorem 3: the rational claim flip is a Nash equilibrium.
+
+With perfect records and a strict cross-check (tolerance 0), the claim
+pair (edge claims x̂_o, operator claims x̂_e) is a saddle point of the
+*single-round* claim game: the negotiation settles immediately at the
+expected charge x̂ = x̂_o + c·(x̂_e − x̂_o), and no unilateral claim
+deviation helps.  A deviating edge whose claim is accepted pays the same
+or more; a deviating operator collects the same or less; a deviation
+that gets rejected produces no PoC this round — and no PoC means no
+settlement, which the paper argues is strictly worse for the deviator
+(§5.1: service cutoff / unpaid traffic).  The tests therefore run the
+deviation engine with ``max_rounds=1``: multi-round re-negotiation
+dynamics are heuristic concession behaviour outside the theorem (and
+their outcomes are still pinned by the Theorem 2 bounds property).
+
+The deviations generated here span the claim-deviation space of the
+theorem's proof: an arbitrary fixed claim under the normal accept rule,
+honest reporting of the party's own record, and stubbornness (rejects
+everything but its own number, which stalls or settles at a cross-checked
+claim).  Concession-dynamics strategies (RandomSelfish, Rubinstein) are
+deliberately excluded: in *repeated* rounds they can exploit the
+counterpart's midpoint-walking heuristic, which is outside the theorem's
+single-shot game — their outcomes are still pinned by the Theorem 2
+bounds property.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    DataPlan,
+    HonestStrategy,
+    NegotiationEngine,
+    OptimalStrategy,
+    PartyKnowledge,
+    PartyRole,
+    StubbornStrategy,
+)
+from repro.core.strategies import Strategy
+
+ROUNDING_SLACK = 2
+
+DEVIATION_KINDS = ("fixed-claim", "honest", "stubborn")
+
+
+class FixedClaimStrategy(Strategy):
+    """Claims an arbitrary fixed volume but keeps the cross-check rule.
+
+    This is the pure claim deviation of the Theorem 3 proof: the player
+    changes *what it asks for* while still accepting/rejecting like a
+    record-holding party.  (StubbornStrategy additionally breaks the
+    accept rule, which is covered as its own deviation kind.)
+    """
+
+    def __init__(self, knowledge, claim):
+        super().__init__(knowledge)
+        self.claim = claim
+
+    def target_claim(self):
+        return self.claim
+
+
+def equilibrium_volume(plan, x_e, x_o):
+    result = NegotiationEngine(
+        plan,
+        OptimalStrategy(PartyKnowledge(PartyRole.EDGE, x_e, x_o)),
+        OptimalStrategy(PartyKnowledge(PartyRole.OPERATOR, x_o, x_e)),
+    ).run()
+    assert result.converged and not result.forced and result.rounds == 1
+    return result.volume
+
+
+def build_deviation(kind, role, own_record, other_estimate, claim):
+    knowledge = PartyKnowledge(role, own_record, other_estimate)
+    if kind == "fixed-claim":
+        return FixedClaimStrategy(knowledge, claim)
+    if kind == "honest":
+        return HonestStrategy(knowledge)
+    if kind == "stubborn":
+        return StubbornStrategy(knowledge, claim)
+    raise AssertionError(kind)
+
+
+games = st.fixed_dictionaries(
+    {
+        "x_e": st.integers(min_value=0, max_value=10**8),
+        "loss_frac": st.floats(0.0, 0.5, allow_nan=False),
+        "c": st.sampled_from([0.0, 0.3, 0.5, 1.0]),
+        "kind": st.sampled_from(DEVIATION_KINDS),
+        "claim_frac": st.floats(0.0, 1.5, allow_nan=False),
+    }
+)
+
+
+@given(games)
+def test_edge_deviation_never_pays_less(params):
+    """Any converged unilateral edge deviation charges ≥ the equilibrium."""
+    x_e = params["x_e"]
+    x_o = int(x_e * (1.0 - params["loss_frac"]))
+    plan = DataPlan(c=params["c"])
+    v_eq = equilibrium_volume(plan, x_e, x_o)
+    deviant_claim = int(params["claim_frac"] * x_e)
+    edge = build_deviation(params["kind"], PartyRole.EDGE, x_e, x_o, deviant_claim)
+    operator = OptimalStrategy(PartyKnowledge(PartyRole.OPERATOR, x_o, x_e))
+    result = NegotiationEngine(plan, edge, operator, max_rounds=1).run()
+    if result.converged and not result.forced:
+        assert result.volume >= v_eq - ROUNDING_SLACK
+    # A rejected deviation yields no PoC this round — no settlement at
+    # all, which is worse for the deviator than paying v_eq.
+
+
+@given(games)
+def test_operator_deviation_never_collects_more(params):
+    """Any converged unilateral operator deviation charges ≤ equilibrium."""
+    x_e = params["x_e"]
+    x_o = int(x_e * (1.0 - params["loss_frac"]))
+    plan = DataPlan(c=params["c"])
+    v_eq = equilibrium_volume(plan, x_e, x_o)
+    deviant_claim = int(params["claim_frac"] * x_e)
+    edge = OptimalStrategy(PartyKnowledge(PartyRole.EDGE, x_e, x_o))
+    operator = build_deviation(
+        params["kind"], PartyRole.OPERATOR, x_o, x_e, deviant_claim
+    )
+    result = NegotiationEngine(plan, edge, operator, max_rounds=1).run()
+    if result.converged and not result.forced:
+        assert result.volume <= v_eq + ROUNDING_SLACK

@@ -1,0 +1,114 @@
+"""Theorem 4: honest/rational players converge in one round.
+
+When both parties are honest or rational (the paper's OptimalStrategy)
+and every charging-record estimate is within relative error e of the true
+counterpart metric, an accept tolerance tol ≥ e makes the negotiation
+settle in exactly one round — the deployment property that keeps TLC's
+per-cycle overhead at a single message exchange (Figure 17).
+
+The estimates are drawn as integers inside the closed interval
+[⌈record·(1−tol)⌉, ⌊record·(1+tol)⌋] so the precondition holds exactly
+despite integer truncation.
+"""
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    DataPlan,
+    HonestStrategy,
+    NegotiationEngine,
+    OptimalStrategy,
+    PartyKnowledge,
+    PartyRole,
+)
+
+PLAYER_COMBOS = (
+    ("optimal", "optimal"),
+    ("honest", "honest"),
+    ("optimal", "honest"),
+    ("honest", "optimal"),
+)
+
+
+def estimate_within(record, tolerance, fraction):
+    lo = min(math.ceil(record * (1.0 - tolerance)), record)
+    hi = max(math.floor(record * (1.0 + tolerance)), record)
+    return lo + int(round(fraction * (hi - lo)))
+
+
+def build_player(kind, role, own_record, other_estimate, tolerance):
+    knowledge = PartyKnowledge(role, own_record, other_estimate)
+    cls = OptimalStrategy if kind == "optimal" else HonestStrategy
+    return cls(knowledge, accept_tolerance=tolerance)
+
+
+cycles = st.fixed_dictionaries(
+    {
+        "x_e": st.integers(min_value=0, max_value=10**9),
+        "loss_frac": st.floats(0.0, 0.5, allow_nan=False),
+        "tolerance": st.sampled_from([0.015, 0.05, 0.1]),
+        "edge_fraction": st.floats(0.0, 1.0, allow_nan=False),
+        "operator_fraction": st.floats(0.0, 1.0, allow_nan=False),
+        "c": st.sampled_from([0.0, 0.3, 0.5, 1.0]),
+        "combo": st.sampled_from(PLAYER_COMBOS),
+    }
+)
+
+
+@given(cycles)
+def test_honest_and_rational_players_settle_in_one_round(params):
+    x_e = params["x_e"]
+    x_o = int(x_e * (1.0 - params["loss_frac"]))
+    tol = params["tolerance"]
+    edge_kind, operator_kind = params["combo"]
+    edge = build_player(
+        edge_kind,
+        PartyRole.EDGE,
+        x_e,
+        estimate_within(x_o, tol, params["edge_fraction"]),
+        tol,
+    )
+    operator = build_player(
+        operator_kind,
+        PartyRole.OPERATOR,
+        x_o,
+        estimate_within(x_e, tol, params["operator_fraction"]),
+        tol,
+    )
+    result = NegotiationEngine(DataPlan(c=params["c"]), edge, operator).run()
+    assert result.converged
+    assert not result.forced
+    assert result.rounds == 1
+
+
+@given(cycles)
+def test_one_round_settlement_is_a_true_double_accept(params):
+    """The transcript shows both in-bounds claims accepted in round 0."""
+    x_e = params["x_e"]
+    x_o = int(x_e * (1.0 - params["loss_frac"]))
+    tol = params["tolerance"]
+    edge = OptimalStrategy(
+        PartyKnowledge(
+            PartyRole.EDGE, x_e, estimate_within(x_o, tol, params["edge_fraction"])
+        ),
+        accept_tolerance=tol,
+    )
+    operator = OptimalStrategy(
+        PartyKnowledge(
+            PartyRole.OPERATOR,
+            x_o,
+            estimate_within(x_e, tol, params["operator_fraction"]),
+        ),
+        accept_tolerance=tol,
+    )
+    result = NegotiationEngine(DataPlan(c=params["c"]), edge, operator).run()
+    record = result.transcript[0]
+    assert record.edge_accepts and record.operator_accepts
+    assert record.edge_claim_in_bounds and record.operator_claim_in_bounds
+    assert (result.volume, result.rounds) == (
+        int(round(DataPlan(c=params["c"]).charge(record.edge_claim, record.operator_claim))),
+        1,
+    )
