@@ -3,7 +3,11 @@
 Each benchmark regenerates one of the paper's tables or figures, prints
 the rendered rows/series (captured into ``bench_output.txt`` by the
 harness invocation) and archives them under ``benchmarks/out/`` so
-EXPERIMENTS.md can reference exact reproduced numbers.
+EXPERIMENTS.md can reference exact reproduced numbers.  Archival goes
+through :class:`repro.obs.RunManifest`, so every artifact lands in the
+uniform ``out/<name>.txt`` layout and a session-level
+``bench.manifest.json`` records names, sizes, digests and the engine
+configuration of the producing run.
 
 Scenario execution goes through :mod:`repro.experiments.parallel`:
 ``REPRO_WORKERS=N`` fans the scenario sweeps out over N processes, and
@@ -18,6 +22,7 @@ from pathlib import Path
 import pytest
 
 from repro.experiments import parallel
+from repro.obs import RunManifest
 
 OUT_DIR = Path(__file__).parent / "out"
 CACHE_DIR = Path(__file__).parent / ".cache"
@@ -41,12 +46,28 @@ def out_dir() -> Path:
     return OUT_DIR
 
 
+@pytest.fixture(scope="session")
+def bench_manifest(out_dir, scenario_engine):
+    """Session manifest indexing every artifact the benchmarks archive."""
+    manifest = RunManifest(
+        name="bench", out_dir=out_dir, command="pytest benchmarks"
+    )
+    manifest.record_engine(
+        workers=parallel._default_workers,
+        cache_dir=str(parallel._default_cache.directory)
+        if parallel._default_cache
+        else None,
+    )
+    yield manifest
+    manifest.save()
+
+
 @pytest.fixture()
-def archive(out_dir, capsys):
+def archive(bench_manifest, capsys):
     """Return a writer that prints and persists a rendered result."""
 
     def _archive(name: str, text: str) -> None:
         print(f"\n{text}\n")
-        (out_dir / f"{name}.txt").write_text(text + "\n")
+        bench_manifest.write_text(name, text)
 
     return _archive

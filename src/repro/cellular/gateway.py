@@ -69,6 +69,7 @@ class Spgw:
         bearers: BearerTable,
         address: GatewayAddress | None = None,
         policy: PolicyFunction | None = None,
+        metrics=None,
     ) -> None:
         self.loop = loop
         self.bearers = bearers
@@ -80,6 +81,20 @@ class Spgw:
         self.no_bearer_drops = FlowStats()
         self.detached_drops = FlowStats()
         self.policed_drops = FlowStats()
+        self.metrics = metrics
+
+    def _count_drop(self, packet: Packet, reason: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(
+                "cellular.gateway.drop_bytes", reason=reason
+            ).inc(packet.size)
+
+    def _count_charged(self, packet: Packet) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(
+                "cellular.gateway.charged_bytes",
+                direction=packet.direction.value,
+            ).inc(packet.size)
 
     # ------------------------------------------------------------ plumbing
 
@@ -120,17 +135,21 @@ class Spgw:
         if bearer is None:
             packet.mark_dropped("no-bearer")
             self.no_bearer_drops.count(packet)
+            self._count_drop(packet, "no-bearer")
             return
         if not bearer.active:
             packet.mark_dropped("detached")
             self.detached_drops.count(packet)
+            self._count_drop(packet, "detached")
             return
         if self._policed(bearer, packet):
             packet.mark_dropped("policed")
             self.policed_drops.count(packet)
+            self._count_drop(packet, "policed")
             return
         packet.qci = bearer.qci  # traffic rides the bearer's QoS class
         bearer.count_uplink(self.loop.now(), packet.size)
+        self._count_charged(packet)
         sink = self._uplink_sinks.get(packet.flow_id)
         if sink is not None:
             packet.delivered_at = self.loop.now()
@@ -146,18 +165,22 @@ class Spgw:
         if bearer is None:
             packet.mark_dropped("no-bearer")
             self.no_bearer_drops.count(packet)
+            self._count_drop(packet, "no-bearer")
             return
         if not bearer.active:
             # Detached UE: dropped *before* charging — no gap accumulates.
             packet.mark_dropped("detached")
             self.detached_drops.count(packet)
+            self._count_drop(packet, "detached")
             return
         if self._policed(bearer, packet):
             packet.mark_dropped("policed")
             self.policed_drops.count(packet)
+            self._count_drop(packet, "policed")
             return
         packet.qci = bearer.qci  # traffic rides the bearer's QoS class
         bearer.count_downlink(self.loop.now(), packet.size)
+        self._count_charged(packet)
         if self._downlink_forward is None:
             raise RuntimeError("SPGW has no eNodeB attached")
         self._downlink_forward(str(bearer.imsi), packet)

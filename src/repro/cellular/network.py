@@ -114,18 +114,20 @@ class CellularNetwork:
         loop: EventLoop,
         rng: StreamRegistry,
         config: NetworkConfig | None = None,
+        metrics=None,
     ) -> None:
         self.loop = loop
         self.rng = rng
         self.config = config if config is not None else NetworkConfig()
+        self.metrics = metrics
         self.hss = Hss()
         self.bearers = BearerTable()
         self.mme = Mme(self.hss, self.bearers)
         self.pcrf = Pcrf()
         address = GatewayAddress(self.config.gateway_address)
-        self.spgw = Spgw(loop, self.bearers, address, policy=self.pcrf)
+        self.spgw = Spgw(loop, self.bearers, address, policy=self.pcrf, metrics=metrics)
         self.ids = ChargingIdAllocator()
-        self.ofcs = Ofcs(loop, self.bearers, address, self.ids)
+        self.ofcs = Ofcs(loop, self.bearers, address, self.ids, metrics=metrics)
         if self.config.n_cells < 1:
             raise ValueError(f"need at least one cell, got {self.config.n_cells}")
         self.enodebs = [
@@ -140,6 +142,7 @@ class CellularNetwork:
         self._backhaul_ul = Link(
             loop, self.spgw.receive_uplink,
             latency=self.config.backhaul_latency_s, name="backhaul-ul",
+            metrics=metrics,
         )
         for enodeb in self.enodebs:
             enodeb.connect_core(self._backhaul_ul.send)
@@ -148,6 +151,7 @@ class CellularNetwork:
         self._lan_dl = Link(
             loop, self.spgw.send_downlink,
             latency=self.config.lan_latency_s, name="lan-dl",
+            metrics=metrics,
         )
 
     # --------------------------------------------------------- subscribers

@@ -102,6 +102,7 @@ class Ofcs:
         bearers: BearerTable,
         gateway_address: GatewayAddress,
         ids: ChargingIdAllocator | None = None,
+        metrics=None,
     ) -> None:
         self.loop = loop
         self.bearers = bearers
@@ -109,6 +110,7 @@ class Ofcs:
         self.ids = ids if ids is not None else ChargingIdAllocator()
         self.records: list[CdrRecord] = []
         self._cycle_start: dict[str, float] = {}
+        self.metrics = metrics
 
     # --------------------------------------------------------------- usage
 
@@ -134,6 +136,14 @@ class Ofcs:
         record = self._build_record(bearer, t1, t2)
         self._cycle_start[flow_id] = t2
         self.records.append(record)
+        if self.metrics is not None:
+            self.metrics.counter("cellular.ofcs.cdrs").inc()
+            self.metrics.counter("cellular.ofcs.uplink_bytes").inc(
+                record.datavolume_uplink
+            )
+            self.metrics.counter("cellular.ofcs.downlink_bytes").inc(
+                record.datavolume_downlink
+            )
         return record
 
     def _build_record(self, bearer: Bearer, t1: float, t2: float) -> CdrRecord:

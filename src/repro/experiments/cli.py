@@ -2,19 +2,34 @@
 
 ``python -m repro list`` shows the available experiments;
 ``python -m repro run figure3 table2 ...`` regenerates them (or ``all``),
-and ``--csv DIR`` additionally exports plot-ready CSV data.
+and ``--csv DIR`` additionally exports plot-ready CSV data.  Each
+``run``/``report`` invocation writes a JSON run manifest under
+``benchmarks/out/`` describing the artifacts it produced.
+
+``python -m repro obs <run>`` renders the layer-by-layer accounting of
+any cached scenario (or saved manifest); ``python -m repro baseline``
+checks every golden figure/table quantity against
+``benchmarks/baselines.json``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
 
+from ..obs import MetricsSnapshot, RunManifest, render_accounting
 from . import export, figures, parallel
+
+#: Default artifact/manifest directory (the benchmark harness's layout).
+DEFAULT_OUT_DIR = Path("benchmarks") / "out"
+
+#: Default golden-baselines file.
+DEFAULT_BASELINES = Path("benchmarks") / "baselines.json"
 
 
 @dataclass(frozen=True)
@@ -145,7 +160,47 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also export plot-ready CSV data into DIR",
     )
+    run.add_argument(
+        "--out-dir", metavar="DIR", default=str(DEFAULT_OUT_DIR),
+        help=f"artifact + manifest directory (default: {DEFAULT_OUT_DIR})",
+    )
+    run.add_argument(
+        "--no-manifest", action="store_true",
+        help="print only; do not write artifacts or a run manifest",
+    )
     add_engine_options(run)
+
+    obs = sub.add_parser(
+        "obs", help="layer-by-layer byte/drop accounting of a cached run"
+    )
+    obs.add_argument(
+        "run", nargs="?", default=None,
+        help="cache-key prefix of a cached scenario, or a path to a "
+        "cached-result/manifest JSON file",
+    )
+    obs.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="scenario cache to search (default: $REPRO_CACHE_DIR "
+        "or benchmarks/.cache)",
+    )
+    obs.add_argument(
+        "--list", action="store_true", dest="list_runs",
+        help="list cached runs instead of rendering one",
+    )
+
+    baseline = sub.add_parser(
+        "baseline", help="check or regenerate the golden figure baselines"
+    )
+    baseline.add_argument(
+        "--path", metavar="FILE", default=str(DEFAULT_BASELINES),
+        help=f"baselines file (default: {DEFAULT_BASELINES})",
+    )
+    baseline.add_argument(
+        "--update", action="store_true",
+        help="re-run every golden experiment and rewrite the baselines "
+        "(default is to check against the recorded values)",
+    )
+    add_engine_options(baseline)
     return parser
 
 
@@ -178,6 +233,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "verify":
         return _verify_ledger(args)
 
+    if args.command == "obs":
+        return _show_obs(args)
+
     try:
         _configure_engine(args)
     except ValueError as exc:  # e.g. an unknown --fault-profile name
@@ -185,6 +243,8 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     if args.command == "report":
         return _write_report(Path(args.out))
+    if args.command == "baseline":
+        return _run_baselines(args)
     names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
@@ -192,16 +252,34 @@ def main(argv: list[str] | None = None) -> int:
         print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
     csv_dir = Path(args.csv) if args.csv else None
+    manifest: RunManifest | None = None
+    if not args.no_manifest:
+        manifest = RunManifest(
+            name="run", out_dir=Path(args.out_dir),
+            command="repro run " + " ".join(names),
+        )
+        manifest.record_engine(
+            workers=parallel._default_workers,
+            cache_dir=(
+                str(parallel._default_cache.directory)
+                if parallel._default_cache is not None else None
+            ),
+        )
     for name in names:
         experiment = EXPERIMENTS[name]
         started = time.time()
         print(f"=== {name} ===")
         result = experiment.run()
-        print(experiment.render(result))
+        rendered = experiment.render(result)
+        print(rendered)
+        if manifest is not None:
+            manifest.write_text(name, rendered)
         if csv_dir is not None and experiment.to_csv is not None:
             experiment.to_csv(result, csv_dir)
             print(f"[csv -> {csv_dir}]")
         print(f"[{time.time() - started:.1f}s]\n")
+    if manifest is not None:
+        print(f"[manifest -> {manifest.save()}]")
     return 0
 
 
@@ -247,10 +325,14 @@ def _write_report(path: Path) -> int:
         "against the paper-vs-measured bands in EXPERIMENTS.md.",
         "",
     ]
+    manifest = RunManifest(
+        name="report", out_dir=DEFAULT_OUT_DIR, command=f"repro report --out {path}"
+    )
     for name, experiment in EXPERIMENTS.items():
         started = time.time()
         print(f"running {name} ...", flush=True)
         rendered = experiment.render(experiment.run())
+        manifest.write_text(name, rendered)
         sections.append(f"## {name} — {experiment.description}")
         sections.append("")
         sections.append("```")
@@ -260,5 +342,115 @@ def _write_report(path: Path) -> int:
         sections.append("")
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text("\n".join(sections))
-    print(f"report written to {path}")
+    manifest.save()
+    print(f"report written to {path} (manifest: {manifest.path})")
     return 0
+
+
+# -------------------------------------------------------- obs / baselines
+
+
+def _default_cache_dir(override: str | None) -> Path:
+    import os
+
+    if override:
+        return Path(override)
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path("benchmarks") / ".cache"
+
+
+def _snapshot_from_file(path: Path) -> tuple[MetricsSnapshot, str]:
+    """Metrics + display title from a cached result or a manifest JSON.
+
+    Both file kinds carry a ``"metrics"`` section in the same encoding;
+    cached results additionally know their scenario name.
+    """
+    data = json.loads(path.read_text())
+    snapshot = MetricsSnapshot.from_dict(data.get("metrics", {}))
+    title = path.name
+    config = data.get("config")
+    if isinstance(config, dict) and "name" in config:
+        title = f"{config['name']} ({path.stem[:12]})"
+    elif "name" in data:
+        title = f"{data['name']} manifest"
+    return snapshot, title
+
+
+def _show_obs(args) -> int:
+    """The ``repro obs`` subcommand: render per-layer accounting."""
+    cache_dir = _default_cache_dir(args.cache_dir)
+    if args.list_runs:
+        entries = sorted(cache_dir.glob("*.json")) if cache_dir.is_dir() else []
+        if not entries:
+            print(f"no cached runs under {cache_dir}")
+            return 0
+        for entry in entries:
+            try:
+                data = json.loads(entry.read_text())
+            except (OSError, ValueError):
+                continue
+            name = (data.get("config") or {}).get("name", "?")
+            has_metrics = "yes" if data.get("metrics") else "no"
+            print(f"{entry.stem[:16]}  {name:<24} metrics={has_metrics}")
+        return 0
+    if args.run is None:
+        print("repro obs: give a cache-key prefix or a JSON path "
+              "(or --list)", file=sys.stderr)
+        return 2
+
+    as_path = Path(args.run)
+    if as_path.is_file():
+        path = as_path
+    else:
+        matches = (
+            sorted(cache_dir.glob(f"{args.run}*.json"))
+            if cache_dir.is_dir() else []
+        )
+        if not matches:
+            print(
+                f"no cached run matching {args.run!r} under {cache_dir} "
+                "(try: repro obs --list)",
+                file=sys.stderr,
+            )
+            return 1
+        if len(matches) > 1:
+            print(
+                f"ambiguous prefix {args.run!r}: "
+                + ", ".join(m.stem[:16] for m in matches[:8]),
+                file=sys.stderr,
+            )
+            return 1
+        path = matches[0]
+    try:
+        snapshot, title = _snapshot_from_file(path)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read {path}: {exc}", file=sys.stderr)
+        return 1
+    print(render_accounting(snapshot, title=title))
+    return 0
+
+
+def _run_baselines(args) -> int:
+    """The ``repro baseline`` subcommand: golden-figure gate / regenerate."""
+    from ..obs import load_baselines, save_baselines
+    from .goldens import build_baselines, check_all
+
+    path = Path(args.path)
+    if args.update:
+        baselines = build_baselines()
+        save_baselines(path, baselines, generator="repro baseline --update")
+        print(f"{len(baselines)} baselines written to {path}")
+        return 0
+    try:
+        baselines = load_baselines(path)
+    except (OSError, ValueError) as exc:
+        print(f"cannot load baselines from {path}: {exc}", file=sys.stderr)
+        return 2
+    checks = check_all(baselines)
+    drifted = [c for c in checks if not c.ok]
+    for check in checks:
+        print(check.describe())
+    print(f"\n{len(checks) - len(drifted)}/{len(checks)} within tolerance")
+    return 1 if drifted else 0

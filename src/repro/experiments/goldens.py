@@ -1,0 +1,214 @@
+"""Golden-run registry: the quantities ``benchmarks/baselines.json`` gates.
+
+One :class:`GoldenRun` per evaluation artifact, with kwargs that mirror
+the benchmark harness exactly, so the golden regression suite re-checks
+the very numbers EXPERIMENTS.md reports.  The generic band-check
+machinery lives in :mod:`repro.obs.baselines`; this module is the
+experiment-specific part — which experiments to run and which scalars in
+their results are load-bearing.
+
+Because every experiment is deterministic given its seed, the tolerance
+policy guards against *code* drift, not run-to-run noise: a change that
+moves a figure by more than ``rel_tol`` (default 10 %) plus a small
+unit floor fails the gate and must either be fixed or explicitly
+re-baselined with ``python -m repro baseline --update``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..obs import Baseline, BaselineCheck, check_baseline, extract_quantity
+from . import figures
+
+#: Tolerance policy: band = rel_tol·|expected| + max(floor, 2 %·|expected|).
+REL_TOL = 0.10
+ABS_FRACTION = 0.02
+
+
+@dataclass(frozen=True)
+class GoldenRun:
+    """One experiment invocation, with the benchmark harness's kwargs."""
+
+    fn: Callable[..., object]
+    kwargs: dict = field(default_factory=dict, hash=False)
+
+    def execute(self) -> object:
+        return self.fn(**self.kwargs)
+
+
+GOLDEN_RUNS: dict[str, GoldenRun] = {
+    "figure3": GoldenRun(figures.figure3, {"n_cycles": 4}),
+    "figure4": GoldenRun(figures.figure4, {"duration_s": 300.0}),
+    "figure12": GoldenRun(figures.figure12, {"n_cycles": 4}),
+    "figure13": GoldenRun(figures.figure13, {"n_cycles": 3}),
+    "figure14": GoldenRun(figures.figure14, {"n_cycles": 4}),
+    "figure15": GoldenRun(figures.figure15, {"n_cycles": 3}),
+    "figure16a": GoldenRun(figures.figure16a, {"pings": 150}),
+    "figure16b": GoldenRun(figures.figure16b, {"n_cycles": 4}),
+    "figure17": GoldenRun(figures.figure17, {"samples": 40}),
+    "figure18": GoldenRun(figures.figure18, {"n_cycles": 16}),
+    "table2": GoldenRun(figures.table2, {"n_cycles": 4}),
+}
+
+
+@dataclass(frozen=True)
+class QuantitySpec:
+    """Where one golden scalar lives and its unit floor."""
+
+    id: str
+    experiment: str
+    select: dict = field(hash=False)
+    unit: str = ""
+    floor: float = 0.0
+    note: str = ""
+
+
+def _table(id: str, experiment: str, row: str, col: str, unit: str,
+           floor: float, row2: str | None = None, note: str = "") -> QuantitySpec:
+    select: dict = {"kind": "table", "row": row, "col": col}
+    if row2 is not None:
+        select["row2"] = row2
+    return QuantitySpec(id, experiment, select, unit, floor, note)
+
+
+_APPS = ("webcam-rtsp-ul", "webcam-udp-ul", "vridge-gvsp-dl", "gaming-qci7-dl")
+_FIG3_APPS = _APPS[:3]
+
+
+def _quantities() -> list[QuantitySpec]:
+    specs: list[QuantitySpec] = []
+    # Figure 3: raw gap at no congestion and at the heaviest level.
+    for app in _FIG3_APPS:
+        for col in ("0Mbps", "160Mbps"):
+            specs.append(_table(
+                f"figure3.{app}.{col}", "figure3", app, col, "MB/hr", 0.5,
+                note="raw gateway-vs-edge gap (§3.2)",
+            ))
+    # Figure 4: the two summary scalars the paper quotes.
+    specs.append(QuantitySpec(
+        "figure4.mean_outage_s", "figure4",
+        {"kind": "attr", "name": "mean_outage_s"}, "s", 0.3,
+        note="paper: 1.93 s mean outage",
+    ))
+    specs.append(QuantitySpec(
+        "figure4.total_gap_mb", "figure4",
+        {"kind": "attr", "name": "total_gap_mb"}, "MB", 0.5,
+        note="paper: 10.6 MB gap in 300 s",
+    ))
+    # Figure 12: per-app gap-CDF medians, legacy vs TLC-optimal.
+    for app in _APPS:
+        for scheme in ("legacy", "tlc-optimal"):
+            specs.append(QuantitySpec(
+                f"figure12.{app}.{scheme}.median", "figure12",
+                {"kind": "cdf", "app": app, "scheme": scheme, "stat": "median"},
+                "MB/hr", 0.5,
+            ))
+    # Table 2: bitrate and the two headline gaps per app.
+    for app in _APPS:
+        specs.append(_table(
+            f"table2.{app}.bitrate", "table2", app, "bitrate(Mbps)", "Mbps", 0.2,
+        ))
+        specs.append(_table(
+            f"table2.{app}.legacy_delta", "table2", app, "legacy Δ(MB/hr)",
+            "MB/hr", 0.5,
+        ))
+        specs.append(_table(
+            f"table2.{app}.optimal_delta", "table2", app, "optimal Δ", "MB/hr", 0.5,
+        ))
+    # Figure 13: gap ratio at the heaviest congestion, legacy vs optimal.
+    for app in _APPS:
+        for scheme in ("legacy", "tlc-optimal"):
+            specs.append(_table(
+                f"figure13.{app}.{scheme}.160Mbps", "figure13", app, "160Mbps",
+                "%", 0.5, row2=scheme,
+            ))
+    # Figure 14: gap ratio at the sweep's end points.
+    for scheme in ("legacy", "tlc-optimal"):
+        for eta in ("η=5%", "η=15%"):
+            specs.append(_table(
+                f"figure14.{scheme}.{eta}", "figure14", scheme, eta, "%", 0.5,
+            ))
+    # Figure 15: charge-reduction medians across the plan-weight sweep.
+    for c in ("0.0", "0.5", "1.0"):
+        specs.append(QuantitySpec(
+            f"figure15.c{c}.median", "figure15",
+            {"kind": "curve", "key": c, "stat": "median"}, "%", 1.0,
+            note="μ collapses to ~0 at c=1",
+        ))
+    # Figure 16a: in-cycle RTT with TLC enabled, per device.
+    for device in ("HPE EL20", "Pixel 2 XL", "S7 Edge"):
+        specs.append(_table(
+            f"figure16a.{device}.with_tlc", "figure16a", device, "w/ TLC", "ms", 1.0,
+        ))
+    # Figure 16b: negotiation rounds per app, both TLC strategies.
+    for app in _APPS:
+        for col in ("TLC-random", "TLC-optimal"):
+            specs.append(_table(
+                f"figure16b.{app}.{col}", "figure16b", app, col, "rounds", 0.3,
+            ))
+    # Figure 17: negotiation cost per device profile.
+    for device in ("HPE EL20", "Pixel 2 XL", "S7 Edge", "HP Z840"):
+        specs.append(_table(
+            f"figure17.{device}.negotiate_ms", "figure17", device,
+            "negotiate(ms)", "ms", 2.0,
+        ))
+    # Figure 18: mean record-error of both tamper-resilient records.
+    specs.append(_table(
+        "figure18.operator_gamma.mean", "figure18", "operator γo (RRC)",
+        "mean", "%", 0.3,
+    ))
+    specs.append(_table(
+        "figure18.edge_gamma.mean", "figure18", "edge γe (server)",
+        "mean", "%", 0.3,
+    ))
+    return specs
+
+
+QUANTITIES: tuple[QuantitySpec, ...] = tuple(_quantities())
+
+
+class GoldenRunner:
+    """Executes golden runs at most once each (results are memoized)."""
+
+    def __init__(self) -> None:
+        self._results: dict[str, object] = {}
+
+    def result(self, experiment: str) -> object:
+        if experiment not in self._results:
+            self._results[experiment] = GOLDEN_RUNS[experiment].execute()
+        return self._results[experiment]
+
+    def measure(self, experiment: str, select: dict) -> float:
+        return extract_quantity(self.result(experiment), select)
+
+
+def build_baselines(runner: GoldenRunner | None = None) -> list[Baseline]:
+    """Run every golden experiment and record the measured values."""
+    runner = runner if runner is not None else GoldenRunner()
+    baselines = []
+    for spec in QUANTITIES:
+        measured = runner.measure(spec.experiment, spec.select)
+        baselines.append(Baseline(
+            id=spec.id,
+            experiment=spec.experiment,
+            select=spec.select,
+            expected=round(float(measured), 6),
+            rel_tol=REL_TOL,
+            abs_tol=max(spec.floor, ABS_FRACTION * abs(measured)),
+            unit=spec.unit,
+            note=spec.note,
+        ))
+    return baselines
+
+
+def check_all(
+    baselines: list[Baseline], runner: GoldenRunner | None = None
+) -> list[BaselineCheck]:
+    """Re-run the experiments and compare every quantity to its record."""
+    runner = runner if runner is not None else GoldenRunner()
+    return [
+        check_baseline(runner.measure(b.experiment, b.select), b)
+        for b in baselines
+    ]

@@ -43,6 +43,7 @@ from ..core.records import CycleUsage
 from ..netsim.faults import FAULT_PROFILES, FaultEvent, FaultSchedule, FaultTrace
 from ..netsim.packet import Direction, Transport
 from ..netsim.rng import StreamRegistry
+from ..obs import MetricsSnapshot
 from ..workloads.base import WorkloadProfile
 from .runner import ScenarioResult, run_scenario
 from .scenarios import ScenarioConfig
@@ -50,7 +51,8 @@ from .scenarios import ScenarioConfig
 #: Bump when the codec or anything influencing simulation output changes;
 #: every cache key embeds it, so old entries stop matching.
 #: v2: ScenarioConfig.faults + ScenarioResult.fault_trace.
-CODEC_VERSION = 2
+#: v3: ScenarioResult.metrics (observability snapshot).
+CODEC_VERSION = 3
 
 
 # ------------------------------------------------------------------ codec
@@ -113,6 +115,7 @@ def result_to_dict(result: ScenarioResult) -> dict:
         "fault_trace": [
             [e.t, e.kind, e.point, e.detail] for e in result.fault_trace.events
         ],
+        "metrics": result.metrics.to_dict(),
     }
 
 
@@ -154,6 +157,7 @@ def result_from_dict(data: dict) -> ScenarioResult:
             FaultEvent(t, kind, point, detail)
             for t, kind, point, detail in data.get("fault_trace", ())
         ),
+        metrics=MetricsSnapshot.from_dict(data.get("metrics", {})),
     )
 
 

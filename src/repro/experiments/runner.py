@@ -42,10 +42,15 @@ from ..core import (
 )
 from ..edge import CounterCheckMonitor, EdgeDevice, EdgeServer
 from ..netsim import Direction, EventLoop, FaultInjector, FaultTrace, StreamRegistry
+from ..obs import MetricsRegistry, MetricsSnapshot
 from ..workloads import FrameWorkload
 from .scenarios import ScenarioConfig
 
 SCHEMES = ("legacy", "tlc-optimal", "tlc-random", "tlc-honest")
+
+#: Fixed bucket edges for the per-scheme negotiation-round histogram
+#: (Figure 16b's x-axis range); fixed so snapshots merge and compare.
+ROUND_EDGES = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0, 64.0)
 
 
 @dataclass
@@ -58,6 +63,7 @@ class ScenarioResult:
     measured_bitrate_bps: float
     rss_history: list = field(default_factory=list)
     fault_trace: FaultTrace = field(default_factory=FaultTrace)
+    metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot)
 
     def mean_delta_mb_per_hr(self, scheme: str) -> float:
         """Average absolute gap, normalized to MB/hr (Table 2's Δ)."""
@@ -91,6 +97,7 @@ class ScenarioRunner:
     def __init__(self, config: ScenarioConfig) -> None:
         self.config = config
         self.loop = EventLoop()
+        self.metrics = MetricsRegistry(clock=self.loop.now)
         self.rng = StreamRegistry(config.seed)
         self.plan = DataPlan(c=config.c, cycle_duration_s=config.cycle_duration_s)
         # Keep the RRC counter-check staleness proportional to the cycle:
@@ -99,7 +106,7 @@ class ScenarioRunner:
         net_config = NetworkConfig(
             enodeb=ENodeBConfig(counter_check_interval_s=check_interval)
         )
-        self.network = CellularNetwork(self.loop, self.rng, net_config)
+        self.network = CellularNetwork(self.loop, self.rng, net_config, metrics=self.metrics)
         imsi = make_test_imsi(1)
         flow_id = f"{config.workload.name}:ue1"
         self.counter_monitor = CounterCheckMonitor(self.loop)
@@ -114,6 +121,11 @@ class ScenarioRunner:
         )
         self.device.bind(access)
         self.access = access
+        # Radio outages become spans on the simulated clock (event-driven
+        # open/close; a snapshot taken mid-outage closes them virtually).
+        self._outage_span = None
+        access.radio.on_outage_start.append(self._outage_started)
+        access.radio.on_outage_end.append(self._outage_ended)
         self.network.create_bearer(imsi, flow_id, qci=config.workload.qci)
         self.server = EdgeServer(self.loop, self.network, flow_id)
         if config.background_mbps > 0:
@@ -142,12 +154,21 @@ class ScenarioRunner:
         # modem counter resets.  Clock faults apply at record extraction.
         self.fault_injector: FaultInjector | None = None
         if config.faults is not None and not config.faults.is_empty:
-            injector = FaultInjector(self.loop, self.rng, config.faults)
+            injector = FaultInjector(self.loop, self.rng, config.faults, metrics=self.metrics)
             access.send_uplink = injector.pipe("uplink", access.send_uplink)
             ue = self.network.enodeb.ue(str(imsi))
             ue.deliver = injector.pipe("downlink", ue.deliver)
             injector.attach_modem(access.modem, point="modem")
             self.fault_injector = injector
+
+    def _outage_started(self) -> None:
+        if self._outage_span is None:
+            self._outage_span = self.metrics.span_open("radio.outage")
+
+    def _outage_ended(self) -> None:
+        if self._outage_span is not None:
+            self._outage_span.close()
+            self._outage_span = None
 
     def _radio_profile(self) -> RadioProfile:
         config = self.config
@@ -164,10 +185,43 @@ class ScenarioRunner:
     def simulate(self) -> None:
         """Run the workload through every configured charging cycle."""
         horizon = self.config.n_cycles * self.config.cycle_duration_s
-        self.workload.start(until=horizon)
-        self.loop.run_until(horizon + 2.0)  # settle in-flight traffic
-        # Final counter check so the last cycle's RRC record is fresh.
-        self.network.enodeb.ue(str(self.device.imsi)).rrc.perform_counter_check()
+        with self.metrics.span("simulate"):
+            self.workload.start(until=horizon)
+            self.loop.run_until(horizon + 2.0)  # settle in-flight traffic
+            # Final counter check so the last cycle's RRC record is fresh.
+            self.network.enodeb.ue(str(self.device.imsi)).rrc.perform_counter_check()
+
+    def collect_metrics(self) -> None:
+        """Harvest end-of-run totals from components into gauges.
+
+        Live counters (links, gateway, faults, PoC) accumulate during the
+        simulation; this pass snapshots the remaining passive counters —
+        air interface, radio, modem, application monitors — so one
+        snapshot accounts for the whole data path layer by layer.
+        """
+        m = self.metrics
+        enodeb = self.network.enodeb
+        for direction, air in (("dl", enodeb.downlink_air), ("ul", enodeb.uplink_air)):
+            m.gauge("cellular.air.offered_bytes", direction=direction).set(air.offered.bytes)
+            m.gauge("cellular.air.dropped_bytes", direction=direction).set(air.dropped.bytes)
+            m.gauge("cellular.air.transmitted_bytes", direction=direction).set(
+                air.transmitted.bytes
+            )
+        radio = self.access.radio
+        m.gauge("cellular.radio.outages").set(radio.outage_count)
+        m.gauge("cellular.radio.outage_time_s").set(radio.total_outage_time)
+        modem = self.access.modem
+        m.gauge("edge.modem.uplink_bytes").set(modem.ul_sent.total)
+        m.gauge("edge.modem.downlink_bytes").set(modem.dl_received.total)
+        m.gauge("edge.modem.counter_checks").set(modem.counter_checks_served)
+        monitors = (
+            ("device-ul", self.device.ul_monitor),
+            ("device-dl", self.device.dl_monitor),
+            ("server-ul", self.server.ul_monitor),
+            ("server-dl", self.server.dl_monitor),
+        )
+        for point, monitor in monitors:
+            m.gauge("edge.monitor.observed_bytes", point=point).set(monitor.total)
 
     # ----------------------------------------------------------- extraction
 
@@ -270,6 +324,16 @@ class ScenarioRunner:
                 outcomes[scheme].append(
                     SchemeOutcome(scheme, result.volume, expected, result.rounds)
                 )
+        for scheme, rows in outcomes.items():
+            rounds = self.metrics.histogram(
+                "core.negotiation.rounds", ROUND_EDGES, scheme=scheme
+            )
+            residual = self.metrics.counter("core.gap.residual_bytes", scheme=scheme)
+            charged = self.metrics.counter("core.gap.charged_bytes", scheme=scheme)
+            for outcome in rows:
+                rounds.observe(outcome.rounds)
+                residual.inc(outcome.delta)
+                charged.inc(outcome.charged)
         return outcomes
 
     def run(self) -> ScenarioResult:
@@ -277,6 +341,7 @@ class ScenarioRunner:
         self.simulate()
         usages = self.collect()
         outcomes = self.evaluate(usages)
+        self.collect_metrics()
         horizon = self.config.n_cycles * self.config.cycle_duration_s
         return ScenarioResult(
             config=self.config,
@@ -289,6 +354,7 @@ class ScenarioRunner:
                 if self.fault_injector is not None
                 else FaultTrace()
             ),
+            metrics=self.metrics.snapshot(),
         )
 
 

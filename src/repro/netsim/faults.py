@@ -296,14 +296,22 @@ class FaultInjector:
         rng: StreamRegistry | None,
         schedule: FaultSchedule,
         trace: FaultTrace | None = None,
+        metrics=None,
     ) -> None:
         self.loop = loop
         self.schedule = schedule
         self.trace = trace if trace is not None else FaultTrace()
         registry = rng if rng is not None else StreamRegistry(0)
         self._rng = registry.stream("faults")
+        self._metrics = metrics
 
     # ------------------------------------------------------------ internals
+
+    def _record(self, t: float, kind: str, point: str, detail: str = "") -> None:
+        """Log one fired fault to the trace and the metrics registry."""
+        self.trace.record(t, kind, point, detail)
+        if self._metrics is not None:
+            self._metrics.counter("netsim.faults.fired", kind=kind).inc()
 
     def _decide(self, point: str) -> tuple[str | None, float]:
         """One fate decision for a unit of traffic at ``point``, now.
@@ -320,22 +328,22 @@ class FaultInjector:
             return None, 0.0
         for spec in specs:
             if spec.kind in (BLACKOUT, CRASH):
-                self.trace.record(now, spec.kind, point, "dropped")
+                self._record(now, spec.kind, point, "dropped")
                 return "drop:" + spec.kind, 0.0
         for spec in specs:  # fixed order: the schedule's spec order
             if spec.kind in (BURST_LOSS, CORRUPT):
                 if self._rng.random() < spec.magnitude:
-                    self.trace.record(now, spec.kind, point, "dropped")
+                    self._record(now, spec.kind, point, "dropped")
                     return "drop:" + spec.kind, 0.0
             elif spec.kind == REORDER:
                 if self._rng.random() < spec.magnitude:
                     delay = self._rng.uniform(0.0, spec.jitter_s)
-                    self.trace.record(now, spec.kind, point, f"held {delay:.6f}s")
+                    self._record(now, spec.kind, point, f"held {delay:.6f}s")
                     return "delay", delay
             elif spec.kind == DUPLICATE:
                 if self._rng.random() < spec.magnitude:
                     delay = self._rng.uniform(0.0, spec.jitter_s)
-                    self.trace.record(now, spec.kind, point, f"copy +{delay:.6f}s")
+                    self._record(now, spec.kind, point, f"copy +{delay:.6f}s")
                     return "dup", delay
         return None, 0.0
 
@@ -425,7 +433,7 @@ class FaultInjector:
         from .counters import CumulativeCounter
 
         def reset() -> None:
-            self.trace.record(self.loop.now(), COUNTER_RESET, point, "counters zeroed")
+            self._record(self.loop.now(), COUNTER_RESET, point, "counters zeroed")
             modem.ul_sent = CumulativeCounter()
             modem.dl_received = CumulativeCounter()
 
@@ -459,7 +467,7 @@ class FaultInjector:
                 s.kind for s in self.schedule.specs
                 if s.kind in _CLOCK_KINDS and s.matches(point)
             ]
-            self.trace.record(t, kinds[0], point, f"skew {skew:+.6f}s")
+            self._record(t, kinds[0], point, f"skew {skew:+.6f}s")
         return skew
 
 

@@ -35,6 +35,10 @@ class Link:
         Optional predicate; return True to drop the packet at this hop.
     drop_layer:
         Taxonomy label stamped on packets dropped here (§3.1 of the paper).
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; when given,
+        the link keeps live per-link byte counters
+        (``netsim.link.{sent,delivered,dropped}_bytes{link=<name>}``).
     """
 
     def __init__(
@@ -46,6 +50,7 @@ class Link:
         loss_fn: LossFn | None = None,
         drop_layer: str = "link",
         name: str = "link",
+        metrics=None,
     ) -> None:
         if rate_bps is not None and rate_bps <= 0:
             raise ValueError(f"rate_bps must be positive, got {rate_bps}")
@@ -62,13 +67,23 @@ class Link:
         self.delivered = FlowStats()
         self.lost = FlowStats()
         self._busy_until = 0.0
+        if metrics is None:
+            self._m_sent = self._m_delivered = self._m_dropped = None
+        else:
+            self._m_sent = metrics.counter("netsim.link.sent_bytes", link=name)
+            self._m_delivered = metrics.counter("netsim.link.delivered_bytes", link=name)
+            self._m_dropped = metrics.counter("netsim.link.dropped_bytes", link=name)
 
     def send(self, packet: Packet) -> None:
         """Enqueue ``packet`` for transmission over this hop."""
         self.sent.count(packet)
+        if self._m_sent is not None:
+            self._m_sent.inc(packet.size)
         if self.loss_fn is not None and self.loss_fn(packet):
             packet.mark_dropped(self.drop_layer)
             self.lost.count(packet)
+            if self._m_dropped is not None:
+                self._m_dropped.inc(packet.size)
             return
         now = self.loop.now()
         if self.rate_bps is None:
@@ -81,6 +96,8 @@ class Link:
 
     def _deliver(self, packet: Packet) -> None:
         self.delivered.count(packet)
+        if self._m_delivered is not None:
+            self._m_delivered.inc(packet.size)
         self.receiver(packet)
 
     def utilization_window_clear(self) -> None:

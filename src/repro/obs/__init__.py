@@ -1,0 +1,55 @@
+"""Observability: deterministic metrics, simulated-clock spans, manifests.
+
+TLC's premise is that unobserved per-layer loss is indistinguishable from
+selfishness — so the simulator itself must be able to say *where* bytes
+and latency went.  This package is the zero-dependency substrate:
+
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` (counters, gauges,
+  histograms with fixed bucket edges) and :class:`MetricsSnapshot`, its
+  serializable, mergeable value form.  Everything is deterministic: same
+  simulation, same snapshot, bit for bit.
+* :mod:`repro.obs.spans` — lightweight spans driven by the simulated
+  :class:`~repro.netsim.events.EventLoop` clock, never wall time.
+* :mod:`repro.obs.manifest` — the per-run JSON manifest every benchmark
+  and CLI invocation writes under ``benchmarks/out/``, so artifact
+  layouts are uniform and machine-checkable.
+* :mod:`repro.obs.render` — the layer-by-layer accounting table behind
+  the ``repro obs`` CLI subcommand.
+* :mod:`repro.obs.baselines` — expected-value records with tolerances,
+  the executable form of EXPERIMENTS.md's paper-vs-reproduced tables
+  (``benchmarks/baselines.json``), checked by the golden regression
+  suite.
+"""
+
+from .baselines import (
+    Baseline,
+    BaselineCheck,
+    check_baseline,
+    extract_quantity,
+    load_baselines,
+    save_baselines,
+)
+from .manifest import RunManifest, load_manifest
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot
+from .render import byte_accounting, render_accounting
+from .spans import Span, SpanRecorder
+
+__all__ = [
+    "Baseline",
+    "BaselineCheck",
+    "check_baseline",
+    "extract_quantity",
+    "load_baselines",
+    "save_baselines",
+    "RunManifest",
+    "load_manifest",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "byte_accounting",
+    "render_accounting",
+    "Span",
+    "SpanRecorder",
+]

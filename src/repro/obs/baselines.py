@@ -1,0 +1,201 @@
+"""Golden baselines: EXPERIMENTS.md's tables as an executable contract.
+
+``benchmarks/baselines.json`` records, for every reproduced figure/table
+quantity, the expected value and a tolerance.  The golden regression
+suite re-runs the experiments and fails when any quantity drifts outside
+its band — prose nobody re-checks becomes a gate CI enforces.
+
+This module is deliberately generic: it knows how to *select* a scalar
+out of an experiment result (table cell, attribute, CDF statistic,
+per-curve statistic) by duck typing, but knows nothing about which
+experiments exist — that lives in :mod:`repro.experiments.goldens`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Baselines file schema version.
+SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """One golden quantity: where it comes from and its tolerance band.
+
+    The band is ``|measured - expected| <= abs_tol + rel_tol·|expected|``
+    (both tolerances apply together, so near-zero expectations still
+    have a usable absolute band).
+    """
+
+    id: str
+    experiment: str
+    select: dict = field(hash=False)
+    expected: float = 0.0
+    rel_tol: float = 0.10
+    abs_tol: float = 0.0
+    unit: str = ""
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if self.rel_tol < 0 or self.abs_tol < 0:
+            raise ValueError(f"tolerances must be >= 0 for baseline {self.id!r}")
+        if self.rel_tol == 0 and self.abs_tol == 0:
+            raise ValueError(f"baseline {self.id!r} has a zero-width band")
+
+    @property
+    def band(self) -> float:
+        """Half-width of the acceptance band."""
+        return self.abs_tol + self.rel_tol * abs(self.expected)
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.id,
+            "experiment": self.experiment,
+            "select": dict(self.select),
+            "expected": self.expected,
+            "rel_tol": self.rel_tol,
+            "abs_tol": self.abs_tol,
+            "unit": self.unit,
+            "note": self.note,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Baseline":
+        return cls(
+            id=str(data["id"]),
+            experiment=str(data["experiment"]),
+            select=dict(data["select"]),
+            expected=float(data["expected"]),
+            rel_tol=float(data.get("rel_tol", 0.10)),
+            abs_tol=float(data.get("abs_tol", 0.0)),
+            unit=str(data.get("unit", "")),
+            note=str(data.get("note", "")),
+        )
+
+
+@dataclass(frozen=True)
+class BaselineCheck:
+    """Verdict of one golden comparison."""
+
+    baseline: Baseline
+    measured: float
+
+    @property
+    def deviation(self) -> float:
+        """``measured - expected``."""
+        return self.measured - self.baseline.expected
+
+    @property
+    def ok(self) -> bool:
+        """Whether the measured value sits inside the tolerance band."""
+        return abs(self.deviation) <= self.baseline.band
+
+    def describe(self) -> str:
+        """One diagnostic line (used in assertion messages and the CLI)."""
+        b = self.baseline
+        status = "ok" if self.ok else "DRIFT"
+        return (
+            f"{status}: {b.id} = {self.measured:.4f} "
+            f"(expected {b.expected:.4f} ± {b.band:.4f} {b.unit})".rstrip()
+        )
+
+
+def check_baseline(measured: float, baseline: Baseline) -> BaselineCheck:
+    """Compare one measured value against its golden record."""
+    return BaselineCheck(baseline=baseline, measured=float(measured))
+
+
+# ----------------------------------------------------------------- selection
+
+
+def _median_of_cdf(points: list) -> float:
+    if not points:
+        raise ValueError("empty CDF has no statistics")
+    return float(points[len(points) // 2][0])
+
+
+def _stat_of_cdf(points: list, stat: str) -> float:
+    if stat == "median":
+        return _median_of_cdf(points)
+    if stat == "max":
+        if not points:
+            raise ValueError("empty CDF has no statistics")
+        return float(points[-1][0])
+    raise ValueError(f"unknown CDF statistic {stat!r}")
+
+
+def extract_quantity(result: object, select: dict) -> float:
+    """Pull the selected scalar out of an experiment result.
+
+    Selection kinds:
+
+    * ``{"kind": "table", "row": <first-cell label>, "col": <header>}`` —
+      a cell of a ``TableResult``-shaped object (``.header``/``.rows``);
+      an optional ``"row2"`` additionally matches the second cell, for
+      tables keyed by (app, scheme) pairs;
+    * ``{"kind": "attr", "name": <attribute>}`` — a float attribute;
+    * ``{"kind": "cdf", "app": ..., "scheme": ..., "stat": median|max}`` —
+      a statistic of one CDF in a ``.cdfs`` mapping (Figure 12);
+    * ``{"kind": "curve", "key": ..., "stat": median|max}`` — a statistic
+      of one curve in a plain ``{key: cdf points}`` mapping (Figure 15).
+    """
+    kind = select.get("kind")
+    if kind == "table":
+        header = [str(h) for h in result.header]
+        try:
+            col = header.index(str(select["col"]))
+        except ValueError:
+            raise KeyError(f"no column {select['col']!r} in {header}") from None
+        row2 = select.get("row2")
+        for row in result.rows:
+            if str(row[0]) != str(select["row"]):
+                continue
+            if row2 is not None and str(row[1]) != str(row2):
+                continue
+            return float(row[col])
+        raise KeyError(f"no row {select['row']!r} in table {result.title!r}")
+    if kind == "attr":
+        return float(getattr(result, select["name"]))
+    if kind == "cdf":
+        points = result.cdfs[select["app"]][select["scheme"]]
+        return _stat_of_cdf(points, select.get("stat", "median"))
+    if kind == "curve":
+        key = select["key"]
+        curves = {str(k): v for k, v in result.items()}
+        return _stat_of_cdf(curves[str(key)], select.get("stat", "median"))
+    raise ValueError(f"unknown selection kind {kind!r}")
+
+
+# ------------------------------------------------------------------ file I/O
+
+
+def load_baselines(path: str | Path) -> list[Baseline]:
+    """Read ``baselines.json``; raises on schema mismatch."""
+    data = json.loads(Path(path).read_text())
+    if data.get("schema") != SCHEMA:
+        raise ValueError(f"baselines schema {data.get('schema')!r} != {SCHEMA}")
+    baselines = [Baseline.from_dict(entry) for entry in data.get("quantities", ())]
+    seen: set[str] = set()
+    for baseline in baselines:
+        if baseline.id in seen:
+            raise ValueError(f"duplicate baseline id {baseline.id!r}")
+        seen.add(baseline.id)
+    return baselines
+
+
+def save_baselines(path: str | Path, baselines: list[Baseline], generator: str = "") -> Path:
+    """Write ``baselines.json`` (sorted by id, stable formatting)."""
+    path = Path(path)
+    payload = {
+        "schema": SCHEMA,
+        "generator": generator,
+        "quantities": [b.to_dict() for b in sorted(baselines, key=lambda b: b.id)],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(json.dumps(payload, indent=2) + "\n")
+    tmp.replace(path)
+    return path

@@ -1,0 +1,149 @@
+"""Per-run JSON manifests: one uniform layout for ``benchmarks/out/``.
+
+Every producer of evaluation artifacts — the figure benchmarks, the
+``repro run``/``repro report`` CLI — routes its writes through a
+:class:`RunManifest`, so the output directory always has the same shape:
+
+* ``<out_dir>/<artifact>.txt`` — rendered tables/series, one per artifact;
+* ``<out_dir>/<run>.manifest.json`` — the manifest: which artifacts this
+  run produced (with sizes and content digests), how the scenario engine
+  was configured, how many scenarios simulated vs. came from cache, and
+  an optional merged metrics snapshot.
+
+Manifests are what CI uploads on a regression failure: enough to see
+what was produced and from where, without re-running anything.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .metrics import MetricsSnapshot
+
+#: Manifest schema version; bump when the layout changes incompatibly.
+SCHEMA = 1
+
+
+@dataclass
+class ArtifactEntry:
+    """One artifact the run produced."""
+
+    name: str
+    path: str  # relative to the manifest's directory
+    bytes: int
+    sha256: str
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "path": self.path,
+            "bytes": self.bytes,
+            "sha256": self.sha256,
+        }
+
+
+@dataclass
+class RunManifest:
+    """Collects one run's artifacts and engine facts, then saves itself."""
+
+    name: str
+    out_dir: Path
+    command: str = ""
+    engine: dict = field(default_factory=dict)
+    artifacts: list[ArtifactEntry] = field(default_factory=list)
+    metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot)
+
+    def __post_init__(self) -> None:
+        self.out_dir = Path(self.out_dir)
+        if not self.name or "/" in self.name:
+            raise ValueError(f"manifest name must be a bare slug, got {self.name!r}")
+
+    # ----------------------------------------------------------- recording
+
+    def write_text(self, artifact_name: str, text: str) -> Path:
+        """Write one rendered artifact and register it.
+
+        The uniform layout contract: artifacts are ``<name>.txt`` directly
+        under ``out_dir``, written atomically, trailing-newline
+        terminated.  Re-writing the same artifact name replaces its
+        entry instead of duplicating it.
+        """
+        if not artifact_name or "/" in artifact_name or artifact_name.startswith("."):
+            raise ValueError(f"invalid artifact name {artifact_name!r}")
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+        payload = text if text.endswith("\n") else text + "\n"
+        path = self.out_dir / f"{artifact_name}.txt"
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(payload)
+        tmp.replace(path)
+        entry = ArtifactEntry(
+            name=artifact_name,
+            path=path.name,
+            bytes=len(payload.encode()),
+            sha256=hashlib.sha256(payload.encode()).hexdigest(),
+        )
+        self.artifacts = [a for a in self.artifacts if a.name != artifact_name]
+        self.artifacts.append(entry)
+        return path
+
+    def record_engine(self, **facts) -> None:
+        """Merge engine facts (workers, cache dir, simulated/cached counts)."""
+        self.engine.update(facts)
+
+    def attach_metrics(self, snapshot: MetricsSnapshot) -> None:
+        """Merge a metrics snapshot into the run-level aggregate."""
+        self.metrics = self.metrics.merge(snapshot)
+
+    # ------------------------------------------------------------- persist
+
+    @property
+    def path(self) -> Path:
+        """Where :meth:`save` writes this manifest."""
+        return self.out_dir / f"{self.name}.manifest.json"
+
+    def to_dict(self) -> dict:
+        """JSON-safe encoding."""
+        return {
+            "schema": SCHEMA,
+            "name": self.name,
+            "command": self.command,
+            "engine": dict(sorted(self.engine.items())),
+            "artifacts": [a.to_dict() for a in sorted(self.artifacts, key=lambda a: a.name)],
+            "metrics": self.metrics.to_dict(),
+        }
+
+    def save(self) -> Path:
+        """Atomically write ``<out_dir>/<name>.manifest.json``."""
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=False) + "\n")
+        tmp.replace(self.path)
+        return self.path
+
+
+def load_manifest(path: str | Path) -> RunManifest:
+    """Load a saved manifest (artifact files are not re-read)."""
+    path = Path(path)
+    data = json.loads(path.read_text())
+    if data.get("schema") != SCHEMA:
+        raise ValueError(f"manifest schema {data.get('schema')!r} != {SCHEMA}")
+    manifest = RunManifest(
+        name=str(data["name"]),
+        out_dir=path.parent,
+        command=str(data.get("command", "")),
+        engine=dict(data.get("engine", {})),
+        metrics=MetricsSnapshot.from_dict(data.get("metrics", {})),
+    )
+    manifest.artifacts = [
+        ArtifactEntry(
+            name=str(a["name"]),
+            path=str(a["path"]),
+            bytes=int(a["bytes"]),
+            sha256=str(a["sha256"]),
+        )
+        for a in data.get("artifacts", ())
+    ]
+    return manifest

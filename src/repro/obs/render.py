@@ -1,0 +1,119 @@
+"""Layer-by-layer accounting tables from a metrics snapshot.
+
+The ``repro obs <run>`` subcommand feeds a cached scenario's snapshot
+through :func:`render_accounting` to answer the question the paper says
+legacy charging cannot: *where inside the stack did the bytes (and the
+time) go?*  Metric names are mapped onto the stack layers of the
+testbed's data path (Figure 11): radio, bearer/air, gateway, transport,
+PoC, negotiation.
+"""
+
+from __future__ import annotations
+
+from .metrics import MetricsSnapshot
+
+#: Stack layer <- metric-name prefixes, in render (stack) order.
+LAYERS: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("radio", ("cellular.radio.", "edge.modem.")),
+    ("bearer", ("cellular.air.", "cellular.bearer.", "cellular.enodeb.")),
+    ("gateway", ("cellular.gateway.", "cellular.ofcs.")),
+    ("transport", ("netsim.link.", "netsim.faults.", "edge.monitor.")),
+    ("poc", ("poc.",)),
+    ("negotiation", ("core.negotiation.", "core.gap.")),
+)
+
+_OTHER = "other"
+
+
+def layer_of(metric: str) -> str:
+    """The stack layer a metric key belongs to (by name prefix)."""
+    for layer, prefixes in LAYERS:
+        if metric.startswith(prefixes):
+            return layer
+    return _OTHER
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}".rstrip("0").rstrip(".") if value else "0"
+    return str(value)
+
+
+def _rows(snapshot: MetricsSnapshot) -> list[tuple[str, str, str, str]]:
+    rows: list[tuple[str, str, str, str]] = []
+    for key, value in snapshot.counters.items():
+        rows.append((layer_of(key), key, "counter", _fmt(value)))
+    for key, value in snapshot.gauges.items():
+        rows.append((layer_of(key), key, "gauge", _fmt(value)))
+    for key, data in snapshot.histograms.items():
+        count = data["count"]
+        mean = data["sum"] / count if count else 0.0
+        rows.append(
+            (layer_of(key), key, "histogram", f"n={count} mean={_fmt(mean)}")
+        )
+    order = {layer: i for i, (layer, _) in enumerate(LAYERS)}
+    order[_OTHER] = len(order)
+    rows.sort(key=lambda r: (order[r[0]], r[1]))
+    return rows
+
+
+def byte_accounting(snapshot: MetricsSnapshot) -> dict[str, dict[str, int | float]]:
+    """Per-layer byte totals: carried vs. dropped.
+
+    A metric counts as *carried* when its name ends in ``_bytes`` and as
+    *dropped* when it ends in ``drop_bytes``/``dropped_bytes`` — the
+    naming convention every instrumented component follows.
+    """
+    table: dict[str, dict[str, int | float]] = {}
+    merged = {**snapshot.gauges, **snapshot.counters}
+    for key, value in merged.items():
+        base = key.split("{", 1)[0]
+        if not base.endswith("_bytes"):
+            continue
+        layer = layer_of(key)
+        bucket = "dropped" if base.endswith(("drop_bytes", "dropped_bytes")) else "carried"
+        entry = table.setdefault(layer, {"carried": 0, "dropped": 0})
+        entry[bucket] += value
+    return table
+
+
+def render_accounting(snapshot: MetricsSnapshot, title: str = "run") -> str:
+    """The per-layer accounting table ``repro obs`` prints."""
+    lines = [f"Layer accounting — {title}"]
+    account = byte_accounting(snapshot)
+    if account:
+        lines.append("")
+        lines.append(f"{'layer':<12} {'carried (bytes)':>16} {'dropped (bytes)':>16}")
+        ordered = [layer for layer, _ in LAYERS] + [_OTHER]
+        for layer in ordered:
+            if layer not in account:
+                continue
+            entry = account[layer]
+            lines.append(
+                f"{layer:<12} {_fmt(entry['carried']):>16} {_fmt(entry['dropped']):>16}"
+            )
+    rows = _rows(snapshot)
+    if rows:
+        lines.append("")
+        widths = [
+            max(len(header), *(len(row[i]) for row in rows))
+            for i, header in enumerate(("layer", "metric", "kind", "value"))
+        ]
+        headers = ("layer", "metric", "kind", "value")
+        lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+        for row in rows:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    if snapshot.spans:
+        lines.append("")
+        lines.append("spans (simulated clock):")
+        for span in snapshot.spans:
+            end = span["end"]
+            duration = "" if end is None else f"  [{end - span['start']:.3f}s]"
+            indent = "  " * (1 + int(span.get("depth", 0)))
+            lines.append(
+                f"{indent}{span['name']}: {span['start']:.3f} -> "
+                f"{'open' if end is None else f'{end:.3f}'}{duration}"
+            )
+    if len(lines) == 1:
+        lines.append("(no metrics recorded)")
+    return "\n".join(lines)

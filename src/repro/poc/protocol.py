@@ -70,11 +70,13 @@ class NegotiationDriver:
         message_loss: float = 0.0,
         retransmit_timeout_s: float = 0.5,
         max_transmissions: int = 64,
+        metrics=None,
     ) -> None:
         if not 0.0 <= message_loss < 1.0:
             raise ValueError(f"message loss must be in [0, 1), got {message_loss}")
         self.plan = plan
         self.rng = rng
+        self.metrics = metrics
         self.initiator_role = initiator
         self.message_loss = message_loss
         self.retransmit_timeout_s = retransmit_timeout_s
@@ -155,6 +157,15 @@ class NegotiationDriver:
         poc = edge_session.poc if edge_session.poc is not None else operator_session.poc
         if poc is None:
             raise RuntimeError("negotiation ended without a PoC")
+        if self.metrics is not None:
+            messages = (
+                edge_session.stats.messages_sent + operator_session.stats.messages_sent
+            )
+            self.metrics.counter("poc.messages").inc(messages)
+            self.metrics.counter("poc.wire_bytes").inc(
+                edge_session.stats.bytes_sent + operator_session.stats.bytes_sent
+            )
+            self.metrics.counter("poc.retransmissions").inc(retransmissions)
         return ExchangeResult(
             poc=poc,
             volume=poc.volume,

@@ -51,11 +51,12 @@ class VerificationReport:
 class PublicVerifier:
     """A third-party verifier with a replay registry."""
 
-    def __init__(self, plan: DataPlan) -> None:
+    def __init__(self, plan: DataPlan, metrics=None) -> None:
         self.plan = plan
         self._seen_nonces: set[bytes] = set()
         self.verified = 0
         self.rejected = 0
+        self.metrics = metrics
 
     def verify(
         self,
@@ -70,6 +71,9 @@ class PublicVerifier:
             self.verified += 1
         else:
             self.rejected += 1
+        if self.metrics is not None:
+            outcome = "ok" if report.ok else report.failure.value
+            self.metrics.counter("poc.verify", outcome=outcome).inc()
         return report
 
     def _check(

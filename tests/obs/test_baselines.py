@@ -1,0 +1,141 @@
+"""Golden-baseline machinery (repro.obs.baselines)."""
+
+import pytest
+
+from repro.obs import (
+    Baseline,
+    check_baseline,
+    extract_quantity,
+    load_baselines,
+    save_baselines,
+)
+
+
+def make_baseline(**overrides):
+    defaults = dict(
+        id="t.q", experiment="t", select={"kind": "attr", "name": "x"},
+        expected=10.0, rel_tol=0.10, abs_tol=0.5, unit="MB",
+    )
+    defaults.update(overrides)
+    return Baseline(**defaults)
+
+
+class TestBand:
+    def test_band_combines_both_tolerances(self):
+        b = make_baseline(expected=10.0, rel_tol=0.1, abs_tol=0.5)
+        assert b.band == pytest.approx(1.5)
+
+    def test_inside_band_ok(self):
+        assert check_baseline(11.4, make_baseline()).ok
+
+    def test_outside_band_drifts(self):
+        check = check_baseline(11.6, make_baseline())
+        assert not check.ok
+        assert "DRIFT" in check.describe()
+
+    def test_negative_deviation_symmetric(self):
+        assert check_baseline(8.6, make_baseline()).ok
+        assert not check_baseline(8.4, make_baseline()).ok
+
+    def test_near_zero_expected_uses_abs_floor(self):
+        b = make_baseline(expected=0.0, rel_tol=0.1, abs_tol=0.5)
+        assert check_baseline(0.4, b).ok
+        assert not check_baseline(0.6, b).ok
+
+    def test_zero_width_band_rejected(self):
+        with pytest.raises(ValueError):
+            make_baseline(rel_tol=0.0, abs_tol=0.0)
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            make_baseline(rel_tol=-0.1)
+
+
+class FakeTable:
+    title = "t"
+    header = ("app", "scheme", "x")
+    rows = [("a", "legacy", 1.0), ("a", "tlc", 2.0), ("b", "legacy", 3.0)]
+
+
+class TestExtract:
+    def test_table_cell(self):
+        value = extract_quantity(
+            FakeTable(), {"kind": "table", "row": "b", "col": "x"}
+        )
+        assert value == 3.0
+
+    def test_table_row2_disambiguates(self):
+        value = extract_quantity(
+            FakeTable(), {"kind": "table", "row": "a", "row2": "tlc", "col": "x"}
+        )
+        assert value == 2.0
+
+    def test_table_missing_row_raises(self):
+        with pytest.raises(KeyError):
+            extract_quantity(FakeTable(), {"kind": "table", "row": "z", "col": "x"})
+
+    def test_table_missing_col_raises(self):
+        with pytest.raises(KeyError):
+            extract_quantity(FakeTable(), {"kind": "table", "row": "a", "col": "zz"})
+
+    def test_attr(self):
+        class Result:
+            mean_outage_s = 1.93
+
+        select = {"kind": "attr", "name": "mean_outage_s"}
+        assert extract_quantity(Result(), select) == 1.93
+
+    def test_cdf_median_and_max(self):
+        class Result:
+            cdfs = {"app": {"legacy": [(1.0, 0.2), (2.0, 0.5), (9.0, 1.0)]}}
+
+        base = {"kind": "cdf", "app": "app", "scheme": "legacy"}
+        assert extract_quantity(Result(), {**base, "stat": "median"}) == 2.0
+        assert extract_quantity(Result(), {**base, "stat": "max"}) == 9.0
+
+    def test_curve_keyed_by_string(self):
+        curves = {0.5: [(3.0, 0.4), (4.0, 1.0)]}
+        select = {"kind": "curve", "key": "0.5", "stat": "median"}
+        assert extract_quantity(curves, select) == 4.0
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            extract_quantity(object(), {"kind": "nope"})
+
+
+class TestFileRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        path = tmp_path / "baselines.json"
+        saved = [make_baseline(id="b.two"), make_baseline(id="a.one")]
+        save_baselines(path, saved, generator="test")
+        loaded = load_baselines(path)
+        assert [b.id for b in loaded] == ["a.one", "b.two"]  # sorted by id
+        assert loaded[0] == make_baseline(id="a.one")
+
+    def test_duplicate_ids_rejected(self, tmp_path):
+        path = tmp_path / "baselines.json"
+        save_baselines(path, [make_baseline(), make_baseline()])
+        with pytest.raises(ValueError):
+            load_baselines(path)
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "baselines.json"
+        path.write_text('{"schema": 999, "quantities": []}')
+        with pytest.raises(ValueError):
+            load_baselines(path)
+
+
+class TestRepoBaselinesFile:
+    """The committed baselines file must stay loadable and well-formed."""
+
+    def test_committed_file_loads(self):
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parents[2] / "benchmarks" / "baselines.json"
+        baselines = load_baselines(path)
+        assert len(baselines) >= 50
+        experiments = {b.experiment for b in baselines}
+        # Every paper artifact in the golden registry is covered.
+        from repro.experiments.goldens import GOLDEN_RUNS
+
+        assert experiments == set(GOLDEN_RUNS)

@@ -1,0 +1,85 @@
+"""Run-manifest layout and round-trip (repro.obs.manifest)."""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.obs import MetricsSnapshot, RunManifest, load_manifest
+
+
+class TestWriteText:
+    def test_uniform_layout(self, tmp_path):
+        manifest = RunManifest(name="bench", out_dir=tmp_path)
+        path = manifest.write_text("figure3", "row1\nrow2")
+        assert path == tmp_path / "figure3.txt"
+        assert path.read_text() == "row1\nrow2\n"  # newline-terminated
+
+    def test_artifact_digest_matches_content(self, tmp_path):
+        manifest = RunManifest(name="bench", out_dir=tmp_path)
+        manifest.write_text("t", "hello")
+        entry = manifest.artifacts[0]
+        assert entry.sha256 == hashlib.sha256(b"hello\n").hexdigest()
+        assert entry.bytes == len(b"hello\n")
+
+    def test_rewrite_replaces_entry(self, tmp_path):
+        manifest = RunManifest(name="bench", out_dir=tmp_path)
+        manifest.write_text("t", "one")
+        manifest.write_text("t", "two")
+        assert len(manifest.artifacts) == 1
+        assert (tmp_path / "t.txt").read_text() == "two\n"
+
+    def test_no_stray_tmp_files(self, tmp_path):
+        manifest = RunManifest(name="bench", out_dir=tmp_path)
+        manifest.write_text("a", "x")
+        manifest.save()
+        leftovers = [p.name for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    @pytest.mark.parametrize("bad", ["", "a/b", ".hidden"])
+    def test_bad_artifact_names_rejected(self, tmp_path, bad):
+        manifest = RunManifest(name="bench", out_dir=tmp_path)
+        with pytest.raises(ValueError):
+            manifest.write_text(bad, "x")
+
+    def test_bad_manifest_name_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            RunManifest(name="a/b", out_dir=tmp_path)
+
+
+class TestSaveLoad:
+    def test_round_trip(self, tmp_path):
+        manifest = RunManifest(name="run", out_dir=tmp_path, command="repro run all")
+        manifest.write_text("figure4", "series")
+        manifest.record_engine(workers=2, cache_dir=None)
+        manifest.attach_metrics(MetricsSnapshot(counters={"c": 3}))
+        saved = manifest.save()
+        assert saved == tmp_path / "run.manifest.json"
+
+        loaded = load_manifest(saved)
+        assert loaded.name == "run"
+        assert loaded.command == "repro run all"
+        assert loaded.engine == {"workers": 2, "cache_dir": None}
+        assert [a.name for a in loaded.artifacts] == ["figure4"]
+        assert loaded.metrics.counters == {"c": 3}
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "x.manifest.json"
+        path.write_text(json.dumps({"schema": 999, "name": "x"}))
+        with pytest.raises(ValueError):
+            load_manifest(path)
+
+    def test_attach_metrics_merges(self, tmp_path):
+        manifest = RunManifest(name="m", out_dir=tmp_path)
+        manifest.attach_metrics(MetricsSnapshot(counters={"c": 1}))
+        manifest.attach_metrics(MetricsSnapshot(counters={"c": 2}))
+        assert manifest.metrics.counters == {"c": 3}
+
+    def test_to_dict_sorted(self, tmp_path):
+        manifest = RunManifest(name="m", out_dir=tmp_path)
+        manifest.write_text("zz", "1")
+        manifest.write_text("aa", "2")
+        manifest.record_engine(zeta=1, alpha=2)
+        data = manifest.to_dict()
+        assert [a["name"] for a in data["artifacts"]] == ["aa", "zz"]
+        assert list(data["engine"]) == ["alpha", "zeta"]

@@ -1,0 +1,158 @@
+"""Unit tests for the deterministic metrics core (repro.obs.metrics)."""
+
+import json
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot
+from repro.obs.metrics import metric_key
+
+
+class TestMetricKey:
+    def test_no_labels_is_bare_name(self):
+        assert metric_key("a.b.c", {}) == "a.b.c"
+
+    def test_labels_sorted(self):
+        key = metric_key("m", {"z": 1, "a": "x"})
+        assert key == "m{a=x,z=1}"
+
+    def test_label_order_does_not_matter(self):
+        assert metric_key("m", {"a": 1, "b": 2}) == metric_key("m", {"b": 2, "a": 1})
+
+    @pytest.mark.parametrize("bad", ["", "a{b", "a}b", "a=b", "a,b"])
+    def test_invalid_names_rejected(self, bad):
+        with pytest.raises(ValueError):
+            metric_key(bad, {})
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        c = Counter()
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_int_increments_stay_int(self):
+        c = Counter()
+        c.inc(3)
+        assert isinstance(c.value, int)
+
+    def test_gauge_set_and_add(self):
+        g = Gauge()
+        g.set(10)
+        g.add(-3)
+        assert g.value == 7
+
+
+class TestHistogram:
+    def test_bucket_edges_inclusive_upper(self):
+        h = Histogram([1.0, 2.0, 4.0])
+        for v in (0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 99.0):
+            h.observe(v)
+        # <=1: {0.5, 1.0}; <=2: {1.5, 2.0}; <=4: {3.0, 4.0}; overflow: {99}
+        assert h.counts == [2, 2, 2, 1]
+        assert h.count == 7
+
+    def test_overflow_bucket_always_present(self):
+        h = Histogram([10.0])
+        assert len(h.counts) == len(h.edges) + 1
+
+    def test_edges_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram([1.0, 1.0])
+        with pytest.raises(ValueError):
+            Histogram([])
+
+    def test_round_trip(self):
+        h = Histogram([1.0, 5.0])
+        h.observe(0.5)
+        h.observe(7)
+        h2 = Histogram.from_dict(h.to_dict())
+        assert h2.to_dict() == h.to_dict()
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x", a=1) is reg.counter("x", a=1)
+
+    def test_kind_clash_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+        with pytest.raises(ValueError):
+            reg.histogram("x", [1.0])
+
+    def test_histogram_edge_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", [1.0, 2.0])
+        with pytest.raises(ValueError):
+            reg.histogram("h", [1.0, 3.0])
+
+    def test_snapshot_is_a_value(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(5)
+        snap = reg.snapshot()
+        reg.counter("c").inc(5)
+        assert snap.counters["c"] == 5
+        assert reg.snapshot().counters["c"] == 10
+
+
+class TestSnapshot:
+    def test_to_dict_is_sorted_and_canonical(self):
+        a = MetricsSnapshot(counters={"b": 1, "a": 2})
+        b = MetricsSnapshot(counters={"a": 2, "b": 1})
+        assert json.dumps(a.to_dict()) == json.dumps(b.to_dict())
+
+    def test_equality_via_encoding(self):
+        assert MetricsSnapshot(counters={"a": 1}) == MetricsSnapshot(counters={"a": 1})
+        assert MetricsSnapshot(counters={"a": 1}) != MetricsSnapshot(counters={"a": 2})
+
+    def test_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("c", k="v").inc(3)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", [1.0]).observe(0.5)
+        snap = reg.snapshot()
+        again = MetricsSnapshot.from_dict(json.loads(json.dumps(snap.to_dict())))
+        assert again == snap
+
+    def test_merge_sums_counters_and_gauges(self):
+        a = MetricsSnapshot(counters={"c": 2}, gauges={"g": 5})
+        b = MetricsSnapshot(counters={"c": 3, "d": 1}, gauges={"g": 5})
+        merged = a.merge(b)
+        assert merged.counters == {"c": 5, "d": 1}
+        assert merged.gauges == {"g": 10}
+
+    def test_merge_sums_histograms(self):
+        h = {"edges": [1.0], "counts": [1, 2], "sum": 7, "count": 3}
+        merged = MetricsSnapshot(histograms={"h": h}).merge(
+            MetricsSnapshot(histograms={"h": h})
+        )
+        assert merged.histograms["h"] == {
+            "edges": [1.0], "counts": [2, 4], "sum": 14, "count": 6,
+        }
+
+    def test_merge_edge_mismatch_raises(self):
+        a = MetricsSnapshot(
+            histograms={"h": {"edges": [1.0], "counts": [0, 0], "sum": 0, "count": 0}}
+        )
+        b = MetricsSnapshot(
+            histograms={"h": {"edges": [2.0], "counts": [0, 0], "sum": 0, "count": 0}}
+        )
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merge_concatenates_spans(self):
+        a = MetricsSnapshot(spans=[{"name": "x", "start": 0.0, "end": 1.0, "depth": 0}])
+        b = MetricsSnapshot(spans=[{"name": "y", "start": 1.0, "end": 2.0, "depth": 0}])
+        assert [s["name"] for s in a.merge(b).spans] == ["x", "y"]
+
+    def test_is_empty(self):
+        assert MetricsSnapshot().is_empty
+        assert not MetricsSnapshot(counters={"c": 0}).is_empty

@@ -1,0 +1,62 @@
+"""PoC instrumentation: driver cost counters and verifier outcomes."""
+
+import random
+
+import pytest
+
+from repro.core.plan import DataPlan
+from repro.core.strategies import OptimalStrategy, PartyKnowledge, PartyRole
+from repro.crypto import generate_keypair
+from repro.obs import MetricsRegistry
+from repro.poc.messages import PlanParams
+from repro.poc.protocol import NegotiationDriver
+from repro.poc.verifier import PublicVerifier
+
+X_E, X_O = 1_000_000, 930_000
+PLAN = DataPlan(c=0.5, cycle_duration_s=3600.0)
+PLAN_PARAMS = PlanParams(0.0, 3600.0, 0.5)
+
+
+@pytest.fixture(scope="module")
+def edge_key():
+    return generate_keypair(512, random.Random(101))
+
+
+@pytest.fixture(scope="module")
+def operator_key():
+    return generate_keypair(512, random.Random(102))
+
+
+def run_driver(edge_key, operator_key, metrics):
+    return NegotiationDriver(
+        PLAN, 0.0,
+        OptimalStrategy(PartyKnowledge(PartyRole.EDGE, X_E, X_O)),
+        OptimalStrategy(PartyKnowledge(PartyRole.OPERATOR, X_O, X_E)),
+        edge_key, operator_key, random.Random(7), metrics=metrics,
+    ).run()
+
+
+def test_driver_counts_messages_and_wire_bytes(edge_key, operator_key):
+    registry = MetricsRegistry()
+    result = run_driver(edge_key, operator_key, registry)
+    counters = registry.snapshot().counters
+    assert counters["poc.messages"] == result.messages
+    assert counters["poc.wire_bytes"] > 0
+    assert counters.get("poc.retransmissions", 0) == result.retransmissions
+
+
+def test_verifier_counts_outcomes_by_label(edge_key, operator_key):
+    registry = MetricsRegistry()
+    poc = run_driver(edge_key, operator_key, None).poc
+    verifier = PublicVerifier(PLAN, metrics=registry)
+    verifier.verify(poc, PLAN_PARAMS, edge_key.public, operator_key.public)
+    # Wrong plan params: a counted, labelled rejection.
+    bad = PlanParams(0.0, 3600.0, 0.75)
+    verifier.verify(poc, bad, edge_key.public, operator_key.public)
+    counters = registry.snapshot().counters
+    assert counters["poc.verify{outcome=ok}"] == 1
+    assert counters["poc.verify{outcome=inconsistent-data-plan}"] == 1
+
+
+def test_unmetered_driver_still_works(edge_key, operator_key):
+    assert run_driver(edge_key, operator_key, None).volume == 965_000

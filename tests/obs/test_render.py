@@ -1,0 +1,109 @@
+"""Layer mapping and accounting tables (repro.obs.render)."""
+
+from repro.obs import MetricsSnapshot, byte_accounting, render_accounting
+from repro.obs.render import LAYERS, layer_of
+
+
+class TestLayerOf:
+    def test_every_instrumented_prefix_maps(self):
+        cases = {
+            "cellular.radio.outages": "radio",
+            "edge.modem.uplink_bytes": "radio",
+            "cellular.air.offered_bytes{direction=dl}": "bearer",
+            "cellular.gateway.charged_bytes{direction=UL}": "gateway",
+            "cellular.ofcs.cdrs": "gateway",
+            "netsim.link.sent_bytes{link=backhaul-ul}": "transport",
+            "netsim.faults.fired{kind=blackout}": "transport",
+            "edge.monitor.observed_bytes{point=device-ul}": "transport",
+            "poc.messages": "poc",
+            "core.negotiation.rounds{scheme=tlc}": "negotiation",
+            "core.gap.residual_bytes{scheme=legacy}": "negotiation",
+        }
+        assert {key: layer_of(key) for key in cases} == cases
+
+    def test_unknown_prefix_is_other(self):
+        assert layer_of("mystery.thing") == "other"
+
+    def test_layer_names_unique(self):
+        names = [layer for layer, _ in LAYERS]
+        assert len(names) == len(set(names))
+
+
+class TestByteAccounting:
+    def test_carried_vs_dropped_split(self):
+        snap = MetricsSnapshot(
+            counters={
+                "netsim.link.sent_bytes{link=a}": 100,
+                "netsim.link.dropped_bytes{link=a}": 40,
+                "cellular.gateway.charged_bytes{direction=UL}": 70,
+                "cellular.gateway.drop_bytes{reason=policed}": 30,
+            }
+        )
+        account = byte_accounting(snap)
+        assert account["transport"] == {"carried": 100, "dropped": 40}
+        assert account["gateway"] == {"carried": 70, "dropped": 30}
+
+    def test_non_byte_metrics_excluded(self):
+        snap = MetricsSnapshot(
+            counters={"cellular.ofcs.cdrs": 5},
+            gauges={"cellular.radio.outages": 2},
+        )
+        assert byte_accounting(snap) == {}
+
+    def test_gauges_participate(self):
+        snap = MetricsSnapshot(
+            gauges={"cellular.air.dropped_bytes{direction=dl}": 12.5}
+        )
+        assert byte_accounting(snap) == {
+            "bearer": {"carried": 0, "dropped": 12.5}
+        }
+
+
+class TestRenderAccounting:
+    def test_empty_snapshot_says_so(self):
+        assert "(no metrics recorded)" in render_accounting(MetricsSnapshot())
+
+    def test_layers_render_in_stack_order(self):
+        snap = MetricsSnapshot(
+            counters={
+                "core.gap.residual_bytes{scheme=tlc}": 8,
+                "netsim.link.sent_bytes{link=a}": 100,
+                "cellular.gateway.charged_bytes{direction=UL}": 70,
+            }
+        )
+        text = render_accounting(snap, title="demo")
+        assert text.startswith("Layer accounting — demo")
+        gateway = text.index("gateway")
+        transport = text.index("transport")
+        negotiation = text.index("negotiation")
+        assert gateway < transport < negotiation
+
+    def test_histogram_row_shows_count_and_mean(self):
+        snap = MetricsSnapshot(
+            histograms={
+                "core.negotiation.rounds{scheme=tlc}": {
+                    "edges": [1.0, 2.0],
+                    "buckets": [1, 1, 0],
+                    "count": 2,
+                    "sum": 3.0,
+                }
+            }
+        )
+        assert "n=2 mean=1.5" in render_accounting(snap)
+
+    def test_spans_render_with_duration_and_nesting(self):
+        snap = MetricsSnapshot(
+            spans=[
+                {"name": "simulate", "start": 0.0, "end": 10.0, "depth": 0},
+                {"name": "radio.outage", "start": 2.0, "end": 3.5, "depth": 1},
+            ]
+        )
+        text = render_accounting(snap)
+        assert "simulate: 0.000 -> 10.000  [10.000s]" in text
+        assert "    radio.outage: 2.000 -> 3.500  [1.500s]" in text
+
+    def test_open_span_renders_open(self):
+        snap = MetricsSnapshot(
+            spans=[{"name": "s", "start": 1.0, "end": None, "depth": 0}]
+        )
+        assert "s: 1.000 -> open" in render_accounting(snap)

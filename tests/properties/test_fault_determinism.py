@@ -12,6 +12,8 @@ every test here is tier-2 (``slow``) and the hypothesis properties cap
 their own example counts well below the profile value.
 """
 
+import json
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -96,6 +98,31 @@ def test_serial_and_parallel_chaos_runs_are_bit_identical():
     pooled = run_scenarios(configs, workers=2, cache=False)
     assert [result_to_dict(r) for r in serial] == [result_to_dict(r) for r in pooled]
     assert [r.fault_trace for r in serial] == [r.fault_trace for r in pooled]
+    # The metrics snapshot rides the same codec: canonical JSON must match
+    # byte-for-byte, or `repro obs` would disagree with an in-process run.
+    assert [_canonical_metrics(r) for r in serial] == [
+        _canonical_metrics(r) for r in pooled
+    ]
+
+
+def _canonical_metrics(result) -> str:
+    return json.dumps(result.metrics.to_dict(), sort_keys=True)
+
+
+@settings(max_examples=5)
+@given(seed=st.integers(min_value=0, max_value=100))
+def test_metrics_snapshot_reproduces_under_chaos(seed):
+    """Per-layer accounting is part of the determinism contract: the same
+    chaos-scheduled config yields a bit-identical metrics snapshot."""
+    config = BASE.with_(seed=seed, faults=FAULT_PROFILES["chaos"])
+    first = run_scenario(config)
+    second = run_scenario(config)
+    assert not first.metrics.is_empty
+    if first.fault_trace:
+        assert any(
+            key.startswith("netsim.faults.fired") for key in first.metrics.counters
+        )
+    assert _canonical_metrics(first) == _canonical_metrics(second)
 
 
 def test_faultless_run_unchanged_by_subsystem_presence():

@@ -1,0 +1,30 @@
+"""Engine configuration for the tier-2 golden regression suite.
+
+Golden runs re-execute the benchmark harness's experiment invocations;
+pointing the engine at the shared content-addressed cache means a
+baseline check only simulates scenarios whose config (or the codec)
+changed since the cache was filled.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import parallel
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+CACHE_DIR = REPO_ROOT / "benchmarks" / ".cache"
+BASELINES_PATH = REPO_ROOT / "benchmarks" / "baselines.json"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def golden_engine():
+    """Use the benchmark cache (env-overridable) for golden runs."""
+    workers = int(os.environ.get("REPRO_WORKERS", "0") or 0)
+    cache_dir = os.environ.get("REPRO_CACHE_DIR", str(CACHE_DIR))
+    if cache_dir.lower() in ("", "0", "off", "none"):
+        cache_dir = None
+    parallel.configure(workers=workers, cache_dir=cache_dir)
+    yield
+    parallel.configure(workers=0, cache_dir=os.environ.get("REPRO_CACHE_DIR") or None)

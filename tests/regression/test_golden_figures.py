@@ -1,0 +1,61 @@
+"""Tier-2 golden gate: every figure/table quantity vs. baselines.json.
+
+EXPERIMENTS.md's tables as an executable contract: each test re-runs the
+experiment with the benchmark harness's exact kwargs (memoized per
+session, scenario-level cache underneath) and asserts the selected
+quantity sits inside its recorded tolerance band.  A failure message
+carries the measured value, the expectation and the band.
+
+Deliberate-perturbation tests prove the gate actually bites: a value
+nudged just past its band must fail the check.
+"""
+
+import pytest
+
+from repro.experiments.goldens import GOLDEN_RUNS, GoldenRunner
+from repro.obs import check_baseline, load_baselines
+
+from .conftest import BASELINES_PATH
+
+pytestmark = pytest.mark.slow
+
+BASELINES = load_baselines(BASELINES_PATH)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return GoldenRunner()
+
+
+@pytest.mark.parametrize("baseline", BASELINES, ids=[b.id for b in BASELINES])
+def test_golden_quantity(runner, baseline):
+    measured = runner.measure(baseline.experiment, baseline.select)
+    check = check_baseline(measured, baseline)
+    assert check.ok, check.describe()
+
+
+def test_every_golden_experiment_is_gated():
+    """No registered golden run may silently lose its baseline coverage."""
+    assert {b.experiment for b in BASELINES} == set(GOLDEN_RUNS)
+
+
+class TestGateBites:
+    """The deliberate-perturbation proof: drifted values must fail."""
+
+    @pytest.mark.parametrize("direction", [+1, -1])
+    def test_value_just_outside_band_fails(self, direction):
+        for baseline in BASELINES[:10]:
+            drifted = baseline.expected + direction * baseline.band * 1.01
+            assert not check_baseline(drifted, baseline).ok, baseline.id
+
+    def test_value_inside_band_passes(self):
+        for baseline in BASELINES:
+            nudged = baseline.expected + baseline.band * 0.99
+            assert check_baseline(nudged, baseline).ok, baseline.id
+
+    def test_perturbed_experiment_result_trips_the_gate(self, runner):
+        """Perturb a real measured table cell past tolerance: gate fails."""
+        baseline = next(b for b in BASELINES if b.experiment == "table2")
+        measured = runner.measure(baseline.experiment, baseline.select)
+        perturbed = measured + (baseline.band + abs(measured)) * 1.5
+        assert not check_baseline(perturbed, baseline).ok
