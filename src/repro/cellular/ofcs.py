@@ -103,6 +103,7 @@ class Ofcs:
         gateway_address: GatewayAddress,
         ids: ChargingIdAllocator | None = None,
         metrics=None,
+        retain_records: bool = True,
     ) -> None:
         self.loop = loop
         self.bearers = bearers
@@ -111,6 +112,11 @@ class Ofcs:
         self.records: list[CdrRecord] = []
         self._cycle_start: dict[str, float] = {}
         self.metrics = metrics
+        #: With many bearers per run (fleet shards) the CDR list grows as
+        #: O(bearers × cycles); callers that only need the counters and
+        #: metrics can turn retention off and keep the OFCS O(bearers).
+        self.retain_records = retain_records
+        self.records_emitted = 0
 
     # --------------------------------------------------------------- usage
 
@@ -121,6 +127,19 @@ class Ofcs:
             raise KeyError(f"no bearer for flow {flow_id!r}")
         counter = bearer.uplink if direction is Direction.UPLINK else bearer.downlink
         return counter.bytes_between(t1, t2)
+
+    def usage_by_flow(self, t1: float, t2: float, direction: Direction) -> dict[str, int]:
+        """One cycle's per-flow volumes across *every* bearer.
+
+        The fleet accounting path: one pass over the bearer table instead
+        of a per-flow query loop, in the table's (insertion) order so the
+        result is deterministic.
+        """
+        counters = {}
+        for bearer in self.bearers.all():
+            counter = bearer.uplink if direction is Direction.UPLINK else bearer.downlink
+            counters[bearer.flow_id] = counter.bytes_between(t1, t2)
+        return counters
 
     # ---------------------------------------------------------------- CDRs
 
@@ -135,7 +154,9 @@ class Ofcs:
             raise ValueError(f"cycle end {t2} precedes cycle start {t1}")
         record = self._build_record(bearer, t1, t2)
         self._cycle_start[flow_id] = t2
-        self.records.append(record)
+        self.records_emitted += 1
+        if self.retain_records:
+            self.records.append(record)
         if self.metrics is not None:
             self.metrics.counter("cellular.ofcs.cdrs").inc()
             self.metrics.counter("cellular.ofcs.uplink_bytes").inc(

@@ -1,5 +1,18 @@
 """Evaluation harness: scenarios, runner, and the per-figure generators."""
 
+from .fleet import (
+    ARCHETYPES,
+    FleetAccumulator,
+    FleetConfig,
+    FleetResult,
+    FleetShard,
+    UeSpec,
+    assign_ues,
+    build_shards,
+    fleet_shard_key,
+    run_fleet,
+)
+from .fleet_runner import FleetShardRunner, simulate_shard
 from .latency import measure_rtt
 from .multi_operator import MultiOperatorResult, OperatorShare, run_multi_operator
 from .parallel import (
@@ -24,6 +37,18 @@ from .scenarios import (
 from .stats import Summary, cdf_points, mb, percentile
 
 __all__ = [
+    "ARCHETYPES",
+    "FleetAccumulator",
+    "FleetConfig",
+    "FleetResult",
+    "FleetShard",
+    "FleetShardRunner",
+    "UeSpec",
+    "assign_ues",
+    "build_shards",
+    "fleet_shard_key",
+    "run_fleet",
+    "simulate_shard",
     "measure_rtt",
     "MultiOperatorResult",
     "OperatorShare",

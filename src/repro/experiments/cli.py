@@ -170,6 +170,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_engine_options(run)
 
+    fleet = sub.add_parser(
+        "fleet", help="population-scale sweep: N UEs sharded over the engine"
+    )
+    fleet.add_argument(
+        "--ues", type=int, required=True, metavar="N",
+        help="population size (number of simulated subscribers)",
+    )
+    fleet.add_argument(
+        "--shard-size", type=int, default=8, metavar="K",
+        help="UEs simulated together per shard (default: 8)",
+    )
+    fleet.add_argument("--seed", type=int, default=1, help="fleet seed (default: 1)")
+    fleet.add_argument(
+        "--cycles", type=int, default=2, metavar="N",
+        help="charging cycles per UE (default: 2)",
+    )
+    fleet.add_argument(
+        "--cycle-seconds", type=float, default=30.0, metavar="S",
+        help="charging cycle length (default: 30)",
+    )
+    fleet.add_argument(
+        "--zipf", type=float, default=1.1, metavar="S",
+        help="Zipf popularity exponent over the archetype mix (default: 1.1)",
+    )
+    fleet.add_argument(
+        "--mix", metavar="A,B,...", default=None,
+        help="comma-separated workload archetypes in popularity order "
+        "(default: the built-in five-archetype mix)",
+    )
+    fleet.add_argument(
+        "--per-ue-csv", metavar="FILE", default=None,
+        help="stream one CSV row per UE to FILE while aggregating",
+    )
+    fleet.add_argument(
+        "--accounting", action="store_true",
+        help="also render the merged layer-by-layer accounting table",
+    )
+    fleet.add_argument(
+        "--out-dir", metavar="DIR", default=str(DEFAULT_OUT_DIR),
+        help=f"artifact + manifest directory (default: {DEFAULT_OUT_DIR})",
+    )
+    fleet.add_argument(
+        "--no-manifest", action="store_true",
+        help="print only; do not write artifacts or a run manifest",
+    )
+    add_engine_options(fleet)
+
     obs = sub.add_parser(
         "obs", help="layer-by-layer byte/drop accounting of a cached run"
     )
@@ -241,6 +288,8 @@ def main(argv: list[str] | None = None) -> int:
     except ValueError as exc:  # e.g. an unknown --fault-profile name
         print(str(exc), file=sys.stderr)
         return 2
+    if args.command == "fleet":
+        return _run_fleet(args)
     if args.command == "report":
         return _write_report(Path(args.out))
     if args.command == "baseline":
@@ -313,6 +362,100 @@ def _verify_ledger(args) -> int:
     for cycle_index, failure in report.failures:
         print(f"  cycle {cycle_index}: {failure.value}")
     return 1
+
+
+def _run_fleet(args) -> int:
+    """The ``repro fleet`` subcommand: sharded population sweep."""
+    import csv
+
+    from .fleet import FleetConfig, run_fleet
+    from .runner import SCHEMES
+
+    mix_kwargs = {}
+    if args.mix:
+        mix_kwargs["mix"] = tuple(
+            name.strip() for name in args.mix.split(",") if name.strip()
+        )
+    try:
+        fleet_config = FleetConfig(
+            ues=args.ues,
+            shard_size=args.shard_size,
+            seed=args.seed,
+            n_cycles=args.cycles,
+            cycle_duration_s=args.cycle_seconds,
+            zipf_s=args.zipf,
+            **mix_kwargs,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    csv_file = None
+    writer = None
+    ue_sink = None
+    if args.per_ue_csv:
+        csv_path = Path(args.per_ue_csv)
+        csv_path.parent.mkdir(parents=True, exist_ok=True)
+        csv_file = csv_path.open("w", newline="")
+        writer = csv.writer(csv_file)
+        writer.writerow(
+            ["ue", "archetype", "flow_id", "cycles", "bitrate_bps"]
+            + [f"gap_mb_hr_{s}" for s in SCHEMES]
+            + [f"epsilon_{s}" for s in SCHEMES]
+            + [f"rounds_{s}" for s in SCHEMES]
+        )
+
+        def ue_sink(row: dict) -> None:
+            writer.writerow(
+                [row["index"], row["archetype"], row["flow_id"],
+                 row["cycles"], row["bitrate_bps"]]
+                + [row["mean_gap_mb_hr"].get(s, "") for s in SCHEMES]
+                + [row["mean_epsilon"].get(s, "") for s in SCHEMES]
+                + [row["mean_rounds"].get(s, "") for s in SCHEMES]
+            )
+
+    started = time.time()
+    report = parallel.RunReport()
+    try:
+        result = run_fleet(fleet_config, report=report, ue_sink=ue_sink)
+    finally:
+        if csv_file is not None:
+            csv_file.close()
+    rendered = result.render()
+    print(rendered)
+    if args.per_ue_csv:
+        print(f"[per-UE csv -> {args.per_ue_csv}]")
+    if args.accounting:
+        print()
+        print(render_accounting(result.metrics, title=f"fleet of {result.population}"))
+    try:
+        import resource
+
+        maxrss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        print(f"[{time.time() - started:.1f}s, peak rss {maxrss_kb / 1024:.0f} MiB]")
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        print(f"[{time.time() - started:.1f}s]")
+    if not args.no_manifest:
+        manifest = RunManifest(
+            name="fleet", out_dir=Path(args.out_dir),
+            command=f"repro fleet --ues {args.ues}",
+        )
+        manifest.record_engine(
+            workers=parallel._default_workers,
+            cache_dir=(
+                str(parallel._default_cache.directory)
+                if parallel._default_cache is not None else None
+            ),
+            shards_simulated=report.simulated,
+            shards_cached=report.cached,
+        )
+        manifest.write_text("fleet", rendered)
+        manifest.write_text(
+            "fleet-aggregate", json.dumps(result.to_dict(), indent=2, sort_keys=True)
+        )
+        manifest.attach_metrics(result.metrics)
+        print(f"[manifest -> {manifest.save()}]")
+    return 0
 
 
 def _write_report(path: Path) -> int:

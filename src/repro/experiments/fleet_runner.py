@@ -1,0 +1,380 @@
+"""Multi-UE shard simulation: many subscribers, one network, one loop.
+
+A fleet shard is a batch of UEs simulated together on a single
+:class:`~repro.netsim.events.EventLoop` and one
+:class:`~repro.cellular.CellularNetwork` — one SPGW/OFCS/bearer table
+serving every bearer, which is exactly the many-bearers-per-gateway shape
+a production deployment has.  Each UE gets its *own cell* (the paper's
+per-subscriber charging physics is per-radio-link; cross-UE air
+contention is a different experiment, available via the fleet config's
+``background_mbps``), its own device/server endpoints, monitors, and
+workload.
+
+Determinism contract:
+
+* everything *per-UE* (workload frames, cycle clock skews, negotiation
+  claims, fault schedule draws) is drawn from a registry seeded by the
+  UE's fleet-wide seed, so a UE's traffic does not depend on which shard
+  it landed in or which UEs share the shard;
+* everything *shared* (radio processes keyed by IMSI, per-cell air
+  noise) comes from the shard registry, so a shard's result is a pure
+  function of its :class:`~repro.experiments.fleet.FleetShard` spec.
+
+Shard results are compact per-UE summaries plus one mergeable
+:class:`~repro.obs.MetricsSnapshot` — O(shard), never O(usages) — which
+is what lets the fleet engine stream-aggregate arbitrarily large
+populations.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+from ..cellular import CellularNetwork, ENodeBConfig, NetworkConfig, make_test_imsi
+from ..core import CycleUsage, DataPlan, SchemeOutcome
+from ..edge import CounterCheckMonitor, EdgeDevice, EdgeServer
+from ..netsim import Direction, EventLoop, FaultInjector, StreamRegistry
+from ..obs import MetricsRegistry, MetricsSnapshot
+from ..workloads import FrameWorkload
+from .runner import SCHEMES, evaluate_schemes
+from .scenarios import ScenarioConfig
+
+#: Fixed bucket edges for the fleet's per-UE mean-gap histogram (MB/hr).
+#: Fixed so shard snapshots merge bit-deterministically regardless of the
+#: population's gap spread.
+GAP_EDGES_MB_HR = (0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0)
+
+#: TLC schemes negotiate; legacy does not, so convergence is undefined for it.
+NEGOTIATED_SCHEMES = tuple(s for s in SCHEMES if s != "legacy")
+
+
+@dataclass
+class UeSummary:
+    """One UE's charging outcome, reduced to O(1) aggregation inputs."""
+
+    ue_index: int
+    archetype: str
+    flow_id: str
+    cycles: int
+    offered_bitrate_bps: float
+    mean_gap_mb_hr: dict[str, float] = field(default_factory=dict)
+    mean_epsilon: dict[str, float] = field(default_factory=dict)
+    mean_rounds: dict[str, float] = field(default_factory=dict)
+    converged_cycles: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class FleetShardResult:
+    """Everything a shard ships back to the aggregator."""
+
+    shard_index: int
+    ues: list[UeSummary]
+    metrics: MetricsSnapshot
+
+
+class _UeSession:
+    """One subscriber's full stack inside a shard simulation."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        network: CellularNetwork,
+        metrics: MetricsRegistry,
+        ue_index: int,
+        archetype: str,
+        config: ScenarioConfig,
+        seed: int,
+        cell: int,
+    ) -> None:
+        self.ue_index = ue_index
+        self.archetype = archetype
+        self.config = config
+        self.cell = cell
+        self.loop = loop
+        self.network = network
+        self.metrics = metrics
+        # Per-UE randomness: a registry seeded only by the UE's fleet-wide
+        # seed, so the session's draws are shard-composition independent.
+        self.rng = StreamRegistry(seed)
+        self.plan = DataPlan(c=config.c, cycle_duration_s=config.cycle_duration_s)
+        imsi = make_test_imsi(ue_index + 1)
+        self.imsi = imsi
+        self.flow_id = f"{config.workload.name}:ue{ue_index}"
+        self.counter_monitor = CounterCheckMonitor(loop, name=f"operator-rrc:ue{ue_index}")
+        self.device = EdgeDevice(loop, imsi, self.flow_id)
+        access = network.attach_device(
+            imsi,
+            radio_profile=self._radio_profile(),
+            deliver=self.device.deliver,
+            counter_report_sink=self.counter_monitor.on_report,
+            record_rss=config.outage_eta is not None,
+            cell=cell,
+        )
+        self.device.bind(access)
+        self.access = access
+        network.create_bearer(imsi, self.flow_id, qci=config.workload.qci)
+        self.server = EdgeServer(loop, network, self.flow_id)
+        if config.sla_budget_s is not None:
+            network.set_sla_budget(self.flow_id, config.sla_budget_s)
+        sender = self.device if config.direction is Direction.UPLINK else self.server
+        self.workload = FrameWorkload(loop, self.rng, config.workload, sender)
+        self.fault_injector: FaultInjector | None = None
+        if config.faults is not None and not config.faults.is_empty:
+            injector = FaultInjector(loop, self.rng, config.faults, metrics=metrics)
+            access.send_uplink = injector.pipe("uplink", access.send_uplink)
+            ue = network.serving_enodeb(str(imsi)).ue(str(imsi))
+            ue.deliver = injector.pipe("downlink", ue.deliver)
+            injector.attach_modem(access.modem, point="modem")
+            self.fault_injector = injector
+
+    def _radio_profile(self):
+        from ..cellular import RadioProfile
+
+        config = self.config
+        if config.outage_eta is not None:
+            return RadioProfile.for_disconnectivity(
+                config.outage_eta,
+                mean_outage_s=config.mean_outage_s,
+                base_loss=config.base_loss,
+            )
+        return RadioProfile(base_loss=config.base_loss)
+
+    # ----------------------------------------------------------- extraction
+
+    def _cycle_usage(self, t1: float, t2: float, edge_skew: float, op_skew: float) -> CycleUsage:
+        config = self.config
+        direction = config.direction
+        for monitor in (
+            self.device.ul_monitor,
+            self.device.dl_monitor,
+            self.server.ul_monitor,
+            self.server.dl_monitor,
+        ):
+            monitor.set_skew(edge_skew)
+        self.counter_monitor.set_skew(op_skew)
+
+        gateway = self.network.gateway_usage(self.flow_id, t1, t2, direction)
+        if direction is Direction.UPLINK:
+            true_sent = self.device.ul_monitor.true_usage(t1, t2)
+            true_received = min(gateway, true_sent)
+            edge_sent = self.device.ul_monitor.reported_usage(t1, t2)
+            edge_received_est = self.server.ul_monitor.reported_usage(t1, t2)
+            operator_received = gateway
+            operator_sent_est = self.counter_monitor.reported_uplink_usage(t1, t2)
+        else:
+            true_sent = self.server.dl_monitor.true_usage(t1, t2)
+            true_received = min(self.device.dl_monitor.true_usage(t1, t2), true_sent)
+            edge_sent = self.server.dl_monitor.reported_usage(t1, t2)
+            edge_received_est = self.device.dl_monitor.reported_usage(t1, t2)
+            operator_received = self.counter_monitor.reported_usage(t1, t2)
+            operator_sent_est = gateway
+
+        cycles = self.plan.cycles(config.n_cycles)
+        index = int(round(t1 / config.cycle_duration_s))
+        return CycleUsage(
+            cycle=cycles[index],
+            direction=direction,
+            flow_id=self.flow_id,
+            true_sent=true_sent,
+            true_received=true_received,
+            gateway_count=gateway,
+            edge_sent_record=edge_sent,
+            edge_received_estimate=edge_received_est,
+            operator_received_record=operator_received,
+            operator_sent_estimate=operator_sent_est,
+        )
+
+    def collect(self) -> list[CycleUsage]:
+        """Per-cycle usage records with per-UE, per-cycle clock skews."""
+        config = self.config
+        skew_rng = self.rng.stream("cycle-skews")
+        usages = []
+        for k in range(config.n_cycles):
+            t1 = k * config.cycle_duration_s
+            t2 = (k + 1) * config.cycle_duration_s
+            edge_skew = skew_rng.gauss(0.0, config.edge_skew_rel_std * config.cycle_duration_s)
+            op_skew = skew_rng.gauss(0.0, config.operator_skew_rel_std * config.cycle_duration_s)
+            if self.fault_injector is not None:
+                edge_skew += self.fault_injector.extra_skew("edge-clock", t2)
+                op_skew += self.fault_injector.extra_skew("operator-clock", t2)
+            usages.append(self._cycle_usage(t1, t2, edge_skew, op_skew))
+        return usages
+
+    def evaluate(self, usages: list[CycleUsage]) -> dict[str, list[SchemeOutcome]]:
+        """Charging schemes on this UE's cycles (per-UE negotiation stream)."""
+        return evaluate_schemes(
+            self.plan,
+            usages,
+            self.rng.stream("negotiation"),
+            self.config.accept_tolerance,
+            self.config.max_rounds,
+            self.metrics,
+        )
+
+    def summarize(
+        self, usages: list[CycleUsage], outcomes: dict[str, list[SchemeOutcome]]
+    ) -> UeSummary:
+        """Reduce one UE's run to the aggregation-ready summary row."""
+        horizon = self.config.n_cycles * self.config.cycle_duration_s
+        summary = UeSummary(
+            ue_index=self.ue_index,
+            archetype=self.archetype,
+            flow_id=self.flow_id,
+            cycles=len(usages),
+            offered_bitrate_bps=self.workload.achieved_bitrate_bps(horizon),
+        )
+        for scheme, rows in outcomes.items():
+            gaps = [
+                usage.scaled_to_hour(outcome.delta)
+                for usage, outcome in zip(usages, rows)
+            ]
+            summary.mean_gap_mb_hr[scheme] = statistics.mean(gaps) if gaps else 0.0
+            eps = [o.epsilon for o in rows if o.expected > 0]
+            summary.mean_epsilon[scheme] = statistics.mean(eps) if eps else 0.0
+            summary.mean_rounds[scheme] = (
+                statistics.mean(o.rounds for o in rows) if rows else 0.0
+            )
+            if scheme in NEGOTIATED_SCHEMES:
+                summary.converged_cycles[scheme] = sum(
+                    1 for o in rows if o.rounds < self.config.max_rounds
+                )
+        return summary
+
+
+class FleetShardRunner:
+    """Owns one shard's simulation: N UEs, one network, one metrics registry."""
+
+    def __init__(self, shard) -> None:
+        from .fleet import FleetShard  # local import: fleet imports us
+
+        assert isinstance(shard, FleetShard)
+        if not shard.ues:
+            raise ValueError(f"shard {shard.index} has no UEs")
+        self.shard = shard
+        self.loop = EventLoop()
+        self.metrics = MetricsRegistry(clock=self.loop.now)
+        # Shard-level randomness (radio processes keyed by IMSI, per-cell
+        # air noise) comes from the shard seed.
+        self.rng = StreamRegistry(shard.seed)
+        durations = {ue.config.cycle_duration_s for ue in shard.ues}
+        cycles = {ue.config.n_cycles for ue in shard.ues}
+        if len(durations) != 1 or len(cycles) != 1:
+            raise ValueError("all UEs of a shard must share the charging cycle grid")
+        self.cycle_duration_s = durations.pop()
+        self.n_cycles = cycles.pop()
+        check_interval = max(0.05, self.cycle_duration_s / 600.0)
+        self.network = CellularNetwork(
+            self.loop,
+            self.rng,
+            NetworkConfig(
+                enodeb=ENodeBConfig(counter_check_interval_s=check_interval),
+                n_cells=len(shard.ues),
+                retain_cdrs=False,
+            ),
+            metrics=self.metrics,
+        )
+        self.sessions = [
+            _UeSession(
+                self.loop,
+                self.network,
+                self.metrics,
+                ue_index=ue.index,
+                archetype=ue.archetype,
+                config=ue.config,
+                seed=ue.seed,
+                cell=cell,
+            )
+            for cell, ue in enumerate(shard.ues)
+        ]
+        for cell, session in enumerate(self.sessions):
+            mbps = session.config.background_mbps
+            if mbps > 0:
+                rate = mbps * 1e6
+                self.network.set_background_load(rate, rate, cell=cell)
+
+    # -------------------------------------------------------------- running
+
+    def simulate(self) -> None:
+        """Run every UE's workload through the shared charging horizon."""
+        horizon = self.n_cycles * self.cycle_duration_s
+        with self.metrics.span("simulate"):
+            for session in self.sessions:
+                session.workload.start(until=horizon)
+            self.loop.run_until(horizon + 2.0)  # settle in-flight traffic
+            for session in self.sessions:
+                self.network.serving_enodeb(str(session.imsi)).ue(
+                    str(session.imsi)
+                ).rrc.perform_counter_check()
+
+    def collect_metrics(self) -> None:
+        """Shard-level totals: passive counters summed across cells and UEs.
+
+        Sums keep metric cardinality constant (no per-UE labels), so the
+        merged fleet snapshot stays O(metric names), not O(population).
+        """
+        m = self.metrics
+        for enodeb in self.network.enodebs:
+            for direction, air in (("dl", enodeb.downlink_air), ("ul", enodeb.uplink_air)):
+                m.gauge("cellular.air.offered_bytes", direction=direction).add(
+                    air.offered.bytes
+                )
+                m.gauge("cellular.air.dropped_bytes", direction=direction).add(
+                    air.dropped.bytes
+                )
+                m.gauge("cellular.air.transmitted_bytes", direction=direction).add(
+                    air.transmitted.bytes
+                )
+        for session in self.sessions:
+            radio = session.access.radio
+            m.gauge("cellular.radio.outages").add(radio.outage_count)
+            m.gauge("cellular.radio.outage_time_s").add(radio.total_outage_time)
+            modem = session.access.modem
+            m.gauge("edge.modem.uplink_bytes").add(modem.ul_sent.total)
+            m.gauge("edge.modem.downlink_bytes").add(modem.dl_received.total)
+            m.gauge("edge.modem.counter_checks").add(modem.counter_checks_served)
+            monitors = (
+                ("device-ul", session.device.ul_monitor),
+                ("device-dl", session.device.dl_monitor),
+                ("server-ul", session.server.ul_monitor),
+                ("server-dl", session.server.dl_monitor),
+            )
+            for point, monitor in monitors:
+                m.gauge("edge.monitor.observed_bytes", point=point).add(monitor.total)
+        m.gauge("cellular.ofcs.bearers").set(len(self.network.bearers))
+        m.gauge("fleet.shard.ues").set(len(self.sessions))
+
+    def run(self) -> FleetShardResult:
+        """Simulate, extract, evaluate and summarize every UE of the shard."""
+        self.simulate()
+        summaries = []
+        for session in self.sessions:
+            usages = session.collect()
+            outcomes = session.evaluate(usages)
+            summary = session.summarize(usages, outcomes)
+            self._record_fleet_metrics(summary)
+            summaries.append(summary)
+        self.collect_metrics()
+        return FleetShardResult(
+            shard_index=self.shard.index,
+            ues=summaries,
+            metrics=self.metrics.snapshot(),
+        )
+
+    def _record_fleet_metrics(self, summary: UeSummary) -> None:
+        m = self.metrics
+        m.counter("fleet.ue.count", archetype=summary.archetype).inc()
+        for scheme, gap in summary.mean_gap_mb_hr.items():
+            m.histogram(
+                "fleet.gap.mean_mb_per_hr", GAP_EDGES_MB_HR, scheme=scheme
+            ).observe(gap)
+        for scheme in NEGOTIATED_SCHEMES:
+            m.counter("fleet.negotiation.cycles", scheme=scheme).inc(summary.cycles)
+            m.counter("fleet.negotiation.converged_cycles", scheme=scheme).inc(
+                summary.converged_cycles.get(scheme, 0)
+            )
+
+
+def simulate_shard(shard) -> FleetShardResult:
+    """Convenience wrapper: build, run and return one shard."""
+    return FleetShardRunner(shard).run()

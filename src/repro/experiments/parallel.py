@@ -32,6 +32,7 @@ import dataclasses
 import hashlib
 import json
 import os
+import uuid
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
@@ -68,10 +69,18 @@ def config_to_dict(config: ScenarioConfig) -> dict:
     return encoded
 
 
+#: Known dataclass fields, used to drop unknown keys on decode: an older
+#: binary reading a newer cache directory (a forward-version entry with
+#: extra config fields) must treat the entry as decodable-or-miss, never
+#: crash the sweep with a ``TypeError`` from ``ScenarioConfig(**...)``.
+_CONFIG_FIELDS = frozenset(f.name for f in dataclasses.fields(ScenarioConfig))
+_WORKLOAD_FIELDS = frozenset(f.name for f in dataclasses.fields(WorkloadProfile))
+
+
 def config_from_dict(data: dict) -> ScenarioConfig:
-    """Inverse of :func:`config_to_dict`."""
-    decoded = dict(data)
-    workload = dict(decoded["workload"])
+    """Inverse of :func:`config_to_dict`; unknown keys are ignored."""
+    decoded = {k: v for k, v in data.items() if k in _CONFIG_FIELDS}
+    workload = {k: v for k, v in data["workload"].items() if k in _WORKLOAD_FIELDS}
     workload["transport"] = Transport(workload["transport"])
     decoded["workload"] = WorkloadProfile(**workload)
     decoded["direction"] = Direction(decoded["direction"])
@@ -188,37 +197,78 @@ def scenario_key(config: ScenarioConfig) -> str:
 
 
 class ResultCache:
-    """On-disk scenario results, content-addressed by config hash.
+    """On-disk run results, content-addressed by a caller-supplied key.
 
-    One JSON file per scenario under ``directory``.  Unreadable or
-    version-mismatched entries are treated as misses and removed, so a
-    corrupt cache can never poison a sweep.
+    One JSON file per entry under ``directory``; scenario sweeps key
+    entries with :func:`scenario_key`, the fleet engine with its shard
+    key.  Unreadable or version-mismatched entries are treated as misses
+    and removed, so a corrupt cache can never poison a sweep.
+
+    Publishing is concurrency-safe: each writer stages through its own
+    unique temp file (pid + uuid) in the cache directory and atomically
+    renames it over the final path.  A shared temp name would let two
+    processes caching the same key interleave writes before ``replace()``
+    and publish garbage.
     """
 
     def __init__(self, directory: str | Path) -> None:
         self.directory = Path(directory)
 
-    def path_for(self, config: ScenarioConfig) -> Path:
-        return self.directory / f"{scenario_key(config)}.json"
+    # ------------------------------------------------------- key-based API
 
-    def get(self, config: ScenarioConfig) -> ScenarioResult | None:
-        path = self.path_for(config)
+    def path_for_key(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def has(self, key: str) -> bool:
+        """Cheap existence probe (no parse; the entry may still be corrupt)."""
+        return self.path_for_key(key).is_file()
+
+    def get_data(self, key: str) -> dict | None:
+        """Load one entry's decoded JSON, or None (and drop it) if unusable."""
+        path = self.path_for_key(key)
         try:
             data = json.loads(path.read_text())
-            return result_from_dict(data)
         except FileNotFoundError:
             return None
-        except (ValueError, KeyError, TypeError, IndexError, OSError):
+        except (ValueError, OSError):
+            # Corrupt/truncated entries are a miss, never a crash.
             path.unlink(missing_ok=True)
+            return None
+        if not isinstance(data, dict):
+            path.unlink(missing_ok=True)
+            return None
+        return data
+
+    def put_data(self, key: str, data: dict) -> Path:
+        """Atomically publish one entry via a writer-unique temp file."""
+        path = self.path_for_key(key)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.{uuid.uuid4().hex}.tmp")
+        try:
+            tmp.write_text(json.dumps(data, separators=(",", ":")))
+            tmp.replace(path)  # atomic publish: readers never see partial JSON
+        finally:
+            tmp.unlink(missing_ok=True)
+        return path
+
+    # ---------------------------------------------------- scenario-keyed API
+
+    def path_for(self, config: ScenarioConfig) -> Path:
+        return self.path_for_key(scenario_key(config))
+
+    def get(self, config: ScenarioConfig) -> ScenarioResult | None:
+        key = scenario_key(config)
+        data = self.get_data(key)
+        if data is None:
+            return None
+        try:
+            return result_from_dict(data)
+        except (ValueError, KeyError, TypeError, IndexError):
+            self.path_for_key(key).unlink(missing_ok=True)
             return None
 
     def put(self, config: ScenarioConfig, result: ScenarioResult) -> Path:
-        path = self.path_for(config)
-        self.directory.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(result_to_dict(result), separators=(",", ":")))
-        tmp.replace(path)  # atomic publish: readers never see partial JSON
-        return path
+        return self.put_data(scenario_key(config), result_to_dict(result))
 
 
 # ------------------------------------------------------------------ engine

@@ -53,6 +53,64 @@ SCHEMES = ("legacy", "tlc-optimal", "tlc-random", "tlc-honest")
 ROUND_EDGES = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0, 64.0)
 
 
+def evaluate_schemes(
+    plan: DataPlan,
+    usages: list[CycleUsage],
+    neg_rng,
+    accept_tolerance: float,
+    max_rounds: int,
+    metrics: MetricsRegistry | None = None,
+) -> dict[str, list[SchemeOutcome]]:
+    """Run every charging scheme on every cycle of one flow.
+
+    Shared by the single-UE :class:`ScenarioRunner` and the fleet shard
+    runner: ``neg_rng`` is the caller's dedicated negotiation stream, so
+    per-flow results depend only on that stream's state, never on how
+    many flows share the simulation.
+    """
+    outcomes: dict[str, list[SchemeOutcome]] = {name: [] for name in SCHEMES}
+    for usage in usages:
+        expected = plan.expected_charge(usage.true_sent, usage.true_received)
+        outcomes["legacy"].append(
+            SchemeOutcome("legacy", usage.gateway_count, expected)
+        )
+        for scheme in ("tlc-optimal", "tlc-random", "tlc-honest"):
+            edge_know = PartyKnowledge(
+                PartyRole.EDGE, usage.edge_sent_record, usage.edge_received_estimate
+            )
+            op_know = PartyKnowledge(
+                PartyRole.OPERATOR,
+                usage.operator_received_record,
+                usage.operator_sent_estimate,
+            )
+            if scheme == "tlc-optimal":
+                edge = OptimalStrategy(edge_know, accept_tolerance=accept_tolerance)
+                operator = OptimalStrategy(op_know, accept_tolerance=accept_tolerance)
+            elif scheme == "tlc-honest":
+                edge = HonestStrategy(edge_know, accept_tolerance=accept_tolerance)
+                operator = HonestStrategy(op_know, accept_tolerance=accept_tolerance)
+            else:
+                edge = RandomSelfishStrategy(edge_know, neg_rng)
+                operator = RandomSelfishStrategy(op_know, neg_rng)
+            engine = NegotiationEngine(plan, edge, operator, max_rounds=max_rounds)
+            result = engine.run()
+            outcomes[scheme].append(
+                SchemeOutcome(scheme, result.volume, expected, result.rounds)
+            )
+    if metrics is not None:
+        for scheme, rows in outcomes.items():
+            rounds = metrics.histogram(
+                "core.negotiation.rounds", ROUND_EDGES, scheme=scheme
+            )
+            residual = metrics.counter("core.gap.residual_bytes", scheme=scheme)
+            charged = metrics.counter("core.gap.charged_bytes", scheme=scheme)
+            for outcome in rows:
+                rounds.observe(outcome.rounds)
+                residual.inc(outcome.delta)
+                charged.inc(outcome.charged)
+    return outcomes
+
+
 @dataclass
 class ScenarioResult:
     """All cycles of one scenario, with per-scheme outcomes."""
@@ -291,50 +349,14 @@ class ScenarioRunner:
 
     def evaluate(self, usages: list[CycleUsage]) -> dict[str, list[SchemeOutcome]]:
         """Run every charging scheme on every cycle."""
-        outcomes: dict[str, list[SchemeOutcome]] = {name: [] for name in SCHEMES}
-        neg_rng = self.rng.stream("negotiation")
-        for usage in usages:
-            expected = self.plan.expected_charge(usage.true_sent, usage.true_received)
-            outcomes["legacy"].append(
-                SchemeOutcome("legacy", usage.gateway_count, expected)
-            )
-            for scheme in ("tlc-optimal", "tlc-random", "tlc-honest"):
-                edge_know = PartyKnowledge(
-                    PartyRole.EDGE, usage.edge_sent_record, usage.edge_received_estimate
-                )
-                op_know = PartyKnowledge(
-                    PartyRole.OPERATOR,
-                    usage.operator_received_record,
-                    usage.operator_sent_estimate,
-                )
-                tol = self.config.accept_tolerance
-                if scheme == "tlc-optimal":
-                    edge = OptimalStrategy(edge_know, accept_tolerance=tol)
-                    operator = OptimalStrategy(op_know, accept_tolerance=tol)
-                elif scheme == "tlc-honest":
-                    edge = HonestStrategy(edge_know, accept_tolerance=tol)
-                    operator = HonestStrategy(op_know, accept_tolerance=tol)
-                else:
-                    edge = RandomSelfishStrategy(edge_know, neg_rng)
-                    operator = RandomSelfishStrategy(op_know, neg_rng)
-                engine = NegotiationEngine(
-                    self.plan, edge, operator, max_rounds=self.config.max_rounds
-                )
-                result = engine.run()
-                outcomes[scheme].append(
-                    SchemeOutcome(scheme, result.volume, expected, result.rounds)
-                )
-        for scheme, rows in outcomes.items():
-            rounds = self.metrics.histogram(
-                "core.negotiation.rounds", ROUND_EDGES, scheme=scheme
-            )
-            residual = self.metrics.counter("core.gap.residual_bytes", scheme=scheme)
-            charged = self.metrics.counter("core.gap.charged_bytes", scheme=scheme)
-            for outcome in rows:
-                rounds.observe(outcome.rounds)
-                residual.inc(outcome.delta)
-                charged.inc(outcome.charged)
-        return outcomes
+        return evaluate_schemes(
+            self.plan,
+            usages,
+            self.rng.stream("negotiation"),
+            self.config.accept_tolerance,
+            self.config.max_rounds,
+            self.metrics,
+        )
 
     def run(self) -> ScenarioResult:
         """Simulate, extract and evaluate; the one-call entry point."""

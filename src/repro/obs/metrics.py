@@ -180,37 +180,56 @@ class MetricsSnapshot:
             spans=data.get("spans"),
         )
 
-    def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
-        """Element-wise combination of two snapshots (see class docs)."""
-        counters = dict(self.counters)
+    def merge_in_place(
+        self, other: "MetricsSnapshot", include_spans: bool = True
+    ) -> "MetricsSnapshot":
+        """Fold ``other`` into this snapshot, mutating it; returns self.
+
+        This is the streaming form behind fleet aggregation: a sweep over
+        thousands of shards keeps one accumulator snapshot and folds each
+        shard's snapshot in as it arrives, so memory stays O(accumulator)
+        instead of O(shards).  ``include_spans=False`` drops the other
+        side's span list — per-shard span traces grow linearly with the
+        population and are only useful per shard, not merged.
+        """
         for key, value in other.counters.items():
-            counters[key] = counters.get(key, 0) + value
-        gauges = dict(self.gauges)
+            self.counters[key] = self.counters.get(key, 0) + value
         for key, value in other.gauges.items():
-            gauges[key] = gauges.get(key, 0) + value
-        histograms = {k: dict(v) for k, v in self.histograms.items()}
+            self.gauges[key] = self.gauges.get(key, 0) + value
         for key, data in other.histograms.items():
-            if key not in histograms:
-                histograms[key] = dict(data)
+            mine = self.histograms.get(key)
+            if mine is None:
+                self.histograms[key] = {
+                    "edges": list(data["edges"]),
+                    "counts": list(data["counts"]),
+                    "sum": data["sum"],
+                    "count": data["count"],
+                }
                 continue
-            mine = histograms[key]
             if tuple(mine["edges"]) != tuple(data["edges"]):
                 raise ValueError(
                     f"cannot merge histogram {key!r}: bucket edges differ "
                     f"({mine['edges']} vs {data['edges']})"
                 )
-            histograms[key] = {
+            self.histograms[key] = {
                 "edges": list(mine["edges"]),
                 "counts": [a + b for a, b in zip(mine["counts"], data["counts"])],
                 "sum": mine["sum"] + data["sum"],
                 "count": mine["count"] + data["count"],
             }
-        return MetricsSnapshot(
-            counters=counters,
-            gauges=gauges,
-            histograms=histograms,
-            spans=[*self.spans, *other.spans],
+        if include_spans:
+            self.spans.extend(dict(s) for s in other.spans)
+        return self
+
+    def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Element-wise combination of two snapshots (see class docs)."""
+        merged = MetricsSnapshot(
+            counters=self.counters,
+            gauges=self.gauges,
+            histograms=self.histograms,
+            spans=self.spans,
         )
+        return merged.merge_in_place(other)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, MetricsSnapshot):

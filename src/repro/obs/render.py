@@ -20,6 +20,7 @@ LAYERS: tuple[tuple[str, tuple[str, ...]], ...] = (
     ("transport", ("netsim.link.", "netsim.faults.", "edge.monitor.")),
     ("poc", ("poc.",)),
     ("negotiation", ("core.negotiation.", "core.gap.")),
+    ("fleet", ("fleet.",)),
 )
 
 _OTHER = "other"

@@ -1,6 +1,7 @@
 """Parallel scenario engine: codec, cache, and serial/parallel identity."""
 
 import json
+import threading
 
 import pytest
 
@@ -64,6 +65,19 @@ class TestCodec:
         with pytest.raises(ValueError, match="codec version"):
             result_from_dict(data)
 
+    def test_forward_version_config_keys_ignored(self):
+        """A v(N+1)-shaped config dict (new fields) must still decode.
+
+        An older binary pointed at a newer cache directory reads entries
+        whose configs carry fields it doesn't know; those must round-trip
+        on the shared fields instead of crashing the sweep.
+        """
+        data = config_to_dict(GAMING_DL)
+        data["future_knob"] = 42
+        data["another_subsystem"] = {"nested": True}
+        data["workload"]["future_codec"] = "av2"
+        assert config_from_dict(data) == GAMING_DL
+
 
 class TestKeys:
     def test_key_stable_and_sensitive(self):
@@ -124,6 +138,41 @@ class TestResultCache:
         run_scenarios(FAST[:1], workers=0, cache=cache, report=report)
         assert report.simulated == 1  # re-simulated, file replaced
         assert cache.get(FAST[0]) is not None
+
+    def test_concurrent_publish_same_key_never_corrupts(self, tmp_path):
+        """Racing writers stage through unique temp files.
+
+        With a shared ``.tmp`` staging name, two publishers of the same
+        key could interleave write/rename and publish garbage; with
+        pid+uuid temp names every published file is one writer's complete
+        payload.  Threads share a pid, so this exercises the uuid half of
+        the uniqueness too.
+        """
+        cache = ResultCache(tmp_path / "cache")
+        payloads = [{"version": 1, "writer": i, "blob": "x" * 4096} for i in range(8)]
+        barrier = threading.Barrier(len(payloads))
+
+        def publish(payload):
+            barrier.wait()
+            for _ in range(20):
+                cache.put_data("contended-key", payload)
+
+        threads = [threading.Thread(target=publish, args=(p,)) for p in payloads]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        final = cache.get_data("contended-key")
+        assert final in payloads  # some complete payload, never a splice
+        leftovers = list((tmp_path / "cache").glob("*.tmp"))
+        assert leftovers == []
+
+    def test_get_data_drops_non_dict_entries(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put_data("k", {"ok": 1})
+        cache.path_for_key("k").write_text("[1, 2, 3]")  # parses, wrong shape
+        assert cache.get_data("k") is None
+        assert not cache.has("k")
 
     def test_cache_false_disables(self, tmp_path):
         parallel.configure(workers=0, cache_dir=tmp_path / "default-cache")

@@ -54,6 +54,64 @@ class TestScheduling:
         assert seen == [2.0]
 
 
+class TestSameTimestampDeterminism:
+    """FIFO tie-break by a monotonic sequence counter, always.
+
+    Many simulator components schedule at identical timestamps (frame
+    fans-out, counter checks on cycle boundaries); charging results are
+    only reproducible if same-time dispatch order is schedule order — on
+    every path, including after heap compaction and for events armed
+    during dispatch of the same instant.
+    """
+
+    def test_sequence_numbers_strictly_increase(self):
+        loop = EventLoop()
+        events = [loop.schedule_at(1.0, lambda: None) for _ in range(50)]
+        seqs = [event.seq for event in events]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+    def test_fifo_preserved_across_compaction(self):
+        """Mass cancellation (heap rebuild) must not reorder ties."""
+        loop = EventLoop()
+        order = []
+        cancelled = [loop.schedule_at(5.0, lambda: None) for _ in range(500)]
+        for tag in range(20):
+            loop.schedule_at(1.0, order.append, tag)
+        for event in cancelled:
+            event.cancel()  # triggers lazy compaction
+        for tag in range(20, 40):
+            loop.schedule_at(1.0, order.append, tag)
+        loop.run()
+        assert order == list(range(40))
+
+    def test_events_armed_during_dispatch_run_after_queued_ties(self):
+        """A same-time event scheduled *during* dispatch gets a later seq,
+        so it runs after everything already queued for that instant."""
+        loop = EventLoop()
+        order = []
+
+        def first():
+            order.append("first")
+            loop.schedule_at(1.0, order.append, "armed-during-dispatch")
+
+        loop.schedule_at(1.0, first)
+        loop.schedule_at(1.0, order.append, "second")
+        loop.run()
+        assert order == ["first", "second", "armed-during-dispatch"]
+
+    def test_interleaved_times_keep_per_instant_fifo(self):
+        loop = EventLoop()
+        order = []
+        for i in range(10):
+            loop.schedule_at(2.0, order.append, ("late", i))
+            loop.schedule_at(1.0, order.append, ("early", i))
+        loop.run()
+        assert order == [("early", i) for i in range(10)] + [
+            ("late", i) for i in range(10)
+        ]
+
+
 class TestRunUntil:
     def test_stops_at_horizon(self):
         loop = EventLoop()

@@ -1,6 +1,7 @@
 """Unit tests for the deterministic metrics core (repro.obs.metrics)."""
 
 import json
+import random
 
 import pytest
 
@@ -156,3 +157,98 @@ class TestSnapshot:
     def test_is_empty(self):
         assert MetricsSnapshot().is_empty
         assert not MetricsSnapshot(counters={"c": 0}).is_empty
+
+    def test_merge_in_place_mutates_and_returns_self(self):
+        a = MetricsSnapshot(counters={"c": 1})
+        b = MetricsSnapshot(counters={"c": 2})
+        assert a.merge_in_place(b) is a
+        assert a.counters == {"c": 3}
+        assert b.counters == {"c": 2}  # the right-hand side is untouched
+
+    def test_merge_in_place_can_drop_spans(self):
+        a = MetricsSnapshot()
+        b = MetricsSnapshot(spans=[{"name": "s", "start": 0.0, "end": 1.0, "depth": 0}])
+        a.merge_in_place(b, include_spans=False)
+        assert a.spans == []
+
+    def test_merge_does_not_alias_histogram_state(self):
+        h = {"edges": [1.0], "counts": [1, 0], "sum": 0.5, "count": 1}
+        a = MetricsSnapshot(histograms={"h": h})
+        merged = a.merge(MetricsSnapshot(histograms={"h": h}))
+        merged.histograms["h"]["counts"][0] = 99
+        assert a.histograms["h"]["counts"] == [1, 0]
+
+
+def _random_snapshot(rng: random.Random) -> MetricsSnapshot:
+    """A shard-shaped snapshot with float-valued counters and gauges."""
+    names = ["a.bytes", "b.time_s", "c.ratio", "d.count"]
+    counters = {
+        name: rng.uniform(0, 1e9) for name in rng.sample(names, rng.randint(1, 4))
+    }
+    gauges = {
+        name: rng.uniform(-1e6, 1e6) for name in rng.sample(names, rng.randint(1, 4))
+    }
+    histograms = {
+        "h": {
+            "edges": [1.0, 10.0],
+            "counts": [rng.randint(0, 5) for _ in range(3)],
+            "sum": rng.uniform(0, 100.0),
+            "count": rng.randint(0, 15),
+        }
+    }
+    return MetricsSnapshot(counters=counters, gauges=gauges, histograms=histograms)
+
+
+class TestMergeProperties:
+    """Algebra of merge over randomized float-valued shard snapshots.
+
+    Pairwise merge is commutative bitwise (float addition of two operands
+    commutes exactly).  Chained float addition is *not* associative in
+    IEEE-754, which is exactly why the fleet aggregator folds shards in
+    canonical index order; these properties pin down what the aggregation
+    layer may and may not rely on.
+    """
+
+    def test_pairwise_merge_commutes_bitwise(self):
+        rng = random.Random(20190107)
+        for _ in range(50):
+            a, b = _random_snapshot(rng), _random_snapshot(rng)
+            ab = json.dumps(a.merge(b).to_dict(), sort_keys=True)
+            ba = json.dumps(b.merge(a).to_dict(), sort_keys=True)
+            assert ab == ba
+
+    def test_fixed_fold_order_is_permutation_proof(self):
+        """Any arrival permutation, folded after sorting into one canonical
+        order, produces a bit-identical aggregate — the invariant the
+        fleet accumulator's reorder buffer enforces."""
+        rng = random.Random(7)
+        shards = [_random_snapshot(rng) for _ in range(8)]
+
+        def fold_in_index_order(permuted: list[tuple[int, MetricsSnapshot]]) -> str:
+            accumulator = MetricsSnapshot()
+            for _, snapshot in sorted(permuted, key=lambda pair: pair[0]):
+                accumulator.merge_in_place(snapshot)
+            return json.dumps(accumulator.to_dict(), sort_keys=True)
+
+        reference = fold_in_index_order(list(enumerate(shards)))
+        for _ in range(20):
+            permuted = list(enumerate(shards))
+            rng.shuffle(permuted)
+            assert fold_in_index_order(permuted) == reference
+
+    def test_integer_counters_fold_order_free(self):
+        """Integer-valued metrics are exactly associative: any fold order
+        gives the same totals (no reorder buffer needed for ints)."""
+        rng = random.Random(11)
+        shards = [
+            MetricsSnapshot(counters={"n": rng.randint(0, 10**12)}) for _ in range(6)
+        ]
+        orders = [list(range(6)), [5, 3, 1, 0, 2, 4], [2, 5, 0, 4, 1, 3]]
+        totals = set()
+        for order in orders:
+            accumulator = MetricsSnapshot()
+            for i in order:
+                accumulator.merge_in_place(shards[i])
+            totals.add(accumulator.counters["n"])
+        assert len(totals) == 1
+        assert isinstance(totals.pop(), int)
