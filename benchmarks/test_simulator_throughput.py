@@ -1,12 +1,17 @@
 """Simulator performance: events/second and end-to-end packet rate.
 
 Not a paper figure — housekeeping numbers a user sizing an experiment
-campaign needs: how fast the DES core dispatches, and how many packets
-per wall-second the full cellular path sustains.
+campaign needs: how fast the DES core dispatches, how many packets per
+wall-second the full cellular path sustains, and how much the batched
+per-UE kernel buys over the reference event-per-packet engine.
 """
+
+import time
 
 from repro.cellular import CellularNetwork, RadioProfile, make_test_imsi
 from repro.edge import EdgeDevice, EdgeServer
+from repro.experiments.runner import ScenarioRunner
+from repro.experiments.scenarios import VRIDGE_DL, WEBCAM_UDP_UL
 from repro.netsim import EventLoop, StreamRegistry
 
 
@@ -55,3 +60,51 @@ def test_end_to_end_packet_rate(benchmark, archive):
         f"Simulator throughput on this host: {packets_per_s:,.0f} "
         "end-to-end packets/wall-second (full UL path)",
     )
+
+
+def _timed_simulate(config, kernel):
+    """One scenario run; returns (air packets offered, cpu seconds)."""
+    runner = ScenarioRunner(config, kernel=kernel)
+    t0 = time.process_time()
+    runner.simulate()
+    dt = time.process_time() - t0
+    assert runner.kernel_used == kernel
+    enb = runner.network.enodeb
+    packets = enb.uplink_air.offered.packets + enb.downlink_air.offered.packets
+    return packets, dt
+
+
+def test_scenario_kernel_speedup(archive):
+    """Batched kernel vs. reference engine on the full scenario path.
+
+    CPU time (``time.process_time``), interleaved reference/batched
+    iterations, min of ``ROUNDS`` — the only methodology that survives
+    a noisy shared host; wall-clock on this class of machine jitters by
+    2-4x and would make any threshold meaningless.  The speedup target
+    (10x) is a release gate for the batched kernel: measured headroom on
+    the reference host is ~11x uplink / ~13x downlink.
+    """
+    ROUNDS = 5
+    rows = [f"{'scenario':>12} {'packets':>8} {'ref pkt/s':>10} {'batched pkt/s':>14} {'speedup':>8}"]
+    ref_cpu = batched_cpu = 0.0
+    for scenario in (WEBCAM_UDP_UL, VRIDGE_DL):
+        config = scenario.with_(n_cycles=2, cycle_duration_s=60.0)
+        t_ref = t_bat = float("inf")
+        packets = 0
+        for _ in range(ROUNDS):  # interleaved: ambient load hits both alike
+            packets, dt = _timed_simulate(config, "reference")
+            t_ref = min(t_ref, dt)
+            p2, dt = _timed_simulate(config, "batched")
+            t_bat = min(t_bat, dt)
+            assert p2 == packets  # bit-exact parity implies identical traffic
+        ref_cpu += t_ref
+        batched_cpu += t_bat
+        rows.append(
+            f"{scenario.name:>12} {packets:>8} {packets / t_ref:>10,.0f} "
+            f"{packets / t_bat:>14,.0f} {t_ref / t_bat:>7.1f}x"
+        )
+
+    pooled = ref_cpu / batched_cpu
+    rows.append(f"pooled speedup (sum ref cpu / sum batched cpu): {pooled:.1f}x")
+    archive("kernel_speedup", "\n".join(rows))
+    assert pooled >= 10.0, f"batched kernel speedup regressed: {pooled:.2f}x < 10x"

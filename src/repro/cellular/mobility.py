@@ -80,32 +80,30 @@ class HandoverProcess:
         # Source-cell buffered downlink: forwarded over X2 or discarded.
         buffered = ue.dl_buffer.drain()
         if self.config.x2_forwarding:
+            # During the break, X2 forwards arriving traffic to the target
+            # cell's buffer as well — effectively source + target + the
+            # forwarding pipe worth of buffering.  Raise the cap *before*
+            # re-queueing so the preserved packets can never tail-drop.
+            self._saved_capacity = ue.dl_buffer.capacity_bytes
+            ue.dl_buffer.capacity_bytes *= 4
             for packet in buffered:
                 self.forwarded.count(packet)
                 ue.dl_buffer.push(packet)  # target cell inherits the buffer
-            # During the break, X2 forwards arriving traffic to the target
-            # cell's buffer as well — effectively source + target + the
-            # forwarding pipe worth of buffering.
-            self._saved_capacity = ue.dl_buffer.capacity_bytes
-            ue.dl_buffer.capacity_bytes *= 4
         else:
             for packet in buffered:
                 packet.mark_dropped("link-mobility")
                 self.dropped.count(packet)
         # The interruption: packets buffering during it drop as mobility
-        # loss rather than as an RSS outage.
+        # loss rather than as an RSS outage.  The break itself is recorded
+        # through the radio's own outage bookkeeping.
         self._saved_drop_layer = ue.dl_buffer.drop_layer
         ue.dl_buffer.drop_layer = "link-mobility"
-        ue.radio.connected = False
-        for callback in ue.radio.on_outage_start:
-            callback()
+        ue.radio.force_outage_start()
         self.loop.schedule(self.config.interruption_s, self._complete_handover)
 
     def _complete_handover(self) -> None:
         ue = self.ue
-        ue.radio.connected = True
-        for callback in ue.radio.on_outage_end:
-            callback()
+        ue.radio.force_outage_end()
         if self._saved_drop_layer is not None:
             ue.dl_buffer.drop_layer = self._saved_drop_layer
             self._saved_drop_layer = None

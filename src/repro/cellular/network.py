@@ -144,6 +144,12 @@ class CellularNetwork:
         self._serving: dict[str, int] = {}
         self._accesses: dict[str, UeAccess] = {}
         self.handovers = 0
+        # In-flight handover interruptions, keyed by IMSI: epoch counter,
+        # the *pre-handover* buffer capacity and drop layer to restore,
+        # and whether the break forced the radio down.  A second handover
+        # during an interruption supersedes the first (by epoch), so the
+        # restore never compounds an already-inflated X2 capacity.
+        self._handover_restore: dict[str, tuple[int, int, str, bool]] = {}
         # Backhaul (eNodeB <-> SPGW) and LAN (SPGW <-> edge server) links.
         self._backhaul_ul = Link(
             loop, self.spgw.receive_uplink,
@@ -173,6 +179,15 @@ class CellularNetwork:
         cell: int = 0,
     ) -> UeAccess:
         """Provision, attach and radio-register one device; returns its access."""
+        key = str(imsi)
+        # Validate before touching HSS/MME state: a failed attach must not
+        # leave a half-provisioned subscriber behind.
+        if not 0 <= cell < len(self.enodebs):
+            raise ValueError(
+                f"no such cell: {cell} (network has {len(self.enodebs)})"
+            )
+        if key in self._serving:
+            raise ValueError(f"IMSI {imsi} is already attached")
         self.hss.provision(SubscriberProfile(imsi, device_name=device_name))
         self.mme.initial_attach(imsi)
         profile = radio_profile if radio_profile is not None else RadioProfile()
@@ -228,39 +243,56 @@ class CellularNetwork:
         ue = source.ue(key)
         ue.rrc.perform_counter_check()
         source.evict(key)
+        # A handover arriving during an earlier interruption reuses the
+        # *original* saved state instead of re-saving the inflated one,
+        # so back-to-back handovers cannot compound the X2 capacity.
+        pending = self._handover_restore.get(key)
+        if pending is None:
+            epoch = 1
+            base_capacity = ue.dl_buffer.capacity_bytes
+            base_layer = ue.dl_buffer.drop_layer
+        else:
+            epoch = pending[0] + 1
+            base_capacity = pending[1]
+            base_layer = pending[2]
         buffered = ue.dl_buffer.drain()
-        saved_capacity: int | None = None
         if x2_forwarding:
+            # While the break lasts, X2 queues arriving traffic in the
+            # forwarding pipe in addition to the target's own buffer —
+            # raise the cap *before* re-queueing so the packets X2 is
+            # meant to preserve can never tail-drop out of it.
+            ue.dl_buffer.capacity_bytes = base_capacity * 4
+            ue.dl_buffer.drop_layer = base_layer
             for packet in buffered:
                 ue.dl_buffer.push(packet)
-            # While the break lasts, X2 queues arriving traffic in the
-            # forwarding pipe in addition to the target's own buffer.
-            saved_capacity = ue.dl_buffer.capacity_bytes
-            ue.dl_buffer.capacity_bytes *= 4
         else:
             for packet in buffered:
                 packet.mark_dropped("link-mobility")
+            ue.dl_buffer.capacity_bytes = base_capacity
             ue.dl_buffer.drop_layer = "link-mobility"
         target.admit(ue)
         self._serving[key] = target_cell
         self.handovers += 1
         # Control-plane interruption: the radio is down until the target
-        # cell completes the access procedure.
-        if ue.radio.connected:
-            ue.radio.connected = False
-            for callback in ue.radio.on_outage_start:
-                callback()
-        self.loop.schedule(interruption_s, self._complete_handover, ue, saved_capacity)
+        # cell completes the access procedure.  Recorded through the
+        # radio's own bookkeeping so outage_count / total_outage_time /
+        # outage_elapsed() (the RLF-timer input) see the break.
+        forced = ue.radio.force_outage_start() or (
+            pending is not None and pending[3]
+        )
+        self._handover_restore[key] = (epoch, base_capacity, base_layer, forced)
+        self.loop.schedule(interruption_s, self._complete_handover, ue, key, epoch)
 
-    def _complete_handover(self, ue, saved_capacity: int | None) -> None:
-        if saved_capacity is not None:
-            ue.dl_buffer.capacity_bytes = saved_capacity
-        ue.dl_buffer.drop_layer = "phy-intermittent"
-        if ue.radio.connected:
-            return
-        ue.radio.connected = True
-        for callback in ue.radio.on_outage_end:
-            callback()
+    def _complete_handover(self, ue, key: str, epoch: int) -> None:
+        pending = self._handover_restore.get(key)
+        if pending is None or pending[0] != epoch:
+            return  # superseded by a later handover; its completion restores
+        del self._handover_restore[key]
+        _, base_capacity, base_layer, forced = pending
+        ue.dl_buffer.capacity_bytes = base_capacity
+        ue.dl_buffer.drop_layer = base_layer
+        if forced:
+            ue.radio.force_outage_end()
 
     def access(self, imsi: Imsi | str) -> UeAccess:
         """Look up a registered device's access handle."""
@@ -327,10 +359,20 @@ class CellularNetwork:
         return self.ofcs.usage_bytes(flow_id, t1, t2, direction)
 
     def drop_summary(self) -> dict[str, FlowStats]:
-        """Aggregate loss taxonomy across the network (for diagnostics)."""
+        """Aggregate loss taxonomy across the network (for diagnostics).
+
+        Air-congestion losses are summed over *every* cell — fleet shards
+        give each UE its own cell, so reading only cell 0 would silently
+        under-report the taxonomy for any multi-cell topology.
+        """
+        air_dl = FlowStats()
+        air_ul = FlowStats()
+        for enodeb in self.enodebs:
+            air_dl = air_dl.merge(enodeb.downlink_air.dropped)
+            air_ul = air_ul.merge(enodeb.uplink_air.dropped)
         return {
-            "air-dl-congestion": self.enodeb.downlink_air.dropped,
-            "air-ul-congestion": self.enodeb.uplink_air.dropped,
+            "air-dl-congestion": air_dl,
+            "air-ul-congestion": air_ul,
             "gateway-detached": self.spgw.detached_drops,
             "gateway-policed": self.spgw.policed_drops,
         }

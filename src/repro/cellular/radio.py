@@ -167,6 +167,40 @@ class RadioChannel:
             callback()
         self._schedule_outage_start()
 
+    def force_outage_start(self) -> bool:
+        """Begin an externally-imposed outage (e.g. a handover interruption).
+
+        Goes through the channel's own bookkeeping — ``outage_count``,
+        the outage timer and the start callbacks — but draws nothing and
+        schedules nothing, so the natural outage process's RNG stream is
+        untouched.  Returns False (no-op) if already disconnected.
+        """
+        if not self.connected:
+            return False
+        self.connected = False
+        self.outage_count += 1
+        self._outage_started_at = self.loop.now()
+        for callback in self.on_outage_start:
+            callback()
+        return True
+
+    def force_outage_end(self) -> bool:
+        """End a forced outage; counterpart of :meth:`force_outage_start`.
+
+        Accumulates ``total_outage_time`` and fires the end callbacks,
+        without rescheduling the natural outage process.  Returns False
+        (no-op) if already connected.
+        """
+        if self.connected:
+            return False
+        self.connected = True
+        if self._outage_started_at is not None:
+            self.total_outage_time += self.loop.now() - self._outage_started_at
+            self._outage_started_at = None
+        for callback in self.on_outage_end:
+            callback()
+        return True
+
     def outage_elapsed(self) -> float:
         """Seconds the current outage has lasted (0 when connected)."""
         if self.connected or self._outage_started_at is None:

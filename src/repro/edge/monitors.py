@@ -113,8 +113,12 @@ class CounterCheckMonitor:
                 dl_delta = response.downlink_bytes
             if ul_delta < 0:
                 ul_delta = response.uplink_bytes
-        self._dl_reports.add(self.loop.now(), dl_delta)
-        self._ul_reports.add(self.loop.now(), ul_delta)
+        # The response carries its own emission time (the base station
+        # stamps it when serving the check), which on the live loop is the
+        # ingestion time too; using it keeps the monitor replayable from
+        # recorded responses (and by the batched kernel's flush).
+        self._dl_reports.add(response.t, dl_delta)
+        self._ul_reports.add(response.t, ul_delta)
         self._last_dl = response.downlink_bytes
         self._last_ul = response.uplink_bytes
         self.reports_received += 1

@@ -129,6 +129,13 @@ def build_parser() -> argparse.ArgumentParser:
             "schedule (see repro.netsim.faults.FAULT_PROFILES; "
             "default: $REPRO_FAULT_PROFILE or none)",
         )
+        p.add_argument(
+            "--kernel", choices=("auto", "batched", "reference"), default=None,
+            help="simulation kernel: auto batches eligible UEs on the "
+            "flat-state kernel (bit-identical, ~10x faster), reference "
+            "forces the per-packet engine, batched raises if ineligible "
+            "(default: $REPRO_SIM_KERNEL or auto)",
+        )
 
     report = sub.add_parser(
         "report", help="run every experiment and write a markdown report"
@@ -264,6 +271,10 @@ def _configure_engine(args) -> None:
     fault_profile = (
         args.fault_profile or os.environ.get("REPRO_FAULT_PROFILE") or None
     )
+    if args.kernel is not None:
+        # Runners (including worker processes) resolve the kernel from
+        # this env var at simulate time.
+        os.environ["REPRO_SIM_KERNEL"] = args.kernel
     parallel.configure(
         workers=workers, cache_dir=cache_dir, fault_profile=fault_profile
     )

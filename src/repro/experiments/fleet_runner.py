@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from ..cellular import CellularNetwork, ENodeBConfig, NetworkConfig, make_test_imsi
 from ..core import CycleUsage, DataPlan, SchemeOutcome
 from ..edge import CounterCheckMonitor, EdgeDevice, EdgeServer
+from ..kernel import SETTLE_S, build_session_lane, resolve_kernel, run_lane
 from ..netsim import Direction, EventLoop, FaultInjector, StreamRegistry
 from ..obs import MetricsRegistry, MetricsSnapshot
 from ..workloads import FrameWorkload
@@ -245,13 +246,18 @@ class _UeSession:
 class FleetShardRunner:
     """Owns one shard's simulation: N UEs, one network, one metrics registry."""
 
-    def __init__(self, shard) -> None:
+    def __init__(self, shard, kernel: str | None = None) -> None:
         from .fleet import FleetShard  # local import: fleet imports us
 
         assert isinstance(shard, FleetShard)
         if not shard.ues:
             raise ValueError(f"shard {shard.index} has no UEs")
         self.shard = shard
+        # Simulation kernel (see repro.kernel): resolved once per shard;
+        # "auto" batches every eligible session and runs the rest on the
+        # reference engine within the same shard.
+        self.kernel = resolve_kernel(kernel)
+        self.kernel_used: dict[int, str] = {}
         self.loop = EventLoop()
         self.metrics = MetricsRegistry(clock=self.loop.now)
         # Shard-level randomness (radio processes keyed by IMSI, per-cell
@@ -299,9 +305,26 @@ class FleetShardRunner:
         """Run every UE's workload through the shared charging horizon."""
         horizon = self.n_cycles * self.cycle_duration_s
         with self.metrics.span("simulate"):
+            lanes = []
             for session in self.sessions:
-                session.workload.start(until=horizon)
-            self.loop.run_until(horizon + 2.0)  # settle in-flight traffic
+                lane = None
+                if self.kernel != "reference":
+                    lane, reason = build_session_lane(session)
+                    if lane is None and self.kernel == "batched":
+                        raise RuntimeError(
+                            f"batched kernel unavailable for UE {session.ue_index}: {reason}"
+                        )
+                if lane is not None:
+                    self.kernel_used[session.ue_index] = "batched"
+                    lanes.append(lane)
+                else:
+                    self.kernel_used[session.ue_index] = "reference"
+                    session.workload.start(until=horizon)
+            # Lanes never touch the shared loop; any order works.  The
+            # reference sessions' events then settle on the real loop.
+            for lane in lanes:
+                run_lane(lane, horizon, settle=SETTLE_S)
+            self.loop.run_until(horizon + SETTLE_S)  # settle in-flight traffic
             for session in self.sessions:
                 self.network.serving_enodeb(str(session.imsi)).ue(
                     str(session.imsi)

@@ -53,7 +53,9 @@ from .scenarios import ScenarioConfig
 #: every cache key embeds it, so old entries stop matching.
 #: v2: ScenarioConfig.faults + ScenarioResult.fault_trace.
 #: v3: ScenarioResult.metrics (observability snapshot).
-CODEC_VERSION = 3
+#: v4: handover interruptions go through the radio's outage bookkeeping
+#:     (outage gauges change for handover scenarios).
+CODEC_VERSION = 4
 
 
 # ------------------------------------------------------------------ codec

@@ -41,6 +41,7 @@ from ..core import (
     SchemeOutcome,
 )
 from ..edge import CounterCheckMonitor, EdgeDevice, EdgeServer
+from ..kernel import SETTLE_S, build_scenario_lane, resolve_kernel, run_lane
 from ..netsim import Direction, EventLoop, FaultInjector, FaultTrace, StreamRegistry
 from ..obs import MetricsRegistry, MetricsSnapshot
 from ..workloads import FrameWorkload
@@ -152,8 +153,14 @@ class ScenarioResult:
 class ScenarioRunner:
     """Owns one scenario's simulation and its record extraction."""
 
-    def __init__(self, config: ScenarioConfig) -> None:
+    def __init__(self, config: ScenarioConfig, kernel: str | None = None) -> None:
         self.config = config
+        # Simulation kernel: "auto" picks the batched per-UE kernel when
+        # the scenario is eligible (bit-identical results), "reference"
+        # forces the per-packet engine, "batched" raises if ineligible.
+        self.kernel = resolve_kernel(kernel)
+        self.kernel_used: str | None = None
+        self.kernel_fallback_reason: str | None = None
         self.loop = EventLoop()
         self.metrics = MetricsRegistry(clock=self.loop.now)
         self.rng = StreamRegistry(config.seed)
@@ -244,8 +251,21 @@ class ScenarioRunner:
         """Run the workload through every configured charging cycle."""
         horizon = self.config.n_cycles * self.config.cycle_duration_s
         with self.metrics.span("simulate"):
-            self.workload.start(until=horizon)
-            self.loop.run_until(horizon + 2.0)  # settle in-flight traffic
+            lane = None
+            if self.kernel != "reference":
+                lane, reason = build_scenario_lane(self)
+                if lane is None:
+                    if self.kernel == "batched":
+                        raise RuntimeError(f"batched kernel unavailable: {reason}")
+                    self.kernel_fallback_reason = reason
+            if lane is not None:
+                self.kernel_used = "batched"
+                run_lane(lane, horizon, settle=SETTLE_S)
+                self.loop.run_until(horizon + SETTLE_S)  # advance the clock
+            else:
+                self.kernel_used = "reference"
+                self.workload.start(until=horizon)
+                self.loop.run_until(horizon + SETTLE_S)  # settle in-flight traffic
             # Final counter check so the last cycle's RRC record is fresh.
             self.network.enodeb.ue(str(self.device.imsi)).rrc.perform_counter_check()
 
@@ -380,6 +400,6 @@ class ScenarioRunner:
         )
 
 
-def run_scenario(config: ScenarioConfig) -> ScenarioResult:
+def run_scenario(config: ScenarioConfig, kernel: str | None = None) -> ScenarioResult:
     """Convenience wrapper: build, run and return one scenario."""
-    return ScenarioRunner(config).run()
+    return ScenarioRunner(config, kernel=kernel).run()

@@ -1,0 +1,187 @@
+"""Kernel selection: eligibility checks and lane construction.
+
+The batched kernel (:mod:`repro.kernel.engine`) reproduces the reference
+engine bit for bit *only* for the traffic shapes it mirrors.  This module
+is the gatekeeper: :func:`build_scenario_lane` / :func:`build_session_lane`
+inspect a fully-built runner and either return a ready
+:class:`~repro.kernel.engine.LaneSpec` or a human-readable reason why the
+UE must run on the reference engine.  ``kernel="auto"`` falls back
+silently (the runner records the reason); ``kernel="batched"`` raises so
+tests and benchmarks can assert the fast path was actually taken.
+
+Selection is resolved per call from an explicit argument or the
+``REPRO_SIM_KERNEL`` environment variable (``auto`` | ``batched`` |
+``reference``), defaulting to ``auto``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..netsim import Direction
+from .engine import LaneSpec
+
+__all__ = [
+    "KERNELS",
+    "resolve_kernel",
+    "build_scenario_lane",
+    "build_session_lane",
+]
+
+KERNELS = ("auto", "batched", "reference")
+
+#: Above this frame rate the inter-frame gap (1/fps) drops below the
+#: 2.5 ms downlink LAN+backhaul fold window and the kernel's event-order
+#: proof no longer holds.  Every shipped workload profile is ≤ 100 fps.
+MAX_BATCHED_FPS = 200.0
+
+
+def resolve_kernel(explicit: str | None = None) -> str:
+    """Resolve the kernel selection (explicit arg > env var > auto)."""
+    kernel = explicit if explicit is not None else os.environ.get("REPRO_SIM_KERNEL", "auto")
+    if kernel not in KERNELS:
+        raise ValueError(f"unknown simulation kernel {kernel!r}; expected one of {KERNELS}")
+    return kernel
+
+
+def _build_lane(
+    *,
+    config,
+    loop,
+    network,
+    access,
+    device,
+    server,
+    workload,
+    counter_monitor,
+    flow_id,
+    fault_injector,
+) -> tuple[LaneSpec | None, str | None]:
+    """Shared eligibility walk; returns (lane, None) or (None, reason)."""
+    if fault_injector is not None:
+        return None, "fault injection active"
+    if config.outage_eta is not None:
+        return None, "radio outage process enabled"
+    if config.workload.fps > MAX_BATCHED_FPS:
+        return None, f"workload fps {config.workload.fps} above the kernel bound ({MAX_BATCHED_FPS})"
+    if device.on_receive is not None or server.on_receive is not None:
+        return None, "application on_receive hook installed"
+
+    radio = access.radio
+    if radio.profile.outages_enabled:
+        return None, "radio profile has outages enabled"
+    if radio.record_rss:
+        return None, "RSS recording enabled"
+    if not radio.connected:
+        return None, "radio disconnected at simulate start"
+    if len(access._ul_buffer) != 0:
+        return None, "uplink modem buffer is not empty"
+
+    if flow_id in network.pcrf._quotas:
+        return None, "PCRF quota installed for this flow"
+
+    imsi = access.imsi
+    enodeb = network.serving_enodeb(imsi)
+    ue = enodeb.ue(imsi)
+    if not ue.attached:
+        return None, "UE detached at simulate start"
+
+    bearer = network.bearers.by_flow(flow_id)
+    if bearer is None:
+        return None, "no bearer for this flow"
+    if not bearer.active:
+        return None, "bearer inactive at simulate start"
+
+    is_uplink = config.direction is Direction.UPLINK
+    air = enodeb.uplink_air if is_uplink else enodeb.downlink_air
+    # The air sees the workload QCI on uplink (the SPGW stamps the bearer
+    # QCI after the air hop) and the bearer QCI on downlink (stamped
+    # before the eNodeB).
+    air_qci = config.workload.qci if is_uplink else bearer.qci
+    if air._foreground:
+        return None, "air interface already carries foreground traffic"
+
+    # Fresh-state contract: the kernel bulk-installs counter series, so
+    # every flush target must be untouched.
+    if workload.frames_sent != 0:
+        return None, "workload already started"
+    modem = access.modem
+    if modem.ul_sent.total != 0 or modem.dl_received.total != 0:
+        return None, "modem counters not fresh"
+    if bearer.uplink.total != 0 or bearer.downlink.total != 0:
+        return None, "bearer counters not fresh"
+    if ue.rrc.state.name != "IDLE" or ue.rrc.setups != 0:
+        return None, "RRC not idle at simulate start"
+    for monitor in (device.ul_monitor, device.dl_monitor, server.ul_monitor, server.dl_monitor):
+        if monitor.counter._times:
+            return None, f"monitor {monitor.name!r} not fresh"
+
+    lane = LaneSpec(
+        is_uplink=is_uplink,
+        t0=loop.now(),
+        workload=workload,
+        radio=radio,
+        air=air,
+        air_qci=air_qci,
+        rrc=ue.rrc,
+        modem=modem,
+        bearer=bearer,
+        lan_s=network.config.lan_latency_s,
+        backhaul_s=network.config.backhaul_latency_s,
+        device=device,
+        server=server,
+        sla_budget=network.middlebox._budgets.get(flow_id),
+        middlebox=network.middlebox,
+        lan_link=network._lan_dl,
+        backhaul_link=network._backhaul_ul,
+        gateway_metrics=network.spgw.metrics,
+    )
+    return lane, None
+
+
+def build_scenario_lane(runner) -> tuple[LaneSpec | None, str | None]:
+    """Lane for a single-UE :class:`~repro.experiments.runner.ScenarioRunner`."""
+    if runner.handover is not None:
+        return None, "handover process active"
+    lane, reason = _build_lane(
+        config=runner.config,
+        loop=runner.loop,
+        network=runner.network,
+        access=runner.access,
+        device=runner.device,
+        server=runner.server,
+        workload=runner.workload,
+        counter_monitor=runner.counter_monitor,
+        flow_id=runner.flow_id,
+        fault_injector=runner.fault_injector,
+    )
+    if lane is not None and runner.loop.pending() != 0:
+        # Catch-all, checked last so specific reasons surface first: a
+        # single-UE scenario loop must be empty or the lane would race
+        # whatever is scheduled on it.
+        return None, "event loop already has pending events"
+    return lane, reason
+
+
+def build_session_lane(session) -> tuple[LaneSpec | None, str | None]:
+    """Lane for one :class:`~repro.experiments.fleet_runner._UeSession`.
+
+    Fleet eligibility is per-session: each UE owns its cell, so its air
+    interfaces, RRC, modem, bearer and monitors are lane-private; the
+    shared SPGW/link/middlebox totals the lane flushes are plain sums,
+    insensitive to which engine produced each term.  The shard loop may
+    legitimately hold pending events for *ineligible* sessions (their
+    radio outage processes), so there is no global pending check here.
+    """
+    return _build_lane(
+        config=session.config,
+        loop=session.loop,
+        network=session.network,
+        access=session.access,
+        device=session.device,
+        server=session.server,
+        workload=session.workload,
+        counter_monitor=session.counter_monitor,
+        flow_id=session.flow_id,
+        fault_injector=session.fault_injector,
+    )

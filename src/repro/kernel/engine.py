@@ -1,0 +1,948 @@
+"""Batched per-UE simulation kernel: the flat-state lane engine.
+
+The reference engine simulates one Python object per packet: every chunk
+of every frame becomes a :class:`~repro.netsim.packet.Packet` that hops
+through device → modem → air → backhaul → SPGW → server as a chain of
+event-loop callbacks, each allocating closures and touching a dozen
+objects.  At fleet scale that per-packet object hop dominates run time
+(ROADMAP open item 1) without changing any number the charging study
+reads.
+
+This module replaces that hop with a **lane**: one UE's whole simulate()
+phase run over flat per-UE state — plain ints, floats and lists — driven
+by a private event wheel (a heap of tuples) instead of the shared event
+loop.  The hot paths are two long, direction-specialized loops
+(:meth:`_LaneRun._run_ul` / :meth:`_LaneRun._run_dl`) with every
+per-packet value cached in locals; per-packet work shrinks to a few
+dozen interpreter operations while reproducing the reference engine
+**bit for bit**:
+
+* every RNG draw is issued on the *same stream object* in the *same
+  order* (workload sizes/jitter, air drop draws, radio RSS walk + loss
+  draws);
+* every float expression is copied operation-for-operation from the
+  reference code (air drop probability, queue delay, RSS walk, frame
+  sizing), never algebraically simplified — see the inline citations;
+  ``min``/``max`` calls are unrolled into branches, which return the
+  identical float;
+* every counter write lands at the exact same simulated timestamp, so
+  cycle-boundary queries (skewed or not) cannot tell the engines apart;
+* event-wheel sequence numbers mirror the event loop's global schedule
+  order, so same-time events fire in the same relative order (the
+  tie-ordering contract below).
+
+Tie-ordering contract
+---------------------
+
+The reference loop breaks time ties by schedule order (a global seq).
+The wheel assigns its own per-lane seq at push time; pushes happen at
+the same simulated instants as the reference's ``schedule`` calls with
+two deliberate exceptions, both proven safe:
+
+* the downlink LAN hop (+0.5 ms) and SPGW charge are *folded* into frame
+  processing: nothing in the path schedules events with a delay inside
+  (2 ms, 2.5 ms), so no push can land between the fold point and the
+  reference's scheduling instant with a colliding timestamp (frame gaps
+  are ≥ 5 ms — eligibility caps fps at 200 — air delays are ≥ 4 ms,
+  counter checks ≥ 50 ms apart, the LAN hop is 0.5 ms);
+* the uplink backhaul delivery (+2 ms) is folded into the air-delivery
+  event: the reference's delivery event schedules nothing, and nothing
+  that can fire inside the folded window reads the counters it writes
+  (RRC counter checks read only the modem counters, which tick at send
+  time).
+
+RRC release timers are *lazy*: a scalar ``release_at`` checked before
+every pop.  On a time tie the release fires first, matching the
+reference, where the release timer is always armed earlier (at the last
+data activity) than any event scheduled afterwards and so carries the
+smaller seq.  Pending periodic-check events are invalidated by a
+generation counter instead of heap surgery, mirroring timer ``cancel``.
+
+What a lane does NOT support — radio outage processes, fault injection,
+handovers, PCRF quotas, app-level ``on_receive`` hooks — is refused by
+the eligibility check in :mod:`repro.kernel.adapter`, which falls back
+to the reference engine.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from heapq import heappop, heappush
+from math import cos as _cos, exp as _exp, log as _log, sin as _sin, sqrt as _sqrt, tau as _TWOPI
+
+# random.NV_MAGICCONST, same expression so the same float.
+_NV_MAGIC = 4 * _exp(-0.5) / _sqrt(2.0)
+
+from ..cellular.air import AirInterface, RateWindow
+from ..cellular.bearer import Bearer
+from ..cellular.qos import scheduler_priority
+from ..cellular.radio import GOOD_RSS_DBM, RadioChannel
+from ..cellular.rrc import CounterCheckResponse, HardwareModem, RrcConnectionManager, RrcState
+
+__all__ = ["LaneSpec", "run_lane", "SETTLE_S"]
+
+#: Settle window after the charging horizon, matching the reference
+#: ``loop.run_until(horizon + 2.0)`` in both runners.
+SETTLE_S = 2.0
+
+# Wheel event kinds (first tuple field after (time, seq)).
+_K_FRAME = 0  # workload emits one frame
+_K_ARRIVAL = 1  # DL chunk reaches the eNodeB (post LAN + SPGW + backhaul)
+_K_DELIVER = 2  # air transmission completes (post propagation + queue + serialization)
+_K_CHECK = 3  # periodic RRC COUNTER CHECK
+
+_INF = float("inf")
+
+
+class _Cum:
+    """Bulk-built mirror of :class:`~repro.netsim.counters.CumulativeCounter`.
+
+    The hot loops append (time, cumulative) points straight onto
+    ``times``/``cums`` — same coalescing rule as ``CumulativeCounter.add``
+    — and install them into the real counter in one shot at flush time.
+    """
+
+    __slots__ = ("times", "cums", "total")
+
+    def __init__(self) -> None:
+        self.times: list[float] = []
+        self.cums: list[int] = []
+        self.total = 0
+
+    def flush_into(self, counter) -> None:
+        """Install the accumulated points into a fresh CumulativeCounter."""
+        if counter._times:
+            raise RuntimeError("kernel flush target counter is not empty")
+        counter._times = self.times
+        counter._cums = self.cums
+        counter._total = self.total
+
+
+@dataclass
+class LaneSpec:
+    """Everything one lane needs, resolved by the adapter from live objects."""
+
+    is_uplink: bool
+    t0: float  # loop.now() at simulate start
+    # Workload (the live FrameWorkload; its RNG stream is drawn in place).
+    workload: object
+    # Radio channel (live; RSS walk state and RNG stream used in place).
+    radio: RadioChannel
+    # The direction-relevant AirInterface of the serving cell.
+    air: AirInterface
+    #: QCI the air interface sees: the workload QCI on uplink (the SPGW
+    #: stamps the bearer QCI *after* the air), the bearer QCI on downlink
+    #: (stamped *before* the eNodeB).
+    air_qci: int
+    # RRC / modem.
+    rrc: RrcConnectionManager
+    modem: HardwareModem
+    bearer: Bearer
+    # Path latencies (NetworkConfig).
+    lan_s: float
+    backhaul_s: float
+    # Endpoints.
+    device: object
+    server: object
+    #: SLA age budget for this flow at the middlebox (None = none).
+    sla_budget: float | None
+    # Shared components receiving flushed totals.
+    middlebox: object
+    lan_link: object  # netsim.link.Link ("lan-dl"); DL lanes only
+    backhaul_link: object  # netsim.link.Link ("backhaul-ul"); UL lanes only
+    gateway_metrics: object  # spgw.metrics (MetricsRegistry or None)
+
+
+class _LaneRun:
+    """One lane's execution state.  See the module docstring for the contract."""
+
+    __slots__ = (
+        "spec", "until", "end", "heap", "seq",
+        # workload
+        "wl_rng", "fps", "frame_dt", "packet_bytes", "mean_bitrate",
+        "iframe_interval", "iframe_scale", "size_sigma",
+        "frames_sent", "bytes_offered",
+        # air
+        "air_random", "capacity", "cap_usable", "prop", "max_qd",
+        "bg", "my_priority", "split_general", "bg_higher", "bg_same",
+        "win_samples", "win_bits",
+        "off_p", "off_b", "drop_p", "drop_b", "trans_p", "trans_b",
+        # radio
+        "radio_rng", "rss", "rss_base", "rss_noise", "rss_floor",
+        "rss_ceiling", "base_loss", "loss_at_floor",
+        # rrc
+        "connected", "release_at", "timeout", "check_dt", "gen", "sink",
+        "setups", "releases", "checks_sent", "served",
+        # counters
+        "mod_cum", "bearer_cum", "dev_cum", "srv_cum",
+        "charged", "received", "latencies",
+        # path
+        "lan_s", "bk_s", "sla",
+        "link_sent_p", "link_sent_b", "link_del_p", "link_del_b",
+        "mb_pass_p", "mb_pass_b", "mb_drop_p", "mb_drop_b",
+    )
+
+    def __init__(self, spec: LaneSpec, horizon: float, settle: float) -> None:
+        self.spec = spec
+        self.until = horizon
+        self.end = horizon + settle
+        self.heap: list[tuple] = []
+        self.seq = 0
+
+        profile = spec.workload.profile
+        self.wl_rng = spec.workload._rng
+        self.fps = profile.fps
+        self.frame_dt = 1.0 / profile.fps
+        self.packet_bytes = profile.packet_bytes
+        self.mean_bitrate = profile.mean_bitrate_bps
+        self.iframe_interval = profile.iframe_interval
+        self.iframe_scale = profile.iframe_scale
+        self.size_sigma = profile.size_sigma
+        self.frames_sent = 0
+        self.bytes_offered = 0
+
+        air = spec.air
+        self.air_random = air._rng.random
+        self.capacity = air.capacity_bps
+        # AirInterface.drop_probability recomputes capacity * usable_fraction
+        # per call; the product is the same float every time.
+        self.cap_usable = air.capacity_bps * air.usable_fraction
+        self.prop = air.propagation_delay_s
+        self.max_qd = air.max_queue_delay_s
+        self.bg = air._background
+        self.my_priority = scheduler_priority(spec.air_qci)
+        # Background demand-split specialization: with at most one
+        # background class the reference's set-union loop collapses to one
+        # or two single-term bucket sums, which IEEE addition reproduces
+        # exactly (x + 0.0 == x, 0.0 + x == x and a + b == b + a for the
+        # non-negative rates here).  The hot loops then compute
+        # ``higher = bg_higher; same = bg_same + rate``.
+        self.split_general = False
+        self.bg_higher = 0.0
+        self.bg_same = 0.0
+        if len(self.bg) == 1:
+            ((bg_qci, bg_rate),) = self.bg.items()
+            bg_priority = scheduler_priority(bg_qci)
+            if bg_qci == spec.air_qci or bg_priority == self.my_priority:
+                self.bg_same = bg_rate
+            elif bg_priority < self.my_priority:
+                self.bg_higher = bg_rate
+            # else lower priority: invisible to this QCI's buckets
+        elif len(self.bg) > 1:
+            self.split_general = True  # general set-union mirror (_split)
+        self.win_samples: deque[tuple[float, int]] = deque()
+        self.win_bits = 0
+        self.off_p = self.off_b = 0
+        self.drop_p = self.drop_b = 0
+        self.trans_p = self.trans_b = 0
+
+        radio = spec.radio
+        rp = radio.profile
+        self.radio_rng = radio._rng
+        self.rss = radio._current_rss
+        self.rss_base = rp.base_rss_dbm
+        self.rss_noise = rp.rss_noise_std
+        self.rss_floor = rp.rss_floor_dbm
+        self.rss_ceiling = rp.rss_ceiling_dbm
+        self.base_loss = rp.base_loss
+        self.loss_at_floor = rp.loss_at_floor
+
+        rrc = spec.rrc
+        self.connected = False  # rrc.state is IDLE at a fresh start
+        self.release_at = _INF
+        self.timeout = rrc.inactivity_timeout_s
+        self.check_dt = rrc.counter_check_interval_s
+        self.gen = 0
+        self.sink = rrc.report_sink
+        self.setups = 0
+        self.releases = 0
+        self.checks_sent = 0
+        self.served = 0
+
+        self.mod_cum = _Cum()  # modem counter for the lane's direction
+        self.bearer_cum = _Cum()
+        self.dev_cum = _Cum()  # device ul (UL) / dl (DL) monitor
+        self.srv_cum = _Cum()  # server ul (UL) / dl (DL) monitor
+        self.charged = 0
+        self.received = 0
+        self.latencies: list[float] = []
+
+        self.lan_s = spec.lan_s
+        self.bk_s = spec.backhaul_s
+        self.sla = spec.sla_budget
+        self.link_sent_p = self.link_sent_b = 0
+        self.link_del_p = self.link_del_b = 0
+        self.mb_pass_p = self.mb_pass_b = 0
+        self.mb_drop_p = self.mb_drop_b = 0
+
+    # ------------------------------------------------------------------ run
+
+    def run(self) -> None:
+        # FrameWorkload.start: jitter = rng.uniform(0.0, 1.0 / fps),
+        # first frame at loop.now() + jitter.
+        jitter = self.wl_rng.uniform(0.0, 1.0 / self.fps)
+        self.seq += 1
+        heappush(self.heap, (self.spec.t0 + jitter, self.seq, _K_FRAME, 0, 0))
+        if self.spec.is_uplink:
+            self._run_ul()
+        else:
+            self._run_dl()
+        self._flush()
+
+    # ---------------------------------------------------------- cold paths
+
+    def _split(self, rate: float) -> tuple[float, float]:
+        """General mirror of AirInterface._demand_split (≥ 2 bg classes).
+
+        ``rate`` is the foreground window's already-expired rate_bps at
+        the current time.  Same set construction, iteration order and
+        float accumulation order as the reference.
+        """
+        my_priority = self.my_priority
+        air_qci = self.spec.air_qci
+        higher = 0.0
+        same = 0.0
+        for other in set(self.bg) | {air_qci}:
+            load = self.bg.get(other, 0.0) + (rate if other == air_qci else 0.0)
+            priority = scheduler_priority(other)
+            if priority < my_priority:
+                higher += load
+            elif priority == my_priority:
+                same += load
+        return higher, same
+
+    def _counter_check(self, t: float, ul_total: int, dl_total: int) -> None:
+        # rrc.perform_counter_check + modem.counter_check at time t.
+        self.checks_sent += 1
+        self.served += 1
+        if self.sink is not None:
+            self.sink(CounterCheckResponse(t=t, uplink_bytes=ul_total, downlink_bytes=dl_total))
+
+    # --------------------------------------------------------- uplink loop
+
+    def _run_ul(self) -> None:
+        # Hot state cached in locals; synced back to attributes at the end.
+        heap = self.heap
+        pop, push = heappop, heappush
+        end = self.end
+        until = self.until
+        seq = self.seq
+
+        frame_dt = self.frame_dt
+        packet_bytes = self.packet_bytes
+        fps = self.fps
+        mean_bitrate = self.mean_bitrate
+        iframe_n = self.iframe_interval
+        iframe_scale = self.iframe_scale
+        size_sigma = self.size_sigma
+        wl_random = self.wl_rng.random
+        frames_sent = self.frames_sent
+        bytes_offered = self.bytes_offered
+
+        air_random = self.air_random
+        capacity = self.capacity
+        cap_usable = self.cap_usable
+        prop = self.prop
+        max_qd = self.max_qd
+        split_general = self.split_general
+        bg_higher = self.bg_higher
+        bg_same = self.bg_same
+        win_samples = self.win_samples
+        win_bits = self.win_bits
+        off_p = off_b = drop_p = drop_b = trans_p = trans_b = 0
+
+        radio_rng = self.radio_rng
+        radio_random = radio_rng.random
+        # random.gauss is inlined in the deliver branch (same algorithm,
+        # same draws); its carry-over cache rides along as a local.
+        gauss_next = radio_rng.gauss_next
+        rss = self.rss
+        rss_base = self.rss_base
+        rss_noise = self.rss_noise
+        rss_floor = self.rss_floor
+        rss_ceiling = self.rss_ceiling
+        base_loss = self.base_loss
+        loss_at_floor = self.loss_at_floor
+
+        connected = self.connected
+        release_at = self.release_at
+        timeout = self.timeout
+        check_dt = self.check_dt
+        gen = self.gen
+
+        dev = self.dev_cum  # device.ul_monitor
+        dev_times, dev_cums, dev_total = dev.times, dev.cums, dev.total
+        mod = self.mod_cum  # modem.ul_sent
+        mod_times, mod_cums, mod_total = mod.times, mod.cums, mod.total
+        bearer = self.bearer_cum
+        b_times, b_cums, b_total = bearer.times, bearer.cums, bearer.total
+        srv = self.srv_cum  # server.ul_monitor
+        s_times, s_cums, s_total = srv.times, srv.cums, srv.total
+        latencies = self.latencies
+        received = 0
+        link_p = link_b = 0  # backhaul sent == delivered (pure delay, no loss)
+        bk_s = self.bk_s
+
+        while heap:
+            te, _, kind, a, b = pop(heap)
+            if te > end:
+                break  # reference run_until(end) leaves later events undispatched
+            # Lazy RRC release: the release timer was armed at the last
+            # data activity, so on a time tie it holds the smaller loop
+            # seq and fires before this event — process it first.
+            if connected and release_at <= te:
+                self._counter_check(release_at, mod_total, 0)
+                self.releases += 1
+                connected = False
+                gen += 1
+                release_at = _INF
+
+            if kind == _K_DELIVER:
+                # AirInterface._transmit -> ENodeB._air_deliver_ul.
+                trans_p += 1
+                trans_b += a
+                # RadioChannel.survives_air: _walk_rss (gauss) then
+                # random() >= loss_probability(current rss).
+                z = gauss_next
+                gauss_next = None
+                if z is None:
+                    x2pi = radio_random() * _TWOPI
+                    g2rad = _sqrt(-2.0 * _log(1.0 - radio_random()))
+                    z = _cos(x2pi) * g2rad
+                    gauss_next = _sin(x2pi) * g2rad
+                step = 0.0 + z * rss_noise  # gauss: mu + z * sigma, mu = 0.0
+                drift = 0.25 * (rss_base - rss)
+                rss = rss + drift + step
+                if rss < rss_floor:
+                    rss = rss_floor
+                elif rss > rss_ceiling:
+                    rss = rss_ceiling
+                if rss >= GOOD_RSS_DBM:
+                    loss = base_loss
+                else:
+                    span = GOOD_RSS_DBM - rss_floor
+                    frac = (GOOD_RSS_DBM - rss) / span
+                    if frac > 1.0:
+                        frac = 1.0
+                    loss = base_loss + frac * loss_at_floor
+                    if loss > 1.0:
+                        loss = 1.0
+                if radio_random() >= loss:
+                    # Backhaul link (pure delay) folded: its delivery event
+                    # schedules nothing and nothing fired in (te, te + bk_s]
+                    # reads the counters written here.
+                    link_p += 1
+                    link_b += a
+                    tg = te + bk_s
+                    # Spgw.receive_uplink: bearer charge + server sink.
+                    b_total += a
+                    if b_times and b_times[-1] == tg:
+                        b_cums[-1] = b_total
+                    else:
+                        b_times.append(tg)
+                        b_cums.append(b_total)
+                    s_total += a  # server.ul_monitor.observe
+                    if s_times and s_times[-1] == tg:
+                        s_cums[-1] = s_total
+                    else:
+                        s_times.append(tg)
+                        s_cums.append(s_total)
+                    received += 1
+                    latencies.append(tg - b)  # b = packet created_at
+                # else: phy-rss loss
+
+            elif kind == _K_FRAME:
+                # FrameWorkload._emit_frame with sender = EdgeDevice.send.
+                if te > until:
+                    continue
+                # _frame_size, op for op (incl. the property recompute and
+                # the inlined lognormvariate = exp(normalvariate)).
+                mean = mean_bitrate / 8.0 / fps
+                if iframe_n > 0:
+                    p_frame = mean * iframe_n / (iframe_n - 1 + iframe_scale)
+                    mean = p_frame * (iframe_scale if frames_sent % iframe_n == 0 else 1.0)
+                while True:
+                    u1 = wl_random()
+                    u2 = 1.0 - wl_random()
+                    z = _NV_MAGIC * (u1 - 0.5) / u2
+                    if z * z / 4.0 <= -_log(u2):
+                        break
+                size = _exp(0.0 + z * size_sigma) * mean
+                remaining = int(size)
+                if remaining < 64:
+                    remaining = 64
+                frames_sent += 1
+                # All chunks of one frame land at the same te inside one
+                # handler, so the per-chunk monitor/modem adds coalesce
+                # into a single cumulative point — nothing reads the
+                # counters between chunks.
+                dev_total += remaining  # device.ul_monitor.observe
+                if dev_times and dev_times[-1] == te:
+                    dev_cums[-1] = dev_total
+                else:
+                    dev_times.append(te)
+                    dev_cums.append(dev_total)
+                mod_total += remaining  # access.send_uplink -> modem.count_uplink
+                if mod_times and mod_times[-1] == te:
+                    mod_cums[-1] = mod_total
+                else:
+                    mod_times.append(te)
+                    mod_cums.append(mod_total)
+                bytes_offered += remaining
+                while remaining > 0:
+                    chunk = remaining if remaining < packet_bytes else packet_bytes
+                    # enodeb.receive_uplink -> rrc.on_data_activity:
+                    # _setup (arming the periodic check) then release rearm.
+                    if not connected:
+                        connected = True
+                        self.setups += 1
+                        if check_dt is not None:
+                            seq += 1
+                            push(heap, (te + check_dt, seq, _K_CHECK, gen, 0))
+                    release_at = te + timeout
+                    # uplink_air.submit — RateWindow.observe(te, chunk):
+                    bits = chunk * 8
+                    win_samples.append((te, bits))
+                    win_bits += bits
+                    cutoff = te - 1.0  # window_s = 1.0 (reference default)
+                    while win_samples and win_samples[0][0] <= cutoff:
+                        win_bits -= win_samples.popleft()[1]
+                    off_p += 1
+                    off_b += chunk
+                    # submit draws rng.random() before drop_probability.
+                    u = air_random()
+                    if split_general:
+                        higher, same = self._split(win_bits / 1.0)
+                    else:
+                        higher = bg_higher
+                        same = bg_same + win_bits / 1.0  # RateWindow.rate_bps
+                    # drop_probability:
+                    usable = cap_usable - higher
+                    if usable < 0.0:
+                        usable = 0.0
+                    if same <= usable or same <= 0:
+                        p = 0.0
+                    elif usable <= 0:
+                        p = 1.0
+                    else:
+                        p = 1.0 - usable / same
+                    if u < p:
+                        drop_p += 1
+                        drop_b += chunk
+                    else:
+                        # queue_delay recomputes _demand_split at the same
+                        # instant with unchanged state — reuse (higher, same).
+                        rho = (higher + same) / capacity
+                        if rho > 0.99:
+                            rho = 0.99
+                        if rho < 0.5:
+                            qd = 0.0
+                        else:
+                            qd = 0.002 * rho / (1.0 - rho)
+                            if qd > max_qd:
+                                qd = max_qd
+                        delay = prop + qd + chunk * 8.0 / capacity
+                        seq += 1
+                        push(heap, (te + delay, seq, _K_DELIVER, chunk, te))
+                    remaining -= chunk
+                seq += 1
+                push(heap, (te + frame_dt, seq, _K_FRAME, 0, 0))
+
+            else:  # _K_CHECK (stale generations are cancelled timers)
+                if a == gen and connected:
+                    self._counter_check(te, mod_total, 0)
+                    seq += 1
+                    push(heap, (te + check_dt, seq, _K_CHECK, gen, 0))
+
+        # A release armed before the horizon's edge still fires inside the
+        # settle window even with no later event to trigger the lazy check.
+        if connected and release_at <= end:
+            self._counter_check(release_at, mod_total, 0)
+            self.releases += 1
+            connected = False
+            gen += 1
+            release_at = _INF
+
+        self.seq = seq
+        self.frames_sent = frames_sent
+        self.bytes_offered = bytes_offered
+        self.win_bits = win_bits
+        self.off_p, self.off_b = off_p, off_b
+        self.drop_p, self.drop_b = drop_p, drop_b
+        self.trans_p, self.trans_b = trans_p, trans_b
+        self.rss = rss
+        radio_rng.gauss_next = gauss_next
+        self.connected = connected
+        self.release_at = release_at
+        self.gen = gen
+        dev.total = dev_total
+        mod.total = mod_total
+        bearer.total = b_total
+        srv.total = s_total
+        self.received = received
+        self.charged = b_total
+        self.link_sent_p = self.link_del_p = link_p
+        self.link_sent_b = self.link_del_b = link_b
+
+    # ------------------------------------------------------- downlink loop
+
+    def _run_dl(self) -> None:
+        heap = self.heap
+        pop, push = heappop, heappush
+        end = self.end
+        until = self.until
+        seq = self.seq
+
+        frame_dt = self.frame_dt
+        packet_bytes = self.packet_bytes
+        fps = self.fps
+        mean_bitrate = self.mean_bitrate
+        iframe_n = self.iframe_interval
+        iframe_scale = self.iframe_scale
+        size_sigma = self.size_sigma
+        wl_random = self.wl_rng.random
+        frames_sent = self.frames_sent
+        bytes_offered = self.bytes_offered
+
+        air_random = self.air_random
+        capacity = self.capacity
+        cap_usable = self.cap_usable
+        prop = self.prop
+        max_qd = self.max_qd
+        split_general = self.split_general
+        bg_higher = self.bg_higher
+        bg_same = self.bg_same
+        win_samples = self.win_samples
+        win_bits = self.win_bits
+        off_p = off_b = drop_p = drop_b = trans_p = trans_b = 0
+
+        radio_rng = self.radio_rng
+        radio_random = radio_rng.random
+        # random.gauss is inlined in the deliver branch (same algorithm,
+        # same draws); its carry-over cache rides along as a local.
+        gauss_next = radio_rng.gauss_next
+        rss = self.rss
+        rss_base = self.rss_base
+        rss_noise = self.rss_noise
+        rss_floor = self.rss_floor
+        rss_ceiling = self.rss_ceiling
+        base_loss = self.base_loss
+        loss_at_floor = self.loss_at_floor
+
+        connected = self.connected
+        release_at = self.release_at
+        timeout = self.timeout
+        check_dt = self.check_dt
+        gen = self.gen
+
+        dev = self.dev_cum  # device.dl_monitor
+        dev_times, dev_cums, dev_total = dev.times, dev.cums, dev.total
+        mod = self.mod_cum  # modem.dl_received
+        mod_times, mod_cums, mod_total = mod.times, mod.cums, mod.total
+        bearer = self.bearer_cum
+        b_times, b_cums, b_total = bearer.times, bearer.cums, bearer.total
+        srv = self.srv_cum  # server.dl_monitor
+        s_times, s_cums, s_total = srv.times, srv.cums, srv.total
+        lan_s = self.lan_s
+        bk_s = self.bk_s
+        sla = self.sla
+        link_p = link_b = 0  # LAN sent == delivered (pure delay, no loss)
+        mb_pass_p = mb_pass_b = mb_drop_p = mb_drop_b = 0
+
+        while heap:
+            te, _, kind, a, b = pop(heap)
+            if te > end:
+                break
+            if connected and release_at <= te:
+                self._counter_check(release_at, 0, mod_total)
+                self.releases += 1
+                connected = False
+                gen += 1
+                release_at = _INF
+
+            if kind == _K_DELIVER:
+                # AirInterface._transmit -> ENodeB._air_deliver_dl (the UE
+                # stays attached and connected: no outages, no handovers).
+                trans_p += 1
+                trans_b += a
+                z = gauss_next
+                gauss_next = None
+                if z is None:
+                    x2pi = radio_random() * _TWOPI
+                    g2rad = _sqrt(-2.0 * _log(1.0 - radio_random()))
+                    z = _cos(x2pi) * g2rad
+                    gauss_next = _sin(x2pi) * g2rad
+                step = 0.0 + z * rss_noise  # gauss: mu + z * sigma, mu = 0.0
+                drift = 0.25 * (rss_base - rss)
+                rss = rss + drift + step
+                if rss < rss_floor:
+                    rss = rss_floor
+                elif rss > rss_ceiling:
+                    rss = rss_ceiling
+                if rss >= GOOD_RSS_DBM:
+                    loss = base_loss
+                else:
+                    span = GOOD_RSS_DBM - rss_floor
+                    frac = (GOOD_RSS_DBM - rss) / span
+                    if frac > 1.0:
+                        frac = 1.0
+                    loss = base_loss + frac * loss_at_floor
+                    if loss > 1.0:
+                        loss = 1.0
+                if radio_random() >= loss:
+                    mod_total += a  # modem.count_downlink
+                    if mod_times and mod_times[-1] == te:
+                        mod_cums[-1] = mod_total
+                    else:
+                        mod_times.append(te)
+                        mod_cums.append(mod_total)
+                    dev_total += a  # device.deliver -> dl_monitor.observe
+                    if dev_times and dev_times[-1] == te:
+                        dev_cums[-1] = dev_total
+                    else:
+                        dev_times.append(te)
+                        dev_cums.append(dev_total)
+                # else: phy-rss loss
+
+            elif kind == _K_ARRIVAL:
+                # One frame's chunks, delivered back to back as in the
+                # reference.  Each is _forward_backhaul_dl's deliver ->
+                # ENodeB.receive_downlink: rrc.on_data_activity then
+                # downlink_air.submit.
+                for chunk in a:
+                    if not connected:
+                        connected = True
+                        self.setups += 1
+                        if check_dt is not None:
+                            seq += 1
+                            push(heap, (te + check_dt, seq, _K_CHECK, gen, 0))
+                    release_at = te + timeout
+                    bits = chunk * 8
+                    win_samples.append((te, bits))
+                    win_bits += bits
+                    cutoff = te - 1.0
+                    while win_samples and win_samples[0][0] <= cutoff:
+                        win_bits -= win_samples.popleft()[1]
+                    off_p += 1
+                    off_b += chunk
+                    u = air_random()
+                    if split_general:
+                        higher, same = self._split(win_bits / 1.0)
+                    else:
+                        higher = bg_higher
+                        same = bg_same + win_bits / 1.0
+                    usable = cap_usable - higher
+                    if usable < 0.0:
+                        usable = 0.0
+                    if same <= usable or same <= 0:
+                        p = 0.0
+                    elif usable <= 0:
+                        p = 1.0
+                    else:
+                        p = 1.0 - usable / same
+                    if u < p:
+                        drop_p += 1
+                        drop_b += chunk
+                    else:
+                        rho = (higher + same) / capacity
+                        if rho > 0.99:
+                            rho = 0.99
+                        if rho < 0.5:
+                            qd = 0.0
+                        else:
+                            qd = 0.002 * rho / (1.0 - rho)
+                            if qd > max_qd:
+                                qd = max_qd
+                        delay = prop + qd + chunk * 8.0 / capacity
+                        seq += 1
+                        push(heap, (te + delay, seq, _K_DELIVER, chunk, 0))
+
+            elif kind == _K_FRAME:
+                # FrameWorkload._emit_frame with sender = EdgeServer.send,
+                # folding the LAN hop (te + lan_s), SPGW charge and
+                # middlebox SLA check.  The eNodeB arrival stays a real
+                # wheel event: a counter check or release may fire between
+                # the charge and the arrival.
+                if te > until:
+                    continue
+                mean = mean_bitrate / 8.0 / fps
+                if iframe_n > 0:
+                    p_frame = mean * iframe_n / (iframe_n - 1 + iframe_scale)
+                    mean = p_frame * (iframe_scale if frames_sent % iframe_n == 0 else 1.0)
+                while True:
+                    u1 = wl_random()
+                    u2 = 1.0 - wl_random()
+                    z = _NV_MAGIC * (u1 - 0.5) / u2
+                    if z * z / 4.0 <= -_log(u2):
+                        break
+                size = _exp(0.0 + z * size_sigma) * mean
+                remaining = int(size)
+                if remaining < 64:
+                    remaining = 64
+                frames_sent += 1
+                tg = te + lan_s  # the LAN link's schedule_at(depart + latency)
+                # The reference fragments full packet_bytes chunks first,
+                # then the remainder; every chunk of the frame takes the
+                # same per-chunk writes at the same timestamps (server
+                # monitor at te, LAN + charge at tg, SLA verdict tg - te),
+                # so the whole frame folds into per-frame arithmetic.
+                n_full, last = divmod(remaining, packet_bytes)
+                chunks = (packet_bytes,) * n_full + ((last,) if last else ())
+                s_total += remaining  # server.dl_monitor.observe
+                if s_times and s_times[-1] == te:
+                    s_cums[-1] = s_total
+                else:
+                    s_times.append(te)
+                    s_cums.append(s_total)
+                link_p += len(chunks)  # lan link send() + _deliver() at tg
+                link_b += remaining
+                b_total += remaining  # spgw.send_downlink charge at tg
+                if b_times and b_times[-1] == tg:
+                    b_cums[-1] = b_total
+                else:
+                    b_times.append(tg)
+                    b_cums.append(b_total)
+                bytes_offered += remaining
+                # The reference schedules the next frame before the
+                # backhaul arrivals exist (the LAN delivery at tg schedules
+                # them), so the frame must carry the smaller seq.
+                seq += 1
+                push(heap, (te + frame_dt, seq, _K_FRAME, 0, 0))
+                # SlaMiddlebox.process: loop.now() - created_at > budget
+                # (charged, *then* dropped — that asymmetry is the point).
+                if sla is not None and tg - te > sla:
+                    mb_drop_p += len(chunks)
+                    mb_drop_b += remaining
+                else:
+                    mb_pass_p += len(chunks)
+                    mb_pass_b += remaining
+                    # One frame's arrivals all land at the same t_arr with
+                    # consecutive seqs in the reference, so nothing can
+                    # interleave between them — batch them into one event.
+                    t_arr = tg + bk_s  # _forward_backhaul_dl: schedule(+bk) at tg
+                    seq += 1
+                    push(heap, (t_arr, seq, _K_ARRIVAL, chunks, 0))
+
+            else:  # _K_CHECK
+                if a == gen and connected:
+                    self._counter_check(te, 0, mod_total)
+                    seq += 1
+                    push(heap, (te + check_dt, seq, _K_CHECK, gen, 0))
+
+        if connected and release_at <= end:
+            self._counter_check(release_at, 0, mod_total)
+            self.releases += 1
+            connected = False
+            gen += 1
+            release_at = _INF
+
+        self.seq = seq
+        self.frames_sent = frames_sent
+        self.bytes_offered = bytes_offered
+        self.win_bits = win_bits
+        self.off_p, self.off_b = off_p, off_b
+        self.drop_p, self.drop_b = drop_p, drop_b
+        self.trans_p, self.trans_b = trans_p, trans_b
+        self.rss = rss
+        radio_rng.gauss_next = gauss_next
+        self.connected = connected
+        self.release_at = release_at
+        self.gen = gen
+        dev.total = dev_total
+        mod.total = mod_total
+        bearer.total = b_total
+        srv.total = s_total
+        self.charged = b_total
+        self.link_sent_p = self.link_del_p = link_p
+        self.link_sent_b = self.link_del_b = link_b
+        self.mb_pass_p, self.mb_pass_b = mb_pass_p, mb_pass_b
+        self.mb_drop_p, self.mb_drop_b = mb_drop_p, mb_drop_b
+
+    # ---------------------------------------------------------------- flush
+
+    def _flush(self) -> None:
+        """Install the lane's flat state into the live component objects."""
+        spec = self.spec
+        wl = spec.workload
+        wl.frames_sent += self.frames_sent
+        wl.bytes_offered += self.bytes_offered
+        wl._until = self.until
+
+        spec.radio._current_rss = self.rss
+
+        air = spec.air
+        if self.off_p:
+            window = RateWindow()
+            window._samples.extend(self.win_samples)
+            window._bits = self.win_bits
+            air._foreground[spec.air_qci] = window
+        air.offered.packets += self.off_p
+        air.offered.bytes += self.off_b
+        air.dropped.packets += self.drop_p
+        air.dropped.bytes += self.drop_b
+        air.transmitted.packets += self.trans_p
+        air.transmitted.bytes += self.trans_b
+
+        modem = spec.modem
+        self.mod_cum.flush_into(modem.ul_sent if spec.is_uplink else modem.dl_received)
+        modem.counter_checks_served += self.served
+
+        rrc = spec.rrc
+        rrc.state = RrcState.CONNECTED if self.connected else RrcState.IDLE
+        rrc.setups += self.setups
+        rrc.releases += self.releases
+        rrc.counter_checks_sent += self.checks_sent
+
+        bearer = spec.bearer
+        self.bearer_cum.flush_into(bearer.uplink if spec.is_uplink else bearer.downlink)
+        if self.bearer_cum.times:  # Bearer._touch stamps
+            if bearer.first_usage is None:
+                bearer.first_usage = self.bearer_cum.times[0]
+            bearer.last_usage = self.bearer_cum.times[-1]
+
+        device = spec.device
+        server = spec.server
+        if spec.is_uplink:
+            self.dev_cum.flush_into(device.ul_monitor.counter)
+            self.srv_cum.flush_into(server.ul_monitor.counter)
+            server.stats.received += self.received
+            server.stats.latencies.extend(self.latencies)
+            link = spec.backhaul_link
+        else:
+            self.srv_cum.flush_into(server.dl_monitor.counter)
+            self.dev_cum.flush_into(device.dl_monitor.counter)
+            link = spec.lan_link
+        link.sent.packets += self.link_sent_p
+        link.sent.bytes += self.link_sent_b
+        link.delivered.packets += self.link_del_p
+        link.delivered.bytes += self.link_del_b
+        if link._m_sent is not None:
+            link._m_sent.inc(self.link_sent_b)
+            link._m_delivered.inc(self.link_del_b)
+
+        middlebox = spec.middlebox
+        middlebox.passed.packets += self.mb_pass_p
+        middlebox.passed.bytes += self.mb_pass_b
+        middlebox.dropped.packets += self.mb_drop_p
+        middlebox.dropped.bytes += self.mb_drop_b
+
+        # The gateway creates its charged counter lazily on the first
+        # charged packet; mirror that so empty runs snapshot identically.
+        if self.charged and spec.gateway_metrics is not None:
+            direction = "UL" if spec.is_uplink else "DL"
+            spec.gateway_metrics.counter(
+                "cellular.gateway.charged_bytes", direction=direction
+            ).inc(self.charged)
+
+
+def run_lane(spec: LaneSpec, horizon: float, settle: float = SETTLE_S) -> None:
+    """Run one eligible UE's simulate() phase on the batched kernel.
+
+    Replays the exact draw order, timestamps and same-time event order of
+    the reference engine (see the module docstring), writing results back
+    into the live component objects.  The caller advances the shared loop
+    clock afterwards (``loop.run_until(horizon + settle)``), exactly as
+    the reference path does.
+    """
+    _LaneRun(spec, horizon, settle).run()

@@ -1,0 +1,169 @@
+"""Regression tests for multi-cell accounting and handover bugs.
+
+Each test here fails on the pre-fix code:
+
+* ``drop_summary`` read only cell 0's air interfaces;
+* X2 handover re-pushed the drained buffer *before* raising the cap and
+  a second handover mid-interruption saved the inflated capacity;
+* ``handover()`` flipped ``radio.connected`` directly, bypassing the
+  radio's outage bookkeeping (and spuriously reconnecting radios it
+  never disconnected);
+* ``attach_device`` validated the cell index and duplicate IMSIs only
+  after mutating HSS/MME state.
+"""
+
+import pytest
+
+from repro.cellular import (
+    CellularNetwork,
+    HandoverConfig,
+    HandoverProcess,
+    NetworkConfig,
+    RadioProfile,
+    make_test_imsi,
+)
+from repro.netsim import Direction, EventLoop, Packet, StreamRegistry
+
+
+def build(seed=1, n_cells=2):
+    loop = EventLoop()
+    net = CellularNetwork(loop, StreamRegistry(seed), NetworkConfig(n_cells=n_cells))
+    imsi = make_test_imsi(1)
+    delivered = []
+    access = net.attach_device(imsi, RadioProfile(), deliver=delivered.append, cell=0)
+    net.create_bearer(imsi, "app")
+    return loop, net, access, delivered
+
+
+def dl(size=1000):
+    return Packet(size=size, flow_id="app", direction=Direction.DOWNLINK)
+
+
+class TestMultiCellDropSummary:
+    def test_aggregates_across_cells(self):
+        loop, net, access, _ = build(n_cells=2)
+        imsi2 = make_test_imsi(2)
+        net.attach_device(imsi2, RadioProfile(), cell=1)
+        net.create_bearer(imsi2, "app2")
+        # Saturate both cells' downlink air so congestion drops appear in
+        # each; the summary must count both, not just cell 0's.
+        net.set_background_load(1e12, 0.0)
+        for i in range(200):
+            loop.schedule_at(0.01 + i * 0.01, net.send_downlink, dl())
+            loop.schedule_at(
+                0.01 + i * 0.01,
+                net.send_downlink,
+                Packet(size=1000, flow_id="app2", direction=Direction.DOWNLINK),
+            )
+        loop.run_until(5.0)
+        per_cell = [enb.downlink_air.dropped.packets for enb in net.enodebs]
+        assert all(p > 0 for p in per_cell), "both cells should be dropping"
+        summary = net.drop_summary()
+        assert summary["air-dl-congestion"].packets == sum(per_cell)
+        assert summary["air-ul-congestion"].packets == sum(
+            enb.uplink_air.dropped.packets for enb in net.enodebs
+        )
+
+
+class TestHandoverOutageAccounting:
+    def test_interruption_recorded_as_outage(self):
+        loop, net, access, _ = build()
+        loop.run_until(0.5)
+        net.handover(access.imsi, 1, interruption_s=0.05)
+        # Mid-interruption the radio reports the ongoing break.
+        elapsed = []
+        loop.schedule_at(0.52, lambda: elapsed.append(access.radio.outage_elapsed()))
+        loop.run_until(1.0)
+        assert access.radio.outage_count == 1
+        assert access.radio.total_outage_time == pytest.approx(0.05)
+        assert elapsed[0] == pytest.approx(0.02)
+        assert access.radio.measured_disconnectivity() > 0
+        assert access.radio.connected
+
+    def test_mobility_process_uses_radio_bookkeeping(self):
+        loop, net, access, _ = build()
+        ue = net.enodeb.ue(str(access.imsi))
+        process = HandoverProcess(
+            loop, net.rng, ue,
+            HandoverConfig(interval_s=2.0, interruption_s=0.08, interval_jitter=0.0),
+        )
+        process.start()
+        loop.run_until(11.0)
+        assert process.handovers > 0
+        assert access.radio.outage_count == process.handovers
+        assert access.radio.total_outage_time == pytest.approx(
+            0.08 * process.handovers
+        )
+
+    def test_handover_does_not_reconnect_a_down_radio(self):
+        """Completion must not flip a radio the handover never forced down."""
+        loop, net, access, _ = build()
+        access.radio.connected = False  # down for unrelated reasons
+        net.handover(access.imsi, 1, interruption_s=0.05)
+        loop.run_until(1.0)
+        assert not access.radio.connected
+        assert access.radio.outage_count == 0
+
+
+class TestBackToBackHandovers:
+    def test_second_handover_mid_interruption_does_not_compound_capacity(self):
+        loop, net, access, delivered = build(n_cells=3)
+        ue = net.enodebs[0].ue(str(access.imsi))
+        base_capacity = ue.dl_buffer.capacity_bytes
+        net.handover(access.imsi, 1, interruption_s=0.1, x2_forwarding=True)
+        loop.run_until(0.05)
+        net.handover(access.imsi, 2, interruption_s=0.1, x2_forwarding=True)
+        # A probe sent mid-break must buffer until the *second* handover
+        # completes at t=0.15 — the first (superseded) completion at
+        # t=0.1 must not reconnect the radio early.
+        loop.run_until(0.12)
+        net.send_downlink(dl())
+        loop.run_until(0.13)
+        assert delivered == []
+        loop.run_until(1.0)
+        assert len(delivered) == 1
+        assert ue.dl_buffer.capacity_bytes == base_capacity
+        assert ue.dl_buffer.drop_layer == "phy-intermittent"
+        assert access.radio.connected
+        assert access.radio.outage_count == 1  # one continuous forced break
+        assert access.radio.total_outage_time == pytest.approx(0.15)
+
+    def test_x2_preserves_backlog_exceeding_base_capacity(self):
+        """Capacity must rise before the re-push, or a backlog inherited
+        from an earlier inflated break tail-drops out of the X2 pipe."""
+        loop, net, access, delivered = build(n_cells=3)
+        access.radio.connected = False  # buffer everything at the cell
+        ue = net.enodebs[0].ue(str(access.imsi))
+        base_capacity = ue.dl_buffer.capacity_bytes
+        net.handover(access.imsi, 1, interruption_s=0.1, x2_forwarding=True)
+        # During the inflated break, queue ~2x the base capacity.
+        packets = [dl() for _ in range(2 * base_capacity // 1000)]
+        for packet in packets:
+            net.send_downlink(packet)
+        loop.run_until(0.5)  # first handover completes; radio still down
+        assert all(p.dropped_at is None for p in packets)
+        net.handover(access.imsi, 2, interruption_s=0.1, x2_forwarding=True)
+        assert all(p.dropped_at is None for p in packets)
+        access.radio.connected = True
+        for callback in access.radio.on_outage_end:
+            callback()
+        loop.run_until(2.0)
+        assert len(delivered) == len(packets)
+
+
+class TestAttachValidation:
+    def test_out_of_range_cell_rejected_cleanly(self):
+        loop, net, *_ = build(n_cells=2)
+        imsi = make_test_imsi(9)
+        with pytest.raises(ValueError, match="no such cell"):
+            net.attach_device(imsi, RadioProfile(), cell=5)
+        # No half-provisioned subscriber left behind: a valid attach works.
+        assert not net.hss.is_provisioned(str(imsi))
+        access = net.attach_device(imsi, RadioProfile(), cell=1)
+        assert access.attached
+
+    def test_duplicate_imsi_rejected_without_clobbering_hss(self):
+        loop, net, access, _ = build()
+        with pytest.raises(ValueError, match="already attached"):
+            net.attach_device(access.imsi, RadioProfile(), device_name="impostor")
+        assert net.hss.lookup(str(access.imsi)).device_name == "device"

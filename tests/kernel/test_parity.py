@@ -1,0 +1,230 @@
+"""Batched-kernel parity: bit-exact equivalence with the reference engine.
+
+The batched kernel's whole contract is that nothing downstream can tell
+it ran: same usage records, same negotiation outcomes, same metrics
+snapshot, and — the strongest form — the same raw counter point series,
+RNG-dependent internals and latency lists.  These tests pin that
+contract over a config matrix that exercises every hot path the kernel
+mirrors: all four shipped workloads, congestion (background demand
+splits), SLA middlebox drops, and sparse traffic that cycles the RRC
+state machine through release/re-setup.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.fleet import FleetConfig, FleetShard, UeSpec, build_shards
+from repro.experiments.fleet_runner import FleetShardRunner
+from repro.experiments.runner import ScenarioRunner
+from repro.experiments.scenarios import (
+    ALL_APPS,
+    GAMING_DL,
+    VRIDGE_DL,
+    WEBCAM_RTSP_UL,
+    WEBCAM_UDP_UL,
+)
+from repro.kernel import KERNELS, resolve_kernel
+
+SHORT = dict(n_cycles=2, cycle_duration_s=10.0)
+
+MATRIX = [
+    pytest.param(app.with_(**SHORT), id=app.name) for app in ALL_APPS
+] + [
+    pytest.param(
+        VRIDGE_DL.with_(background_mbps=80.0, **SHORT), id="vridge-congested"
+    ),
+    pytest.param(
+        WEBCAM_UDP_UL.with_(background_mbps=80.0, **SHORT), id="webcam-congested"
+    ),
+    pytest.param(GAMING_DL.with_(sla_budget_s=0.0001, **SHORT), id="gaming-sla-drops"),
+    pytest.param(
+        WEBCAM_RTSP_UL.with_(
+            workload=replace(WEBCAM_RTSP_UL.workload, fps=0.05),
+            n_cycles=2,
+            cycle_duration_s=60.0,
+        ),
+        id="sparse-ul-rrc-cycling",
+    ),
+]
+
+
+def counter_points(counter):
+    return (list(counter._times), list(counter._cums), counter._total)
+
+
+def flow(stats):
+    return (stats.packets, stats.bytes)
+
+
+@pytest.mark.parametrize("config", MATRIX)
+def test_scenario_bit_exact(config):
+    ref = ScenarioRunner(config, kernel="reference")
+    bat = ScenarioRunner(config, kernel="batched")
+    ref_result = ref.run()
+    bat_result = bat.run()
+    assert bat.kernel_used == "batched"
+    assert ref.kernel_used == "reference"
+
+    # Everything the charging study reads.
+    assert ref_result.usages == bat_result.usages
+    assert ref_result.outcomes == bat_result.outcomes
+    assert ref_result.measured_bitrate_bps == bat_result.measured_bitrate_bps
+    assert ref_result.metrics == bat_result.metrics
+
+    # Raw point series: any timestamp or cumulative drift shows up here
+    # even when cycle-boundary queries happen to agree.
+    for get in (
+        lambda r: r.device.ul_monitor.counter,
+        lambda r: r.device.dl_monitor.counter,
+        lambda r: r.server.ul_monitor.counter,
+        lambda r: r.server.dl_monitor.counter,
+        lambda r: r.access.modem.ul_sent,
+        lambda r: r.access.modem.dl_received,
+        lambda r: r.counter_monitor._dl_reports,
+        lambda r: r.counter_monitor._ul_reports,
+        lambda r: r.network.bearers.by_flow(r.flow_id).uplink,
+        lambda r: r.network.bearers.by_flow(r.flow_id).downlink,
+    ):
+        assert counter_points(get(ref)) == counter_points(get(bat))
+
+    # RNG-coupled internals: one extra or missing draw diverges these.
+    assert ref.access.radio._current_rss == bat.access.radio._current_rss
+    assert ref.server.stats.latencies == bat.server.stats.latencies
+
+    ref_ue = ref.network.enodeb.ue(str(ref.device.imsi))
+    bat_ue = bat.network.enodeb.ue(str(bat.device.imsi))
+    assert ref_ue.rrc.state is bat_ue.rrc.state
+    assert ref_ue.rrc.setups == bat_ue.rrc.setups
+    assert ref_ue.rrc.releases == bat_ue.rrc.releases
+    assert ref_ue.rrc.counter_checks_sent == bat_ue.rrc.counter_checks_sent
+
+    for pick in ("offered", "dropped", "transmitted"):
+        assert flow(getattr(ref.network.enodeb.uplink_air, pick)) == flow(
+            getattr(bat.network.enodeb.uplink_air, pick)
+        )
+        assert flow(getattr(ref.network.enodeb.downlink_air, pick)) == flow(
+            getattr(bat.network.enodeb.downlink_air, pick)
+        )
+    assert flow(ref.network.middlebox.passed) == flow(bat.network.middlebox.passed)
+    assert flow(ref.network.middlebox.dropped) == flow(bat.network.middlebox.dropped)
+
+
+def shard_result_key(result):
+    return (
+        result.shard_index,
+        [
+            (
+                ue.ue_index,
+                ue.archetype,
+                ue.flow_id,
+                ue.cycles,
+                ue.offered_bitrate_bps,
+                sorted(ue.mean_gap_mb_hr.items()),
+                sorted(ue.mean_epsilon.items()),
+                sorted(ue.mean_rounds.items()),
+                sorted(ue.converged_cycles.items()),
+            )
+            for ue in result.ues
+        ],
+        result.metrics,
+    )
+
+
+class TestFleetParity:
+    def test_shard_bit_exact(self):
+        fleet = FleetConfig(ues=6, shard_size=6, seed=3, n_cycles=2, cycle_duration_s=10.0)
+        (shard,) = build_shards(fleet)
+        ref = FleetShardRunner(shard, kernel="reference").run()
+        runner = FleetShardRunner(shard, kernel="batched")
+        bat = runner.run()
+        assert set(runner.kernel_used.values()) == {"batched"}
+        assert shard_result_key(ref) == shard_result_key(bat)
+
+    def test_mixed_shard_auto_falls_back_per_session(self):
+        """Ineligible UEs run on the reference engine in the same shard."""
+        fleet = FleetConfig(ues=4, shard_size=4, seed=3, n_cycles=2, cycle_duration_s=10.0)
+        (shard,) = build_shards(fleet)
+        flaky = shard.ues[1]
+        shard = FleetShard(
+            index=shard.index,
+            seed=shard.seed,
+            ues=tuple(
+                UeSpec(
+                    index=ue.index,
+                    archetype=ue.archetype,
+                    seed=ue.seed,
+                    config=ue.config.with_(outage_eta=0.05),
+                )
+                if ue is flaky
+                else ue
+                for ue in shard.ues
+            ),
+        )
+        ref = FleetShardRunner(shard, kernel="reference").run()
+        runner = FleetShardRunner(shard, kernel="auto")
+        auto = runner.run()
+        assert runner.kernel_used[flaky.index] == "reference"
+        assert set(runner.kernel_used.values()) == {"batched", "reference"}
+        assert shard_result_key(ref) == shard_result_key(auto)
+
+    def test_strict_batched_raises_on_ineligible_session(self):
+        fleet = FleetConfig(ues=2, shard_size=2, seed=3, n_cycles=2, cycle_duration_s=10.0)
+        (shard,) = build_shards(fleet)
+        shard = FleetShard(
+            index=shard.index,
+            seed=shard.seed,
+            ues=(
+                shard.ues[0],
+                UeSpec(
+                    index=shard.ues[1].index,
+                    archetype=shard.ues[1].archetype,
+                    seed=shard.ues[1].seed,
+                    config=shard.ues[1].config.with_(outage_eta=0.05),
+                ),
+            ),
+        )
+        with pytest.raises(RuntimeError, match="batched kernel unavailable"):
+            FleetShardRunner(shard, kernel="batched").simulate()
+
+
+class TestSelection:
+    def test_resolve_order_and_validation(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_KERNEL", raising=False)
+        assert resolve_kernel() == "auto"
+        monkeypatch.setenv("REPRO_SIM_KERNEL", "reference")
+        assert resolve_kernel() == "reference"
+        assert resolve_kernel("batched") == "batched"  # explicit beats env
+        with pytest.raises(ValueError, match="unknown simulation kernel"):
+            resolve_kernel("turbo")
+        assert set(KERNELS) == {"auto", "batched", "reference"}
+
+    def test_auto_fallback_records_reason(self):
+        config = WEBCAM_UDP_UL.with_(outage_eta=0.05, **SHORT)
+        runner = ScenarioRunner(config, kernel="auto")
+        runner.simulate()
+        assert runner.kernel_used == "reference"
+        assert "outage" in runner.kernel_fallback_reason
+
+    def test_strict_batched_raises_on_handover(self):
+        config = WEBCAM_UDP_UL.with_(handover_interval_s=5.0, **SHORT)
+        runner = ScenarioRunner(config, kernel="batched")
+        with pytest.raises(RuntimeError, match="handover"):
+            runner.simulate()
+
+    def test_strict_batched_raises_on_faults(self):
+        from repro.netsim.faults import FaultSchedule, FaultSpec
+
+        config = WEBCAM_UDP_UL.with_(
+            faults=FaultSchedule(specs=(FaultSpec("burst-loss", magnitude=0.1),)),
+            **SHORT,
+        )
+        runner = ScenarioRunner(config, kernel="batched")
+        with pytest.raises(RuntimeError, match="fault injection"):
+            runner.simulate()
+
+    def test_env_var_reaches_simulation(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_KERNEL", "batched")
+        runner = ScenarioRunner(WEBCAM_UDP_UL.with_(**SHORT))
+        runner.simulate()
+        assert runner.kernel_used == "batched"
