@@ -207,6 +207,25 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: the built-in five-archetype mix)",
     )
     fleet.add_argument(
+        "--outage-eta", type=float, default=None, metavar="ETA",
+        help="chaos profile: disconnectivity fraction applied to every UE "
+        "(default: archetype radios stay outage-free)",
+    )
+    fleet.add_argument(
+        "--handover-interval", type=float, default=None, metavar="S",
+        help="chaos profile: mean seconds between handovers for every UE "
+        "(default: no mobility)",
+    )
+    fleet.add_argument(
+        "--handover-x2", action="store_true",
+        help="forward buffered downlink over X2 during handovers",
+    )
+    fleet.add_argument(
+        "--quota-bytes", type=int, default=None, metavar="B",
+        help="chaos profile: PCRF quota after which every flow throttles "
+        "(default: unthrottled plans)",
+    )
+    fleet.add_argument(
         "--per-ue-csv", metavar="FILE", default=None,
         help="stream one CSV row per UE to FILE while aggregating",
     )
@@ -395,6 +414,10 @@ def _run_fleet(args) -> int:
             n_cycles=args.cycles,
             cycle_duration_s=args.cycle_seconds,
             zipf_s=args.zipf,
+            outage_eta=args.outage_eta,
+            handover_interval_s=args.handover_interval,
+            handover_x2=args.handover_x2,
+            quota_bytes=args.quota_bytes,
             **mix_kwargs,
         )
     except ValueError as exc:

@@ -57,7 +57,8 @@ from .scenarios import (
 #: Bump when the shard spec or shard-result codec changes; shard cache
 #: keys embed it (together with the scenario :data:`CODEC_VERSION`, which
 #: governs the embedded per-UE configs and metrics encoding).
-FLEET_CODEC_VERSION = 1
+#: v2: FleetConfig chaos overrides (outage_eta / handover / quota).
+FLEET_CODEC_VERSION = 2
 
 #: A light always-on flow for subscribers that are mostly idle: 2 Mbps of
 #: iperf-style UDP downlink (QCI 9).  Fleet populations are dominated by
@@ -94,6 +95,12 @@ class FleetConfig:
     #: Zipf popularity exponent over ``mix`` (rank-ordered archetypes).
     zipf_s: float = 1.1
     mix: tuple[str, ...] = DEFAULT_MIX
+    # Chaos-profile overrides applied to every UE's archetype config
+    # (None = keep the archetype's own setting).
+    outage_eta: float | None = None
+    handover_interval_s: float | None = None
+    handover_x2: bool = False
+    quota_bytes: int | None = None
 
     def __post_init__(self) -> None:
         if self.ues < 1:
@@ -116,6 +123,10 @@ class FleetConfig:
             "cycle_duration_s": self.cycle_duration_s,
             "zipf_s": self.zipf_s,
             "mix": list(self.mix),
+            "outage_eta": self.outage_eta,
+            "handover_interval_s": self.handover_interval_s,
+            "handover_x2": self.handover_x2,
+            "quota_bytes": self.quota_bytes,
         }
 
 
@@ -172,11 +183,19 @@ def assign_ues(fleet: FleetConfig) -> list[UeSpec]:
         draw = registry.stream("archetype").random()
         rank = next(i for i, edge in enumerate(cumulative) if draw <= edge)
         archetype = fleet.mix[rank]
-        config = ARCHETYPES[archetype].with_(
+        overrides: dict = dict(
             seed=registry.seed,
             n_cycles=fleet.n_cycles,
             cycle_duration_s=fleet.cycle_duration_s,
         )
+        if fleet.outage_eta is not None:
+            overrides["outage_eta"] = fleet.outage_eta
+        if fleet.handover_interval_s is not None:
+            overrides["handover_interval_s"] = fleet.handover_interval_s
+            overrides["handover_x2"] = fleet.handover_x2
+        if fleet.quota_bytes is not None:
+            overrides["quota_bytes"] = fleet.quota_bytes
+        config = ARCHETYPES[archetype].with_(**overrides)
         ues.append(
             UeSpec(
                 index=index,

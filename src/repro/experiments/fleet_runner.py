@@ -31,7 +31,15 @@ from __future__ import annotations
 import statistics
 from dataclasses import dataclass, field
 
-from ..cellular import CellularNetwork, ENodeBConfig, NetworkConfig, make_test_imsi
+from ..cellular import (
+    CellularNetwork,
+    ENodeBConfig,
+    HandoverConfig,
+    HandoverProcess,
+    NetworkConfig,
+    QuotaPolicy,
+    make_test_imsi,
+)
 from ..core import CycleUsage, DataPlan, SchemeOutcome
 from ..edge import CounterCheckMonitor, EdgeDevice, EdgeServer
 from ..kernel import SETTLE_S, build_session_lane, resolve_kernel, run_lane
@@ -115,7 +123,29 @@ class _UeSession:
         self.device.bind(access)
         self.access = access
         network.create_bearer(imsi, self.flow_id, qci=config.workload.qci)
+        if config.quota_bytes is not None:
+            network.pcrf.set_quota(
+                self.flow_id,
+                QuotaPolicy(config.quota_bytes, throttle_bps=config.quota_throttle_bps),
+            )
         self.server = EdgeServer(loop, network, self.flow_id)
+        # Link-layer mobility rides the *shard* registry (like the radio
+        # processes): a shared process keyed by IMSI, per the determinism
+        # contract above.
+        self.handover: HandoverProcess | None = None
+        if config.handover_interval_s is not None:
+            ue = network.serving_enodeb(str(imsi)).ue(str(imsi))
+            self.handover = HandoverProcess(
+                loop,
+                network.rng,
+                ue,
+                HandoverConfig(
+                    interval_s=config.handover_interval_s,
+                    interruption_s=config.handover_interruption_s,
+                    x2_forwarding=config.handover_x2,
+                ),
+            )
+            self.handover.start()
         if config.sla_budget_s is not None:
             network.set_sla_budget(self.flow_id, config.sla_budget_s)
         sender = self.device if config.direction is Direction.UPLINK else self.server
@@ -258,6 +288,7 @@ class FleetShardRunner:
         # reference engine within the same shard.
         self.kernel = resolve_kernel(kernel)
         self.kernel_used: dict[int, str] = {}
+        self.kernel_fallback_reasons: dict[int, str] = {}
         self.loop = EventLoop()
         self.metrics = MetricsRegistry(clock=self.loop.now)
         # Shard-level randomness (radio processes keyed by IMSI, per-cell
@@ -307,7 +338,7 @@ class FleetShardRunner:
         with self.metrics.span("simulate"):
             lanes = []
             for session in self.sessions:
-                lane = None
+                lane = reason = None
                 if self.kernel != "reference":
                     lane, reason = build_session_lane(session)
                     if lane is None and self.kernel == "batched":
@@ -319,6 +350,12 @@ class FleetShardRunner:
                     lanes.append(lane)
                 else:
                     self.kernel_used[session.ue_index] = "reference"
+                    if reason is not None:
+                        # Auto-mode fallbacks aggregate into the shard
+                        # snapshot so fleet coverage regressions surface;
+                        # an explicit kernel="reference" records nothing.
+                        self.kernel_fallback_reasons[session.ue_index] = reason
+                        self.metrics.counter("kernel.fallback", reason=reason).inc()
                     session.workload.start(until=horizon)
             # Lanes never touch the shared loop; any order works.  The
             # reference sessions' events then settle on the real loop.

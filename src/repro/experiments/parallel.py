@@ -55,7 +55,9 @@ from .scenarios import ScenarioConfig
 #: v3: ScenarioResult.metrics (observability snapshot).
 #: v4: handover interruptions go through the radio's outage bookkeeping
 #:     (outage gauges change for handover scenarios).
-CODEC_VERSION = 4
+#: v5: ScenarioConfig.quota_bytes/quota_throttle_bps (PCRF throttling)
+#:     and kernel.fallback counters in metrics snapshots.
+CODEC_VERSION = 5
 
 
 # ------------------------------------------------------------------ codec

@@ -26,6 +26,7 @@ from ..cellular import (
     HandoverConfig,
     HandoverProcess,
     NetworkConfig,
+    QuotaPolicy,
     RadioProfile,
     make_test_imsi,
 )
@@ -192,6 +193,11 @@ class ScenarioRunner:
         access.radio.on_outage_start.append(self._outage_started)
         access.radio.on_outage_end.append(self._outage_ended)
         self.network.create_bearer(imsi, flow_id, qci=config.workload.qci)
+        if config.quota_bytes is not None:
+            self.network.pcrf.set_quota(
+                flow_id,
+                QuotaPolicy(config.quota_bytes, throttle_bps=config.quota_throttle_bps),
+            )
         self.server = EdgeServer(self.loop, self.network, flow_id)
         if config.background_mbps > 0:
             rate = config.background_mbps * 1e6
@@ -258,6 +264,7 @@ class ScenarioRunner:
                     if self.kernel == "batched":
                         raise RuntimeError(f"batched kernel unavailable: {reason}")
                     self.kernel_fallback_reason = reason
+                    self.metrics.counter("kernel.fallback", reason=reason).inc()
             if lane is not None:
                 self.kernel_used = "batched"
                 run_lane(lane, horizon, settle=SETTLE_S)

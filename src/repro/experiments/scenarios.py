@@ -39,6 +39,10 @@ class ScenarioConfig:
     handover_x2: bool = False
     # Application-layer SLA: operator middlebox age budget (None = off).
     sla_budget_s: float | None = None
+    # PCRF quota: throttle the flow to quota_throttle_bps once cumulative
+    # charged usage passes quota_bytes (None = unthrottled plan).
+    quota_bytes: int | None = None
+    quota_throttle_bps: float = 128_000.0
     # Charging-record error model (relative to cycle duration); calibrated
     # to Figure 18's record-error means (γe ≈ 1.2 %, γo ≈ 2.0 %).
     edge_skew_rel_std: float = 0.017

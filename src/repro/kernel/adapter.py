@@ -18,8 +18,10 @@ from __future__ import annotations
 
 import os
 
+from ..cellular.mobility import HandoverProcess
+from ..cellular.radio import RadioChannel
 from ..netsim import Direction
-from .engine import LaneSpec
+from .engine import _K_HO_BEGIN, _K_OUT_BEGIN, _K_RSS, LaneSpec
 
 __all__ = [
     "KERNELS",
@@ -44,6 +46,40 @@ def resolve_kernel(explicit: str | None = None) -> str:
     return kernel
 
 
+def _absorb_events(loop, radio, handover) -> tuple[tuple | None, str | None]:
+    """Collect this UE's construction-time loop events for wheel replay.
+
+    A freshly-built session legitimately holds up to three pending
+    events: the radio's first ``_begin_outage`` and ``_sample_rss`` and
+    the handover process's first ``_begin_handover`` (their RNG draws
+    already happened at ``start()``).  The lane replays them on its
+    wheel and cancels the originals at flush.  Anything *else* owned by
+    this session's radio/handover means the session is mid-flight — the
+    lane refuses.  Other sessions' events (fleet shards share one loop)
+    are ignored.
+    """
+    absorbed = []
+    for event in loop._queue:
+        if event.cancelled:
+            continue
+        owner = getattr(event.callback, "__self__", None)
+        if owner is radio:
+            func = getattr(event.callback, "__func__", None)
+            if func is RadioChannel._begin_outage:
+                absorbed.append((_K_OUT_BEGIN, event))
+            elif func is RadioChannel._sample_rss:
+                absorbed.append((_K_RSS, event))
+            else:
+                return None, "unrecognized radio event pending on the loop"
+        elif handover is not None and owner is handover:
+            if getattr(event.callback, "__func__", None) is HandoverProcess._begin_handover:
+                absorbed.append((_K_HO_BEGIN, event))
+            else:
+                return None, "unrecognized handover event pending on the loop"
+    absorbed.sort(key=lambda pair: pair[1].seq)
+    return tuple(absorbed), None
+
+
 def _build_lane(
     *,
     config,
@@ -56,35 +92,35 @@ def _build_lane(
     counter_monitor,
     flow_id,
     fault_injector,
+    handover=None,
+    span_recorder=None,
 ) -> tuple[LaneSpec | None, str | None]:
     """Shared eligibility walk; returns (lane, None) or (None, reason)."""
     if fault_injector is not None:
         return None, "fault injection active"
-    if config.outage_eta is not None:
-        return None, "radio outage process enabled"
     if config.workload.fps > MAX_BATCHED_FPS:
         return None, f"workload fps {config.workload.fps} above the kernel bound ({MAX_BATCHED_FPS})"
     if device.on_receive is not None or server.on_receive is not None:
         return None, "application on_receive hook installed"
 
     radio = access.radio
-    if radio.profile.outages_enabled:
-        return None, "radio profile has outages enabled"
-    if radio.record_rss:
-        return None, "RSS recording enabled"
     if not radio.connected:
         return None, "radio disconnected at simulate start"
     if len(access._ul_buffer) != 0:
         return None, "uplink modem buffer is not empty"
+    if radio.record_rss and len(radio.rss_history) != 1:
+        return None, "RSS history not fresh"
 
-    if flow_id in network.pcrf._quotas:
-        return None, "PCRF quota installed for this flow"
+    if flow_id in network.spgw._policers:
+        return None, "token-bucket policer already installed"
 
     imsi = access.imsi
     enodeb = network.serving_enodeb(imsi)
     ue = enodeb.ue(imsi)
     if not ue.attached:
         return None, "UE detached at simulate start"
+    if len(ue.dl_buffer) != 0:
+        return None, "downlink buffer is not empty"
 
     bearer = network.bearers.by_flow(flow_id)
     if bearer is None:
@@ -116,6 +152,20 @@ def _build_lane(
         if monitor.counter._times:
             return None, f"monitor {monitor.name!r} not fresh"
 
+    absorbed, reason = _absorb_events(loop, radio, handover)
+    if reason is not None:
+        return None, reason
+
+    # Outage, RSS, quota and handover sessions run the general-mode
+    # executor; everything else takes the faster fold loops.
+    needs_general = (
+        radio.profile.outages_enabled
+        or radio.record_rss
+        or flow_id in network.pcrf._quotas
+        or handover is not None
+        or bool(absorbed)
+    )
+
     lane = LaneSpec(
         is_uplink=is_uplink,
         t0=loop.now(),
@@ -135,14 +185,23 @@ def _build_lane(
         lan_link=network._lan_dl,
         backhaul_link=network._backhaul_ul,
         gateway_metrics=network.spgw.metrics,
+        general=needs_general,
+        ue=ue,
+        access=access,
+        spgw=network.spgw,
+        mme=network.mme,
+        flow_id=flow_id,
+        handover=handover,
+        rlf_timeout_s=enodeb.config.rlf_timeout_s,
+        attach_delay_s=enodeb.config.attach_delay_s,
+        span_recorder=span_recorder,
+        absorbed=absorbed,
     )
     return lane, None
 
 
 def build_scenario_lane(runner) -> tuple[LaneSpec | None, str | None]:
     """Lane for a single-UE :class:`~repro.experiments.runner.ScenarioRunner`."""
-    if runner.handover is not None:
-        return None, "handover process active"
     lane, reason = _build_lane(
         config=runner.config,
         loop=runner.loop,
@@ -154,11 +213,14 @@ def build_scenario_lane(runner) -> tuple[LaneSpec | None, str | None]:
         counter_monitor=runner.counter_monitor,
         flow_id=runner.flow_id,
         fault_injector=runner.fault_injector,
+        handover=runner.handover,
+        span_recorder=runner.metrics._spans,
     )
-    if lane is not None and runner.loop.pending() != 0:
+    if lane is not None and runner.loop.pending() != len(lane.absorbed):
         # Catch-all, checked last so specific reasons surface first: a
-        # single-UE scenario loop must be empty or the lane would race
-        # whatever is scheduled on it.
+        # single-UE scenario loop must hold nothing beyond the absorbed
+        # construction-time events or the lane would race whatever else
+        # is scheduled on it.
         return None, "event loop already has pending events"
     return lane, reason
 
@@ -184,4 +246,5 @@ def build_session_lane(session) -> tuple[LaneSpec | None, str | None]:
         counter_monitor=session.counter_monitor,
         flow_id=session.flow_id,
         fault_injector=session.fault_injector,
+        handover=session.handover,
     )

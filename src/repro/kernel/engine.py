@@ -58,10 +58,25 @@ data activity) than any event scheduled afterwards and so carries the
 smaller seq.  Pending periodic-check events are invalidated by a
 generation counter instead of heap surgery, mirroring timer ``cancel``.
 
-What a lane does NOT support — radio outage processes, fault injection,
-handovers, PCRF quotas, app-level ``on_receive`` hooks — is refused by
-the eligibility check in :mod:`repro.kernel.adapter`, which falls back
-to the reference engine.
+Two executors share the wheel
+----------------------------
+
+Sessions whose path state cannot change mid-frame (no outages, no RSS
+recording, no quota, no handover) run the **fold loops** above — the
+fastest path, because whole frames collapse into straight-line
+arithmetic.  Sessions with a radio outage process, RSS recording, a PCRF
+quota or an X2 handover schedule run the **general-mode executor**
+(:class:`_GeneralRun`): same private wheel, same flat mirrored state,
+but per-packet-hop events like the reference engine, because an outage
+window, an RLF detach, a policer refill or a handover break can land
+between any two chunks.  General mode trades the fold speedup for
+coverage — chaos-profile sessions still skip the shared event loop's
+closure allocation and object hops.
+
+What NO lane supports — fault injection, app-level ``on_receive``
+hooks, frame rates above the tie-safety bound — is refused by the
+eligibility check in :mod:`repro.kernel.adapter`, which falls back to
+the reference engine.
 """
 
 from __future__ import annotations
@@ -69,6 +84,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 from heapq import heappop, heappush
+from itertools import count as _count
 from math import cos as _cos, exp as _exp, log as _log, sin as _sin, sqrt as _sqrt, tau as _TWOPI
 
 # random.NV_MAGICCONST, same expression so the same float.
@@ -76,9 +92,12 @@ _NV_MAGIC = 4 * _exp(-0.5) / _sqrt(2.0)
 
 from ..cellular.air import AirInterface, RateWindow
 from ..cellular.bearer import Bearer
+from ..cellular.gateway import TokenBucket
 from ..cellular.qos import scheduler_priority
-from ..cellular.radio import GOOD_RSS_DBM, RadioChannel
+from ..cellular.radio import GOOD_RSS_DBM, RadioChannel, RssSample
 from ..cellular.rrc import CounterCheckResponse, HardwareModem, RrcConnectionManager, RrcState
+from ..netsim.packet import Direction, Packet
+from ..obs.spans import Span
 
 __all__ = ["LaneSpec", "run_lane", "SETTLE_S"]
 
@@ -91,6 +110,18 @@ _K_FRAME = 0  # workload emits one frame
 _K_ARRIVAL = 1  # DL chunk reaches the eNodeB (post LAN + SPGW + backhaul)
 _K_DELIVER = 2  # air transmission completes (post propagation + queue + serialization)
 _K_CHECK = 3  # periodic RRC COUNTER CHECK
+
+# General-mode wheel event kinds (outage / quota / RSS / handover lanes).
+_K_LAN = 4  # DL: one frame's chunks delivered by the LAN link (Link._deliver)
+_K_BH = 5  # DL: one frame's surviving chunks arrive at the eNodeB over the backhaul
+_K_GW = 6  # UL: one packet arrives at the SPGW over the backhaul link
+_K_RLF = 7  # radio-link-failure timer (ENodeB._check_rlf)
+_K_OUT_BEGIN = 8  # natural outage begins (RadioChannel._begin_outage)
+_K_OUT_END = 9  # natural outage ends (RadioChannel._end_outage)
+_K_REATTACH = 10  # post-RLF re-attach (ENodeB._reattach)
+_K_HO_BEGIN = 11  # handover starts (HandoverProcess._begin_handover)
+_K_HO_COMPLETE = 12  # handover interruption ends (HandoverProcess._complete_handover)
+_K_RSS = 13  # periodic RSS sample (RadioChannel._sample_rss)
 
 _INF = float("inf")
 
@@ -152,6 +183,29 @@ class LaneSpec:
     lan_link: object  # netsim.link.Link ("lan-dl"); DL lanes only
     backhaul_link: object  # netsim.link.Link ("backhaul-ul"); UL lanes only
     gateway_metrics: object  # spgw.metrics (MetricsRegistry or None)
+
+    # ---- general mode (outage / quota / RSS / handover sessions) ----
+    #: Run the general-mode executor (:class:`_GeneralRun`) instead of
+    #: the direction-specialized fold loops.
+    general: bool = False
+    ue: object = None  # cellular.enodeb.UeContext
+    access: object = None  # cellular.network.UeAccess
+    spgw: object = None  # cellular.gateway.Spgw
+    mme: object = None  # cellular.mme.Mme
+    flow_id: str = ""
+    handover: object = None  # cellular.mobility.HandoverProcess | None
+    rlf_timeout_s: float = 5.0
+    attach_delay_s: float = 0.5
+    #: SpanRecorder receiving replayed ``radio.outage`` spans (single-UE
+    #: scenario runs only; fleet sessions record no outage spans).
+    span_recorder: object = None
+    #: Pre-existing loop events absorbed into the lane as ``(kind,
+    #: Event)`` pairs sorted by loop seq — the construction-time outage /
+    #: RSS / handover chain heads.  Replayed on the wheel with negative
+    #: seqs (they were scheduled before anything the lane pushes) and
+    #: cancelled on flush so the caller's settle run cannot double-fire
+    #: them.
+    absorbed: tuple = ()
 
 
 class _LaneRun:
@@ -903,6 +957,11 @@ class _LaneRun:
 
         device = spec.device
         server = spec.server
+        # Sender packet-sequence iterator: one next() per chunk sent.
+        # Uplink submits every chunk to the air (off_p); downlink sends
+        # every chunk onto the LAN link (link_sent_p).
+        sender = device if spec.is_uplink else server
+        sender._seq = _count(self.off_p if spec.is_uplink else self.link_sent_p)
         if spec.is_uplink:
             self.dev_cum.flush_into(device.ul_monitor.counter)
             self.srv_cum.flush_into(server.ul_monitor.counter)
@@ -936,6 +995,793 @@ class _LaneRun:
             ).inc(self.charged)
 
 
+class _GeneralRun:
+    """General-mode lane: outage, RSS, quota and handover sessions.
+
+    The fold loops win their speedup by collapsing whole frames into
+    straight-line arithmetic, which is only sound while the UE's path
+    state cannot change mid-frame.  Outage windows, RLF detaches, PCRF
+    policer refills and handover breaks all violate that invariant, so
+    this executor keeps the reference engine's per-hop granularity —
+    every packet hop is one wheel event — while still running on the
+    private tuple wheel with flat mirrored state instead of the shared
+    event loop with its closure allocations and object hops.
+
+    State split
+    -----------
+
+    *Live*: anything keyed by explicit timestamps or consumed by RNG
+    draws operates directly on the real objects — workload frame sizing,
+    the radio (connectivity, RSS walk, outage bookkeeping, air-survival
+    draws), cumulative counters (``CumulativeCounter.add`` takes an
+    explicit ``t``), FlowStats, MME/bearer activation, metric counters.
+    The real event-loop clock is *stale* during the lane (it never
+    advances), so every reference code path that reads ``loop.now()`` —
+    ``TrafficMonitor.observe``, ``HardwareModem.count_*``, ``Link.send``,
+    ``TokenBucket`` — is mirrored with the wheel's event time instead of
+    being called.
+
+    *Mirrored and flushed*: RRC connection state (lazy release deadline
+    plus a reserved seq for exact same-time ordering; generation-
+    cancelled periodic checks), the two drop-tail queues (contents,
+    bytes, and the handover-inflated capacity/drop-layer), the token
+    bucket policer, the RLF timer generation, the handover save/restore
+    pair, and the ``radio.outage`` span walk.
+
+    Same-time event ordering follows the same tie contract as the fold
+    loops; the only batched events are the downlink LAN and backhaul
+    deliveries of one frame, whose reference events hold *consecutive*
+    global seqs (nothing else schedules between them), so collapsing
+    them into one wheel event preserves relative order exactly.
+    """
+
+    def __init__(self, spec: LaneSpec, horizon: float, settle: float) -> None:
+        self.spec = spec
+        self.until = horizon
+        self.end = horizon + settle
+        self.heap: list[tuple] = []
+        self.seq = 0
+
+        self.wl = spec.workload
+        self.radio = spec.radio
+        self.air = spec.air
+        self.modem = spec.modem
+        self.bearer = spec.bearer
+        self.ue = spec.ue
+        self.mme = spec.mme
+        self.spgw = spec.spgw
+        self.handover = spec.handover
+        self.server = spec.server
+        self.device = spec.device
+
+        profile = spec.workload.profile
+        self.frame_dt = 1.0 / profile.fps
+        self.packet_bytes = profile.packet_bytes
+
+        air = spec.air
+        self.capacity = air.capacity_bps
+        self.cap_usable = air.capacity_bps * air.usable_fraction
+        self.prop = air.propagation_delay_s
+        self.max_qd = air.max_queue_delay_s
+
+        rp = spec.radio.profile
+        self.mean_outage = rp.mean_outage_s
+        self.mean_uptime = rp.mean_uptime_s
+        self.rss_dt = rp.rss_sample_interval_s
+
+        rrc = spec.rrc
+        self.rrc_connected = False  # eligibility requires IDLE at start
+        self.release_at = _INF
+        self.release_seq = 0
+        self.timeout = rrc.inactivity_timeout_s
+        self.check_dt = rrc.counter_check_interval_s
+        self.check_gen = 0
+        self.sink = rrc.report_sink
+        self.setups = 0
+        self.releases = 0
+        self.checks_sent = 0
+        self.served = 0
+
+        # Sender-side packet sequence mirror: EdgeDevice.send (UL) /
+        # EdgeServer.send (DL) stamp ``seq=next(self._seq)`` on every
+        # chunk; buffered packets carry it and the iterator position is
+        # flushed back so a rebuilt queue is field-identical.
+        self.send_seq = 0
+
+        # Drop-tail queue mirrors: [(size, created_at, seq), ...] + bytes.
+        self.dlq: list[tuple[int, float, int]] = []
+        self.dlq_bytes = 0
+        self.dlq_cap = spec.ue.dl_buffer.capacity_bytes
+        self.dlq_layer = spec.ue.dl_buffer.drop_layer
+        self.ulq: list[tuple[int, float, int]] = []
+        self.ulq_bytes = 0
+        self.ulq_cap = spec.access._ul_buffer.capacity_bytes
+
+        # Token-bucket policer mirror (Spgw._policers[flow_id]).
+        self.p_rate: float | None = None
+        self.p_burst = 0.0
+        self.p_tokens = 0.0
+        self.p_last = 0.0
+
+        # Gateway metric sums, flushed once (the registry's per-call key
+        # formatting dominates the hot path; counters are plain sums so
+        # one inc at flush is observably identical).
+        self.charged_ul = 0
+        self.charged_dl = 0
+        self.drop_detached = 0
+        self.drop_policed = 0
+
+        self.rlf_gen = 0
+        # Handover break save/restore mirror (HandoverProcess._saved_*).
+        self.ho_saved_layer: str | None = None
+        self.ho_saved_cap: int | None = None
+
+        # radio.outage span mirror: closed (open_t, close_t) pairs plus
+        # the currently-open outage, if any (scenario runs only).
+        self.span_open_t: float | None = None
+        self.spans: list[tuple[float, float]] = []
+
+    # ----------------------------------------------------------- lifecycle
+
+    def run(self) -> None:
+        spec = self.spec
+        # Absorbed construction-time events (the outage / RSS / handover
+        # chain heads) predate every lane push, so they keep their
+        # relative loop order via negative wheel seqs.
+        n = len(spec.absorbed)
+        for idx, (kind, event) in enumerate(spec.absorbed):
+            heappush(self.heap, (event.time, idx - n, kind, 0, 0))
+        # FrameWorkload.start: first frame at t0 + uniform phase jitter.
+        jitter = self.wl._rng.uniform(0.0, 1.0 / self.wl.profile.fps)
+        self.seq += 1
+        heappush(self.heap, (spec.t0 + jitter, self.seq, _K_FRAME, 0, 0))
+        self._run()
+        self._flush()
+
+    def _push(self, t: float, kind: int, a=0, b=0) -> None:
+        self.seq += 1
+        heappush(self.heap, (t, self.seq, kind, a, b))
+
+    def _run(self) -> None:
+        heap = self.heap
+        end = self.end
+        is_ul = self.spec.is_uplink
+
+        # The wheel never drains naturally — outage, RSS and handover
+        # chains reschedule forever, exactly like the reference loop's
+        # pending queue at run_until's horizon — so the loop exits via
+        # the beyond-end break, leaving future events unprocessed.
+        while heap:
+            te, ev_seq, kind, a, b = heappop(heap)
+            if te > end:
+                break
+            # Lazy RRC release with exact tie-breaking: the release
+            # timer holds the seq reserved at the last data activity, so
+            # on a time tie it fires first unless the popped event was
+            # scheduled even earlier (an absorbed chain head or a
+            # long-armed outage toggle carries the smaller seq).
+            if self.rrc_connected:
+                ra = self.release_at
+                if ra < te or (ra == te and self.release_seq < ev_seq):
+                    self._fire_release()
+
+            if kind == _K_DELIVER:
+                self._on_deliver(te, a, b, is_ul)
+            elif kind == _K_FRAME:
+                if te > self.until:
+                    continue  # workload stopped; no reschedule
+                if is_ul:
+                    self._on_frame_ul(te)
+                else:
+                    self._on_frame_dl(te)
+            elif kind == _K_LAN:
+                self._on_lan(te, a, b)
+            elif kind == _K_BH:
+                self._on_bh(te, a, b)
+            elif kind == _K_GW:
+                self._on_gw(te, a, b)
+            elif kind == _K_CHECK:
+                # Stale generations are cancelled timers; a live timer
+                # firing while IDLE does not re-arm (rrc._periodic_check).
+                if a == self.check_gen and self.rrc_connected:
+                    self._counter_check(te)
+                    self._push(te + self.check_dt, _K_CHECK, self.check_gen)
+            elif kind == _K_OUT_BEGIN:
+                self._on_out_begin(te)
+            elif kind == _K_OUT_END:
+                self._on_out_end(te)
+            elif kind == _K_RLF:
+                self._on_rlf(a)
+            elif kind == _K_REATTACH:
+                self._on_reattach(te)
+            elif kind == _K_HO_BEGIN:
+                self._on_ho_begin(te)
+            elif kind == _K_HO_COMPLETE:
+                self._on_ho_complete(te)
+            else:  # _K_RSS
+                radio = self.radio
+                radio._walk_rss()
+                radio.rss_history.append(
+                    RssSample(te, radio.current_rss(), radio.connected)
+                )
+                self._push(te + self.rss_dt, _K_RSS)
+
+        # A release armed before the horizon's edge still fires inside
+        # the settle window even with no later event left to trigger
+        # the lazy check.
+        if self.rrc_connected and self.release_at <= end:
+            self._fire_release()
+
+    # ----------------------------------------------------------------- RRC
+
+    def _counter_check(self, t: float) -> None:
+        # rrc.perform_counter_check: the modem counters are live, so the
+        # response reads their real totals at this wheel instant.
+        self.checks_sent += 1
+        self.served += 1
+        if self.sink is not None:
+            self.sink(CounterCheckResponse(
+                t=t,
+                uplink_bytes=self.modem.ul_sent.total,
+                downlink_bytes=self.modem.dl_received.total,
+            ))
+
+    def _fire_release(self) -> None:
+        # rrc._release_on_inactivity at the armed deadline.
+        self._counter_check(self.release_at)
+        self.releases += 1
+        self.rrc_connected = False
+        self.check_gen += 1
+        self.release_at = _INF
+
+    def _rrc_activity(self, te: float) -> None:
+        # rrc.on_data_activity: _setup (periodic check armed first),
+        # then the release timer re-armed — which consumes a loop seq on
+        # *every* activity; reserve it so same-time ties resolve exactly
+        # as the reference's.
+        if not self.rrc_connected:
+            self.rrc_connected = True
+            self.setups += 1
+            if self.check_dt is not None:
+                self._push(te + self.check_dt, _K_CHECK, self.check_gen)
+        self.seq += 1
+        self.release_seq = self.seq
+        self.release_at = te + self.timeout
+
+    # ----------------------------------------------------------------- air
+
+    def _air_submit(self, te: float, size: int, created: float, pkt_seq: int = 0) -> None:
+        # AirInterface.submit with ``loop.now()`` == te made explicit.
+        air = self.air
+        qci = self.spec.air_qci
+        window = air._foreground.get(qci)
+        if window is None:
+            window = RateWindow()
+            air._foreground[qci] = window
+        window.observe(te, size)
+        air.offered.packets += 1
+        air.offered.bytes += size
+        u = air._rng.random()
+        higher, same = air._demand_split(qci, te)
+        # drop_probability, op for op (cap × usable_fraction is the same
+        # float as the precomputed product; max/min unrolled).
+        usable = self.cap_usable - higher
+        if usable < 0.0:
+            usable = 0.0
+        if same <= usable or same <= 0:
+            p = 0.0
+        elif usable <= 0:
+            p = 1.0
+        else:
+            p = 1.0 - usable / same
+        if u < p:
+            air.dropped.packets += 1
+            air.dropped.bytes += size
+            return
+        # queue_delay re-runs _demand_split at the same instant with
+        # unchanged window state — reuse (higher, same).
+        rho = (higher + same) / self.capacity
+        if rho > 0.99:
+            rho = 0.99
+        if rho < 0.5:
+            qd = 0.0
+        else:
+            qd = 0.002 * rho / (1.0 - rho)
+            if qd > self.max_qd:
+                qd = self.max_qd
+        delay = self.prop + qd + size * 8.0 / self.capacity
+        self._push(te + delay, _K_DELIVER, size, (created, pkt_seq))
+
+    # --------------------------------------------------------------- quota
+
+    def _quota_check(self, t: float, size: int) -> bool:
+        # Spgw._policed against the mirrored token bucket (the real
+        # TokenBucket reads ``loop.now()`` in both ctor and admit, which
+        # is stale here — t is the wheel event time).
+        spgw = self.spgw
+        if spgw.policy is None:
+            return False
+        used = self.bearer.uplink.total + self.bearer.downlink.total
+        rate = spgw.policy.allowed_rate_bps(self.spec.flow_id, used)
+        if rate is None:
+            self.p_rate = None  # mirrors _policers.pop
+            return False
+        if self.p_rate is None or self.p_rate != rate:
+            self.p_rate = rate
+            self.p_burst = rate / 8.0
+            self.p_tokens = self.p_burst
+            self.p_last = t
+        tokens = self.p_tokens + (t - self.p_last) * self.p_rate / 8.0
+        if tokens > self.p_burst:
+            tokens = self.p_burst
+        self.p_last = t
+        if tokens >= size:
+            self.p_tokens = tokens - size
+            return False
+        self.p_tokens = tokens
+        return True
+
+    # -------------------------------------------------------------- queues
+
+    def _dlq_push(self, size: int, created: float, pkt_seq: int) -> None:
+        # ue.dl_buffer.push: tail drop against the (possibly handover-
+        # inflated) mirrored capacity; FlowStats live on the real queue.
+        q = self.ue.dl_buffer
+        if self.dlq_bytes + size > self.dlq_cap:
+            q.dropped.packets += 1
+            q.dropped.bytes += size
+            return
+        self.dlq.append((size, created, pkt_seq))
+        self.dlq_bytes += size
+        q.enqueued.packets += 1
+        q.enqueued.bytes += size
+
+    def _ulq_push(self, size: int, created: float, pkt_seq: int) -> None:
+        # access._ul_buffer.push (the modem's uplink buffer).
+        q = self.spec.access._ul_buffer
+        if self.ulq_bytes + size > self.ulq_cap:
+            q.dropped.packets += 1
+            q.dropped.bytes += size
+            return
+        self.ulq.append((size, created, pkt_seq))
+        self.ulq_bytes += size
+        q.enqueued.packets += 1
+        q.enqueued.bytes += size
+
+    def _drain_dlq(self, te: float) -> None:
+        # ENodeB._drain_buffer: recovered packets re-enter the air with
+        # their original created_at; no RRC activity on this path.
+        if not self.dlq:
+            return
+        dlq = self.dlq
+        self.dlq = []
+        self.dlq_bytes = 0
+        recovered = self.ue.buffered_recovered
+        for size, created, pkt_seq in dlq:
+            recovered.packets += 1
+            recovered.bytes += size
+            self._air_submit(te, size, created, pkt_seq)
+
+    # -------------------------------------------------------------- frames
+
+    def _on_frame_ul(self, te: float) -> None:
+        # FrameWorkload._emit_frame with sender = EdgeDevice.send; frame
+        # sizing runs live on the workload (its RNG and iframe counter).
+        wl = self.wl
+        remaining = wl._frame_size()
+        wl.frames_sent += 1
+        packet_bytes = self.packet_bytes
+        dev_counter = self.device.ul_monitor.counter
+        radio = self.radio
+        attached = self.ue.attached
+        while remaining > 0:
+            chunk = remaining if remaining < packet_bytes else packet_bytes
+            pkt_seq = self.send_seq  # device.send: seq=next(self._seq)
+            self.send_seq += 1
+            dev_counter.add(te, chunk)  # device.ul_monitor.observe
+            wl.bytes_offered += chunk
+            # UeAccess.send_uplink: a detached UE's packet dies after the
+            # app-level count — no modem count, no buffer, no stats.
+            if attached:
+                self.modem.ul_sent.add(te, chunk)  # counts before the radio check
+                if not radio.connected:
+                    self._ulq_push(chunk, te, pkt_seq)
+                else:
+                    self._rrc_activity(te)
+                    self._air_submit(te, chunk, te, pkt_seq)
+            remaining -= chunk
+        self._push(te + self.frame_dt, _K_FRAME)
+
+    def _on_frame_dl(self, te: float) -> None:
+        # _emit_frame with sender = EdgeServer.send: per chunk the server
+        # monitor counts and the LAN link accepts (depart = now, deliver
+        # at te + lan_s).  One frame's LAN delivers hold consecutive
+        # reference seqs, so they batch into a single wheel event pushed
+        # before the next-frame event, preserving relative order.
+        wl = self.wl
+        remaining = wl._frame_size()
+        wl.frames_sent += 1
+        packet_bytes = self.packet_bytes
+        srv_counter = self.server.dl_monitor.counter
+        lan = self.spec.lan_link
+        chunks = []
+        while remaining > 0:
+            chunk = remaining if remaining < packet_bytes else packet_bytes
+            pkt_seq = self.send_seq  # server.send: seq=next(self._seq)
+            self.send_seq += 1
+            srv_counter.add(te, chunk)  # server.dl_monitor.observe
+            lan.sent.packets += 1
+            lan.sent.bytes += chunk
+            if lan._m_sent is not None:
+                lan._m_sent.inc(chunk)
+            wl.bytes_offered += chunk
+            chunks.append((chunk, pkt_seq))
+            remaining -= chunk
+        self._push(te + self.spec.lan_s, _K_LAN, tuple(chunks), te)
+        self._push(te + self.frame_dt, _K_FRAME)
+
+    # ---------------------------------------------------------------- hops
+
+    def _on_lan(self, te: float, chunks: tuple, created: float) -> None:
+        # Link._deliver → Spgw.send_downlink per chunk: charge (or drop)
+        # at te, SLA verdict at the middlebox, then one batched backhaul
+        # event for the surviving chunks (consecutive reference seqs).
+        lan = self.spec.lan_link
+        spgw = self.spgw
+        sla = self.spec.sla_budget
+        middlebox = self.spec.middlebox
+        passed = []
+        for chunk, pkt_seq in chunks:
+            lan.delivered.packets += 1
+            lan.delivered.bytes += chunk
+            if lan._m_delivered is not None:
+                lan._m_delivered.inc(chunk)
+            if not self.bearer.active:
+                spgw.detached_drops.packets += 1
+                spgw.detached_drops.bytes += chunk
+                self.drop_detached += chunk
+                continue
+            if self._quota_check(te, chunk):
+                spgw.policed_drops.packets += 1
+                spgw.policed_drops.bytes += chunk
+                self.drop_policed += chunk
+                continue
+            self.bearer.count_downlink(te, chunk)
+            self.charged_dl += chunk
+            # SlaMiddlebox.process: age verdict on the charged packet.
+            if sla is not None and te - created > sla:
+                middlebox.dropped.packets += 1
+                middlebox.dropped.bytes += chunk
+                continue
+            middlebox.passed.packets += 1
+            middlebox.passed.bytes += chunk
+            passed.append((chunk, pkt_seq))
+        if passed:
+            self._push(te + self.spec.backhaul_s, _K_BH, tuple(passed), created)
+
+    def _on_bh(self, te: float, chunks: tuple, created: float) -> None:
+        # Backhaul deliver → ENodeB.receive_downlink per chunk.
+        for chunk, pkt_seq in chunks:
+            if not self.ue.attached:
+                self.ue.dropped_detached.packets += 1
+                self.ue.dropped_detached.bytes += chunk
+                continue
+            self._rrc_activity(te)
+            self._air_submit(te, chunk, created, pkt_seq)
+
+    def _on_deliver(self, te: float, size: int, payload: tuple, is_ul: bool) -> None:
+        # AirInterface._transmit → ENodeB._air_deliver_ul/_air_deliver_dl.
+        created, pkt_seq = payload
+        air = self.air
+        air.transmitted.packets += 1
+        air.transmitted.bytes += size
+        radio = self.radio
+        if is_ul:
+            # _air_deliver_ul draws survival unconditionally.
+            if radio.survives_air():
+                link = self.spec.backhaul_link
+                link.sent.packets += 1
+                link.sent.bytes += size
+                if link._m_sent is not None:
+                    link._m_sent.inc(size)
+                self._push(te + self.spec.backhaul_s, _K_GW, size, created)
+            return
+        ue = self.ue
+        if not ue.attached:
+            ue.dropped_detached.packets += 1
+            ue.dropped_detached.bytes += size
+        elif not radio.connected:
+            self._dlq_push(size, created, pkt_seq)  # buffered for the outage drain
+        elif radio.survives_air():
+            self.modem.dl_received.add(te, size)  # modem.count_downlink
+            self.device.dl_monitor.counter.add(te, size)  # device.deliver
+        # else: phy-rss loss, counted nowhere
+
+    def _on_gw(self, te: float, size: int, created: float) -> None:
+        # Backhaul Link._deliver → Spgw.receive_uplink.
+        link = self.spec.backhaul_link
+        link.delivered.packets += 1
+        link.delivered.bytes += size
+        if link._m_delivered is not None:
+            link._m_delivered.inc(size)
+        spgw = self.spgw
+        if not self.bearer.active:
+            spgw.detached_drops.packets += 1
+            spgw.detached_drops.bytes += size
+            self.drop_detached += size
+            return
+        if self._quota_check(te, size):
+            spgw.policed_drops.packets += 1
+            spgw.policed_drops.bytes += size
+            self.drop_policed += size
+            return
+        self.bearer.count_uplink(te, size)
+        self.charged_ul += size
+        # EdgeServer._receive_uplink via the registered SPGW sink.
+        server = self.server
+        server.ul_monitor.counter.add(te, size)
+        server.stats.received += 1
+        server.stats.latencies.append(te - created)
+
+    # -------------------------------------------------------------- outage
+
+    def _outage_start_callbacks(self, te: float) -> None:
+        # Registration order: ENodeB._on_outage_start (arms the RLF
+        # timer), then the scenario runner's span-open callback.
+        self._push(te + self.spec.rlf_timeout_s, _K_RLF, self.rlf_gen)
+        if self.spec.span_recorder is not None and self.span_open_t is None:
+            self.span_open_t = te
+
+    def _outage_end_callbacks(self, te: float) -> None:
+        # Registration order: ENodeB._on_outage_end, then
+        # UeAccess._drain_ul_buffer, then the runner's span close.
+        self.rlf_gen += 1  # cancels the armed RLF timer
+        ue = self.ue
+        if not ue.attached:
+            self._push(te + self.spec.attach_delay_s, _K_REATTACH)
+        else:
+            self._drain_dlq(te)
+        if ue.attached and self.ulq:
+            ulq = self.ulq
+            self.ulq = []
+            self.ulq_bytes = 0
+            for size, created, pkt_seq in ulq:
+                # Each buffered packet replays receive_uplink.
+                self._rrc_activity(te)
+                self._air_submit(te, size, created, pkt_seq)
+        if self.spec.span_recorder is not None and self.span_open_t is not None:
+            self.spans.append((self.span_open_t, te))
+            self.span_open_t = None
+
+    def _on_out_begin(self, te: float) -> None:
+        # RadioChannel._begin_outage.  Firing while already disconnected
+        # (inside a handover break) kills the natural chain permanently —
+        # the reference returns without rescheduling; preserved quirk.
+        radio = self.radio
+        if not radio.connected:
+            return
+        radio.connected = False
+        radio.outage_count += 1
+        radio._outage_started_at = te
+        self._outage_start_callbacks(te)
+        outage = radio._rng.expovariate(1.0 / self.mean_outage)
+        self._push(te + outage, _K_OUT_END)
+
+    def _on_out_end(self, te: float) -> None:
+        # RadioChannel._end_outage.
+        radio = self.radio
+        if radio.connected:
+            return
+        radio.connected = True
+        if radio._outage_started_at is not None:
+            radio.total_outage_time += te - radio._outage_started_at
+            radio._outage_started_at = None
+        self._outage_end_callbacks(te)
+        uptime = radio._rng.expovariate(1.0 / self.mean_uptime)
+        self._push(te + uptime, _K_OUT_BEGIN)
+
+    def _on_rlf(self, gen: int) -> None:
+        # ENodeB._check_rlf: stale generations are cancelled timers.
+        if gen != self.rlf_gen:
+            return
+        ue = self.ue
+        if self.radio.connected or not ue.attached:
+            return
+        ue.rlf_count += 1
+        # rrc.abort(): leave CONNECTED without a counter check.
+        if self.rrc_connected:
+            self.rrc_connected = False
+            self.releases += 1
+            self.check_gen += 1
+            self.release_at = _INF
+        ue.attached = False
+        # Buffered downlink dies silently (mark_dropped only, no stats).
+        self.dlq.clear()
+        self.dlq_bytes = 0
+        self.mme.detach(ue.imsi, cause="radio-link-failure")
+
+    def _on_reattach(self, te: float) -> None:
+        # ENodeB._reattach after the attach delay.
+        ue = self.ue
+        if ue.attached or not self.radio.connected:
+            return
+        ue.attached = True
+        self.mme.attach(ue.imsi)
+        self._drain_dlq(te)
+
+    # ------------------------------------------------------------ handover
+
+    def _ho_schedule_next(self, te: float) -> None:
+        # HandoverProcess._schedule_next (the jitter draw happens even
+        # when the handover itself was skipped).
+        config = self.handover.config
+        jitter = self.handover._rng.uniform(
+            1 - config.interval_jitter, 1 + config.interval_jitter
+        )
+        self._push(te + config.interval_s * jitter, _K_HO_BEGIN)
+
+    def _on_ho_begin(self, te: float) -> None:
+        # HandoverProcess._begin_handover.
+        ho = self.handover
+        ue = self.ue
+        if not ue.attached or not self.radio.connected:
+            self._ho_schedule_next(te)
+            return
+        ho.handovers += 1
+        buffered = self.dlq
+        self.dlq = []
+        self.dlq_bytes = 0
+        if ho.config.x2_forwarding:
+            # Capacity is raised before re-queueing (preserved packets
+            # must never tail-drop); restored at completion.
+            self.ho_saved_cap = self.dlq_cap
+            self.dlq_cap *= 4
+            for size, created, pkt_seq in buffered:
+                ho.forwarded.packets += 1
+                ho.forwarded.bytes += size
+                self._dlq_push(size, created, pkt_seq)
+        else:
+            for size, created, pkt_seq in buffered:
+                ho.dropped.packets += 1
+                ho.dropped.bytes += size
+        self.ho_saved_layer = self.dlq_layer
+        self.dlq_layer = "link-mobility"
+        # radio.force_outage_start(): bookkeeping + callbacks, no draws,
+        # no end event — the completion forces the end.
+        radio = self.radio
+        radio.connected = False
+        radio.outage_count += 1
+        radio._outage_started_at = te
+        self._outage_start_callbacks(te)
+        self._push(te + ho.config.interruption_s, _K_HO_COMPLETE)
+
+    def _on_ho_complete(self, te: float) -> None:
+        # HandoverProcess._complete_handover: end the forced break, then
+        # restore drop layer and capacity, then schedule the next one.
+        radio = self.radio
+        if not radio.connected:  # force_outage_end (no-op when connected)
+            radio.connected = True
+            if radio._outage_started_at is not None:
+                radio.total_outage_time += te - radio._outage_started_at
+                radio._outage_started_at = None
+            self._outage_end_callbacks(te)
+        if self.ho_saved_layer is not None:
+            self.dlq_layer = self.ho_saved_layer
+            self.ho_saved_layer = None
+        if self.ho_saved_cap is not None:
+            self.dlq_cap = self.ho_saved_cap
+            self.ho_saved_cap = None
+        self._ho_schedule_next(te)
+
+    # --------------------------------------------------------------- flush
+
+    def _flush(self) -> None:
+        spec = self.spec
+        spec.workload._until = self.until
+
+        rrc = spec.rrc
+        rrc.state = RrcState.CONNECTED if self.rrc_connected else RrcState.IDLE
+        rrc.setups += self.setups
+        rrc.releases += self.releases
+        rrc.counter_checks_sent += self.checks_sent
+        spec.modem.counter_checks_served += self.served
+
+        # Rebuild the drop-tail queue contents as real packets (sizes and
+        # created_at are what the drain path observes; the qci mirrors
+        # where each direction's packets are stamped: SPGW stamps the
+        # bearer QCI before the eNodeB buffers downlink, uplink buffers
+        # hold pre-SPGW packets with the workload QCI).
+        profile = spec.workload.profile
+        dl_buffer = spec.ue.dl_buffer
+        dl_buffer.capacity_bytes = self.dlq_cap
+        dl_buffer.drop_layer = self.dlq_layer
+        for size, created, pkt_seq in self.dlq:
+            dl_buffer._queue.append(Packet(
+                size=size,
+                flow_id=spec.flow_id,
+                direction=Direction.DOWNLINK,
+                qci=spec.bearer.qci,
+                transport=profile.transport,
+                created_at=created,
+                seq=pkt_seq,
+            ))
+        dl_buffer._bytes = self.dlq_bytes
+        ul_buffer = spec.access._ul_buffer
+        for size, created, pkt_seq in self.ulq:
+            ul_buffer._queue.append(Packet(
+                size=size,
+                flow_id=spec.flow_id,
+                direction=Direction.UPLINK,
+                qci=profile.qci,
+                transport=profile.transport,
+                created_at=created,
+                seq=pkt_seq,
+            ))
+        ul_buffer._bytes = self.ulq_bytes
+
+        # Sender packet-sequence iterator: device.send / server.send
+        # consumed one per chunk; park the real iterator at the mirror.
+        sender = spec.device if spec.is_uplink else spec.server
+        sender._seq = _count(self.send_seq)
+
+        if self.handover is not None:
+            self.handover._saved_drop_layer = self.ho_saved_layer
+            self.handover._saved_capacity = self.ho_saved_cap
+
+        # Token-bucket policer: a rate currently enforced means a bucket
+        # is installed; rebuild it with the mirrored fill state.
+        if self.p_rate is not None:
+            policer = TokenBucket(self.spgw.loop, self.p_rate)
+            policer._tokens = self.p_tokens
+            policer._last = self.p_last
+            self.spgw._policers[spec.flow_id] = policer
+
+        # Gateway metric counters, created lazily like the reference's
+        # first-hit path so empty runs snapshot identically.
+        metrics = spec.gateway_metrics
+        if metrics is not None:
+            if self.drop_detached:
+                metrics.counter(
+                    "cellular.gateway.drop_bytes", reason="detached"
+                ).inc(self.drop_detached)
+            if self.drop_policed:
+                metrics.counter(
+                    "cellular.gateway.drop_bytes", reason="policed"
+                ).inc(self.drop_policed)
+            if self.charged_ul:
+                metrics.counter(
+                    "cellular.gateway.charged_bytes", direction="UL"
+                ).inc(self.charged_ul)
+            if self.charged_dl:
+                metrics.counter(
+                    "cellular.gateway.charged_bytes", direction="DL"
+                ).inc(self.charged_dl)
+
+        # Replay radio.outage spans into the runner's recorder.  The
+        # recorder's _close reads the (stale) clock and would reject
+        # ends before "now", so closed ends are assigned directly; a
+        # still-open outage stays open with the recorder's depth counter
+        # elevated, exactly as live recording would leave it mid-outage.
+        rec = spec.span_recorder
+        if rec is not None:
+            for open_t, close_t in self.spans:
+                span = Span("radio.outage", open_t, rec._open, rec)
+                rec._open += 1
+                rec._spans.append(span)
+                span.end = close_t
+                rec._open -= 1
+            if self.span_open_t is not None:
+                span = Span("radio.outage", self.span_open_t, rec._open, rec)
+                rec._open += 1
+                rec._spans.append(span)
+
+        # The absorbed construction-time events were replayed on the
+        # wheel; cancel the loop originals so the caller's settle
+        # run_until cannot double-fire them.
+        for _, event in spec.absorbed:
+            event.cancel()
+
+
 def run_lane(spec: LaneSpec, horizon: float, settle: float = SETTLE_S) -> None:
     """Run one eligible UE's simulate() phase on the batched kernel.
 
@@ -943,6 +1789,11 @@ def run_lane(spec: LaneSpec, horizon: float, settle: float = SETTLE_S) -> None:
     the reference engine (see the module docstring), writing results back
     into the live component objects.  The caller advances the shared loop
     clock afterwards (``loop.run_until(horizon + settle)``), exactly as
-    the reference path does.
+    the reference path does.  ``spec.general`` selects the general-mode
+    executor (outage / quota / RSS / handover sessions) over the fold
+    loops.
     """
-    _LaneRun(spec, horizon, settle).run()
+    if spec.general:
+        _GeneralRun(spec, horizon, settle).run()
+    else:
+        _LaneRun(spec, horizon, settle).run()

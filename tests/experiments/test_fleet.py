@@ -120,6 +120,44 @@ class TestShardRunner:
                 "legacy", "tlc-optimal", "tlc-random", "tlc-honest"
             }
 
+    def test_standard_mix_all_batched_no_fallback_counters(self):
+        """Every archetype in the standard mix rides the batched kernel.
+
+        The ``kernel.fallback{reason=...}`` counter is the observable
+        contract: absent entirely means no session fell back — outage,
+        quota, RSS and handover shapes included.
+        """
+        from repro.experiments.fleet_runner import FleetShardRunner
+
+        runner = FleetShardRunner(build_shards(FAST)[0], kernel="auto")
+        result = runner.run()
+        assert set(runner.kernel_used.values()) == {"batched"}
+        assert runner.kernel_fallback_reasons == {}
+        assert not any(
+            key.startswith("kernel.fallback") for key in result.metrics.counters
+        )
+
+    def test_chaos_overrides_all_batched(self):
+        from repro.experiments.fleet_runner import FleetShardRunner
+
+        chaos = FleetConfig(
+            ues=4,
+            shard_size=4,
+            seed=3,
+            n_cycles=2,
+            cycle_duration_s=10.0,
+            outage_eta=0.1,
+            handover_interval_s=5.0,
+            handover_x2=True,
+            quota_bytes=100_000,
+        )
+        runner = FleetShardRunner(build_shards(chaos)[0], kernel="auto")
+        result = runner.run()
+        assert set(runner.kernel_used.values()) == {"batched"}
+        assert not any(
+            key.startswith("kernel.fallback") for key in result.metrics.counters
+        )
+
     def test_metric_cardinality_population_free(self):
         """Merged fleet metrics must not grow with the population."""
         import re

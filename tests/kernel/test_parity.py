@@ -6,8 +6,11 @@ snapshot, and — the strongest form — the same raw counter point series,
 RNG-dependent internals and latency lists.  These tests pin that
 contract over a config matrix that exercises every hot path the kernel
 mirrors: all four shipped workloads, congestion (background demand
-splits), SLA middlebox drops, and sparse traffic that cycles the RRC
-state machine through release/re-setup.
+splits), SLA middlebox drops, sparse traffic that cycles the RRC
+state machine through release/re-setup, and the chaos lanes the
+general executor took over from the reference fallback — outage
+windows (with RSS walks and RLF detach), PCRF quota throttling, and
+X2/non-X2 handover.
 """
 
 from dataclasses import replace
@@ -25,8 +28,13 @@ from repro.experiments.scenarios import (
     WEBCAM_UDP_UL,
 )
 from repro.kernel import KERNELS, resolve_kernel
+from repro.netsim.faults import FaultSchedule, FaultSpec
 
 SHORT = dict(n_cycles=2, cycle_duration_s=10.0)
+
+# Fault injection is the one chaos dimension the batched kernel still
+# refuses; use it wherever a test needs a guaranteed fallback.
+BURST_LOSS = FaultSchedule(specs=(FaultSpec("burst-loss", magnitude=0.1),))
 
 MATRIX = [
     pytest.param(app.with_(**SHORT), id=app.name) for app in ALL_APPS
@@ -45,6 +53,28 @@ MATRIX = [
             cycle_duration_s=60.0,
         ),
         id="sparse-ul-rrc-cycling",
+    ),
+    # Chaos lanes: each was a fallback reason before the general executor.
+    pytest.param(
+        WEBCAM_RTSP_UL.with_(outage_eta=0.12, **SHORT), id="ul-outage-rss-rlf"
+    ),
+    pytest.param(VRIDGE_DL.with_(outage_eta=0.08, **SHORT), id="dl-outage-buffering"),
+    pytest.param(WEBCAM_UDP_UL.with_(quota_bytes=60_000, **SHORT), id="ul-quota-throttle"),
+    pytest.param(GAMING_DL.with_(quota_bytes=120_000, **SHORT), id="dl-quota-throttle"),
+    pytest.param(GAMING_DL.with_(handover_interval_s=4.0, **SHORT), id="dl-handover"),
+    pytest.param(
+        VRIDGE_DL.with_(handover_interval_s=4.0, handover_x2=True, **SHORT),
+        id="dl-handover-x2",
+    ),
+    pytest.param(
+        WEBCAM_RTSP_UL.with_(
+            outage_eta=0.1,
+            quota_bytes=100_000,
+            handover_interval_s=6.0,
+            handover_x2=True,
+            **SHORT,
+        ),
+        id="chaos-kitchen-sink",
     ),
 ]
 
@@ -90,6 +120,8 @@ def test_scenario_bit_exact(config):
 
     # RNG-coupled internals: one extra or missing draw diverges these.
     assert ref.access.radio._current_rss == bat.access.radio._current_rss
+    assert ref.access.radio.rss_history == bat.access.radio.rss_history
+    assert ref.access.radio.connected == bat.access.radio.connected
     assert ref.server.stats.latencies == bat.server.stats.latencies
 
     ref_ue = ref.network.enodeb.ue(str(ref.device.imsi))
@@ -110,6 +142,23 @@ def test_scenario_bit_exact(config):
     assert flow(ref.network.middlebox.dropped) == flow(bat.network.middlebox.dropped)
 
 
+def metrics_key(snapshot):
+    """Snapshot as a dict, minus ``kernel.fallback{...}`` counters.
+
+    Auto-mode runners record a fallback counter per reference-engine
+    session; an explicit ``kernel="reference"`` run records none.  The
+    counter is bookkeeping about *which engine ran*, not simulation
+    output, so mixed-kernel comparisons ignore it.
+    """
+    data = snapshot.to_dict()
+    data["counters"] = {
+        k: v
+        for k, v in data["counters"].items()
+        if not k.startswith("kernel.fallback")
+    }
+    return data
+
+
 def shard_result_key(result):
     return (
         result.shard_index,
@@ -127,13 +176,33 @@ def shard_result_key(result):
             )
             for ue in result.ues
         ],
-        result.metrics,
+        metrics_key(result.metrics),
     )
 
 
 class TestFleetParity:
     def test_shard_bit_exact(self):
         fleet = FleetConfig(ues=6, shard_size=6, seed=3, n_cycles=2, cycle_duration_s=10.0)
+        (shard,) = build_shards(fleet)
+        ref = FleetShardRunner(shard, kernel="reference").run()
+        runner = FleetShardRunner(shard, kernel="batched")
+        bat = runner.run()
+        assert set(runner.kernel_used.values()) == {"batched"}
+        assert shard_result_key(ref) == shard_result_key(bat)
+
+    def test_chaos_shard_bit_exact(self):
+        """Fleet-level chaos overrides stay batched and bit-exact."""
+        fleet = FleetConfig(
+            ues=4,
+            shard_size=4,
+            seed=3,
+            n_cycles=2,
+            cycle_duration_s=10.0,
+            outage_eta=0.1,
+            handover_interval_s=5.0,
+            handover_x2=True,
+            quota_bytes=150_000,
+        )
         (shard,) = build_shards(fleet)
         ref = FleetShardRunner(shard, kernel="reference").run()
         runner = FleetShardRunner(shard, kernel="batched")
@@ -154,7 +223,7 @@ class TestFleetParity:
                     index=ue.index,
                     archetype=ue.archetype,
                     seed=ue.seed,
-                    config=ue.config.with_(outage_eta=0.05),
+                    config=ue.config.with_(faults=BURST_LOSS),
                 )
                 if ue is flaky
                 else ue
@@ -166,6 +235,7 @@ class TestFleetParity:
         auto = runner.run()
         assert runner.kernel_used[flaky.index] == "reference"
         assert set(runner.kernel_used.values()) == {"batched", "reference"}
+        assert "fault" in runner.kernel_fallback_reasons[flaky.index]
         assert shard_result_key(ref) == shard_result_key(auto)
 
     def test_strict_batched_raises_on_ineligible_session(self):
@@ -180,7 +250,7 @@ class TestFleetParity:
                     index=shard.ues[1].index,
                     archetype=shard.ues[1].archetype,
                     seed=shard.ues[1].seed,
-                    config=shard.ues[1].config.with_(outage_eta=0.05),
+                    config=shard.ues[1].config.with_(faults=BURST_LOSS),
                 ),
             ),
         )
@@ -200,25 +270,41 @@ class TestSelection:
         assert set(KERNELS) == {"auto", "batched", "reference"}
 
     def test_auto_fallback_records_reason(self):
-        config = WEBCAM_UDP_UL.with_(outage_eta=0.05, **SHORT)
+        config = WEBCAM_UDP_UL.with_(faults=BURST_LOSS, **SHORT)
         runner = ScenarioRunner(config, kernel="auto")
         runner.simulate()
         assert runner.kernel_used == "reference"
-        assert "outage" in runner.kernel_fallback_reason
+        assert "fault" in runner.kernel_fallback_reason
+        # Satellite: the fallback reason is an observable counter too.
+        counters = runner.metrics.snapshot().counters
+        key = f"kernel.fallback{{reason={runner.kernel_fallback_reason}}}"
+        assert counters[key] == 1
 
-    def test_strict_batched_raises_on_handover(self):
-        config = WEBCAM_UDP_UL.with_(handover_interval_s=5.0, **SHORT)
-        runner = ScenarioRunner(config, kernel="batched")
-        with pytest.raises(RuntimeError, match="handover"):
-            runner.simulate()
+    @pytest.mark.parametrize(
+        "chaos",
+        [
+            pytest.param(dict(outage_eta=0.05), id="outage"),
+            pytest.param(dict(quota_bytes=50_000), id="quota"),
+            pytest.param(dict(handover_interval_s=5.0), id="handover"),
+            pytest.param(
+                dict(handover_interval_s=5.0, handover_x2=True), id="handover-x2"
+            ),
+        ],
+    )
+    def test_chaos_lanes_no_longer_fall_back(self, chaos):
+        runner = ScenarioRunner(
+            WEBCAM_UDP_UL.with_(**chaos, **SHORT), kernel="auto"
+        )
+        runner.simulate()
+        assert runner.kernel_used == "batched"
+        assert runner.kernel_fallback_reason is None
+        assert not any(
+            k.startswith("kernel.fallback")
+            for k in runner.metrics.snapshot().counters
+        )
 
     def test_strict_batched_raises_on_faults(self):
-        from repro.netsim.faults import FaultSchedule, FaultSpec
-
-        config = WEBCAM_UDP_UL.with_(
-            faults=FaultSchedule(specs=(FaultSpec("burst-loss", magnitude=0.1),)),
-            **SHORT,
-        )
+        config = WEBCAM_UDP_UL.with_(faults=BURST_LOSS, **SHORT)
         runner = ScenarioRunner(config, kernel="batched")
         with pytest.raises(RuntimeError, match="fault injection"):
             runner.simulate()
