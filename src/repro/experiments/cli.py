@@ -241,7 +241,92 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-manifest", action="store_true",
         help="print only; do not write artifacts or a run manifest",
     )
+    fleet.add_argument(
+        "--via-service", action="store_true",
+        help="replay the fleet through the reconciliation service as "
+        "claim traffic instead of the batch engine (same aggregate, "
+        "bit for bit)",
+    )
     add_engine_options(fleet)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the charging-reconciliation service under a sustained "
+        "fleet-replay load (simulated clock)",
+    )
+    serve.add_argument(
+        "--ues", type=int, default=48, metavar="N",
+        help="population replayed as claim traffic (default: 48)",
+    )
+    serve.add_argument(
+        "--shard-size", type=int, default=8, metavar="K",
+        help="UEs per shard claim (default: 8)",
+    )
+    serve.add_argument("--seed", type=int, default=1, help="fleet seed (default: 1)")
+    serve.add_argument(
+        "--cycles", type=int, default=2, metavar="N",
+        help="charging cycles per UE (default: 2)",
+    )
+    serve.add_argument(
+        "--cycle-seconds", type=float, default=30.0, metavar="S",
+        help="charging cycle length (default: 30)",
+    )
+    serve.add_argument(
+        "--zipf", type=float, default=1.1, metavar="S",
+        help="Zipf popularity exponent over the archetype mix (default: 1.1)",
+    )
+    serve.add_argument(
+        "--mix", metavar="A,B,...", default=None,
+        help="comma-separated workload archetypes in popularity order",
+    )
+    serve.add_argument(
+        "--duration", type=float, default=60.0, metavar="S",
+        help="simulated seconds the claim arrivals are spread over "
+        "(default: 60)",
+    )
+    serve.add_argument(
+        "--vendors", type=int, default=4, metavar="N",
+        help="distinct vendors submitting claims (default: 4)",
+    )
+    serve.add_argument(
+        "--service-workers", type=int, default=2, metavar="N",
+        help="settlement worker coroutines (default: 2)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=16, metavar="N",
+        help="ingestion queue capacity before backpressure (default: 16)",
+    )
+    serve.add_argument(
+        "--vendor-rate", type=float, default=8.0, metavar="HZ",
+        help="token-bucket refill rate per vendor (default: 8/s)",
+    )
+    serve.add_argument(
+        "--vendor-burst", type=float, default=16.0, metavar="N",
+        help="token-bucket capacity per vendor (default: 16)",
+    )
+    serve.add_argument(
+        "--ingest-fault-profile", metavar="NAME", default=None,
+        help="degrade the ingestion path itself with a named fault "
+        "profile (see repro.netsim.faults.FAULT_PROFILES)",
+    )
+    serve.add_argument(
+        "--settlement", metavar="FILE", default=None,
+        help="also stream the settlement ledger (JSON lines) to FILE",
+    )
+    serve.add_argument(
+        "--assert-clean", action="store_true",
+        help="exit 1 unless every claim settled and no worker crashed "
+        "(the soak gate)",
+    )
+    serve.add_argument(
+        "--out-dir", metavar="DIR", default=str(DEFAULT_OUT_DIR),
+        help=f"artifact + manifest directory (default: {DEFAULT_OUT_DIR})",
+    )
+    serve.add_argument(
+        "--no-manifest", action="store_true",
+        help="print only; do not write artifacts or a run manifest",
+    )
+    add_engine_options(serve)
 
     obs = sub.add_parser(
         "obs", help="layer-by-layer byte/drop accounting of a cached run"
@@ -320,6 +405,8 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     if args.command == "fleet":
         return _run_fleet(args)
+    if args.command == "serve":
+        return _run_serve(args)
     if args.command == "report":
         return _write_report(Path(args.out))
     if args.command == "baseline":
@@ -424,6 +511,12 @@ def _run_fleet(args) -> int:
         print(str(exc), file=sys.stderr)
         return 2
 
+    if args.via_service and args.per_ue_csv:
+        # The service streams per-UE rows into its settlement ledger
+        # instead; use `repro serve --settlement` for that view.
+        print("--via-service does not support --per-ue-csv", file=sys.stderr)
+        return 2
+
     csv_file = None
     writer = None
     ue_sink = None
@@ -450,13 +543,33 @@ def _run_fleet(args) -> int:
 
     started = time.time()
     report = parallel.RunReport()
-    try:
-        result = run_fleet(fleet_config, report=report, ue_sink=ue_sink)
-    finally:
-        if csv_file is not None:
-            csv_file.close()
+    if args.via_service:
+        from ..service import replay_fleet
+
+        result, stats, service = replay_fleet(
+            fleet_config, disk_cache=parallel._default_cache
+        )
+        if result is None:
+            print(
+                f"service replay dropped {stats.dropped} claims",
+                file=sys.stderr,
+            )
+            return 1
+        report = service.report
+    else:
+        try:
+            result = run_fleet(fleet_config, report=report, ue_sink=ue_sink)
+        finally:
+            if csv_file is not None:
+                csv_file.close()
     rendered = result.render()
     print(rendered)
+    if args.via_service:
+        print(
+            f"[service: {stats.accepted} claims accepted, "
+            f"{stats.retries} retries, {report.simulated} simulated, "
+            f"{report.cached} cached]"
+        )
     if args.per_ue_csv:
         print(f"[per-UE csv -> {args.per_ue_csv}]")
     if args.accounting:
@@ -489,6 +602,129 @@ def _run_fleet(args) -> int:
         )
         manifest.attach_metrics(result.metrics)
         print(f"[manifest -> {manifest.save()}]")
+    return 0
+
+
+def _run_serve(args) -> int:
+    """The ``repro serve`` subcommand: service soak under fleet replay."""
+    from ..netsim.faults import FAULT_PROFILES
+    from ..service import ReplayConfig, ServiceConfig, SettlementLedger, replay_fleet
+    from .fleet import FleetConfig
+
+    mix_kwargs = {}
+    if args.mix:
+        mix_kwargs["mix"] = tuple(
+            name.strip() for name in args.mix.split(",") if name.strip()
+        )
+    ingest_faults = None
+    if args.ingest_fault_profile:
+        ingest_faults = FAULT_PROFILES.get(args.ingest_fault_profile)
+        if ingest_faults is None:
+            print(
+                f"unknown fault profile {args.ingest_fault_profile!r} "
+                f"(known: {', '.join(sorted(FAULT_PROFILES))})",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        fleet_config = FleetConfig(
+            ues=args.ues,
+            shard_size=args.shard_size,
+            seed=args.seed,
+            n_cycles=args.cycles,
+            cycle_duration_s=args.cycle_seconds,
+            zipf_s=args.zipf,
+            **mix_kwargs,
+        )
+        replay_config = ReplayConfig(
+            duration_s=args.duration,
+            vendors=args.vendors,
+            ingest_faults=ingest_faults,
+        )
+        service_config = ServiceConfig(
+            workers=args.service_workers,
+            queue_depth=args.queue_depth,
+            vendor_rate_hz=args.vendor_rate,
+            vendor_burst=args.vendor_burst,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    ledger = None
+    if args.settlement:
+        settlement_path = Path(args.settlement)
+        settlement_path.parent.mkdir(parents=True, exist_ok=True)
+        ledger = SettlementLedger(settlement_path)
+
+    started = time.time()
+    result, stats, service = replay_fleet(
+        fleet_config,
+        replay=replay_config,
+        service_config=service_config,
+        disk_cache=parallel._default_cache,
+        ledger=ledger,
+    )
+    crashed = service.crashed_workers()
+    rejected = ", ".join(
+        f"{reason}={count}" for reason, count in sorted(service.rejections.items())
+    )
+    print(f"claims submitted : {stats.submitted}")
+    print(f"claims accepted  : {stats.accepted}")
+    print(f"client retries   : {stats.retries}")
+    print(f"recovery waves   : {stats.waves}")
+    print(f"ingest faults    : lost={stats.lost} corrupted={stats.corrupted} "
+          f"duplicated={stats.duplicated}")
+    print(f"rejections       : {rejected or 'none'}")
+    print(f"shards settled   : {service.report.simulated} simulated, "
+          f"{service.report.cached} cached")
+    print(f"cache            : {service.cache.hits_memory} memory hits, "
+          f"{service.cache.hits_disk} disk hits, {service.cache.misses} misses, "
+          f"{service.cache.spilled} spilled")
+    print(f"dropped claims   : {stats.dropped}")
+    print(f"crashed workers  : {len(crashed)}")
+    if result is not None:
+        print()
+        print(result.render())
+    if args.settlement:
+        print(f"[settlement -> {args.settlement}]")
+    print(f"[{time.time() - started:.1f}s wall, "
+          f"{service.loop.now():.1f}s simulated]")
+
+    if not args.no_manifest:
+        manifest = RunManifest(
+            name="serve", out_dir=Path(args.out_dir),
+            command=f"repro serve --ues {args.ues} --duration {args.duration}",
+        )
+        manifest.record_engine(
+            workers=parallel._default_workers,
+            cache_dir=(
+                str(parallel._default_cache.directory)
+                if parallel._default_cache is not None else None
+            ),
+            service_workers=args.service_workers,
+            claims_submitted=stats.submitted,
+            claims_accepted=stats.accepted,
+            claims_dropped=stats.dropped,
+            crashed_workers=len(crashed),
+        )
+        manifest.write_text("settlement", service.ledger.text())
+        if result is not None:
+            manifest.write_text("serve", result.render())
+            manifest.write_text(
+                "serve-aggregate",
+                json.dumps(result.to_dict(), indent=2, sort_keys=True),
+            )
+        manifest.attach_metrics(service.metrics.snapshot())
+        print(f"[manifest -> {manifest.save()}]")
+
+    if args.assert_clean and (stats.dropped or crashed):
+        print(
+            f"soak gate failed: {stats.dropped} dropped claims, "
+            f"{len(crashed)} crashed workers",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

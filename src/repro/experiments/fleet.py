@@ -470,10 +470,15 @@ class FleetAccumulator:
     O(pending shards), which an in-order producer keeps at one.
     """
 
-    def __init__(self, ue_sink: Callable[[dict], None] | None = None) -> None:
+    def __init__(
+        self,
+        ue_sink: Callable[[dict], None] | None = None,
+        shard_sink: Callable[[dict], None] | None = None,
+    ) -> None:
         self._next = 0
         self._pending: dict[int, dict] = {}
         self._ue_sink = ue_sink
+        self._shard_sink = shard_sink
         self.population = 0
         self.metrics = MetricsSnapshot()
         self.gap_stats: dict[str, RunningStats] = {}
@@ -493,6 +498,10 @@ class FleetAccumulator:
             self._next += 1
 
     def _fold(self, data: dict) -> None:
+        if self._shard_sink is not None:
+            # Called strictly in shard-index order, like the fold itself —
+            # the streaming hook for per-shard settlement output.
+            self._shard_sink(data)
         self.metrics.merge_in_place(
             MetricsSnapshot.from_dict(data["metrics"]), include_spans=False
         )

@@ -1,0 +1,57 @@
+"""Online charging-reconciliation service (the "live TLC" subsystem).
+
+The paper's TLC protocol is meant to run continuously between the
+operator and the edge vendor; the batch sweeps in
+:mod:`repro.experiments` exercise the same physics one shot at a time.
+This package holds the long-running counterpart:
+
+* :mod:`repro.service.sim_async` — a deterministic coroutine runtime on
+  the simulated :class:`~repro.netsim.events.EventLoop` (futures, tasks,
+  bounded queues with backpressure);
+* :mod:`repro.service.cache` — a tiered in-memory-LRU / on-disk result
+  cache reusing the content-addressed
+  :class:`~repro.experiments.parallel.ResultCache`;
+* :mod:`repro.service.ratelimit` — per-vendor token buckets refilled on
+  the simulated clock;
+* :mod:`repro.service.service` — the service itself: claim ingestion,
+  background settlement + PoC-verification workers, streaming JSON-lines
+  settlement output, all instrumented through :mod:`repro.obs`;
+* :mod:`repro.service.loadgen` — the fleet engine as a load generator:
+  replay a :class:`~repro.experiments.fleet.FleetConfig` as sustained
+  claim traffic and fold the service's answers back into a
+  :class:`~repro.experiments.fleet.FleetResult`.
+
+The differential contract (enforced by ``tests/service/``): every
+service-path answer is bit-identical to the batch path's, across worker
+counts and warm/cold cache states.
+"""
+
+from .cache import TieredCache
+from .loadgen import ReplayConfig, ReplayStats, replay_fleet
+from .ratelimit import TokenBucket
+from .service import (
+    Admission,
+    ReconciliationService,
+    ServiceConfig,
+    SettlementLedger,
+    make_poc_claim,
+)
+from .sim_async import QueueFull, SimFuture, SimQueue, SimRuntime, SimTask
+
+__all__ = [
+    "Admission",
+    "QueueFull",
+    "ReconciliationService",
+    "ReplayConfig",
+    "ReplayStats",
+    "ServiceConfig",
+    "SettlementLedger",
+    "SimFuture",
+    "SimQueue",
+    "SimRuntime",
+    "SimTask",
+    "TieredCache",
+    "TokenBucket",
+    "make_poc_claim",
+    "replay_fleet",
+]

@@ -1,0 +1,234 @@
+"""The fleet engine as a load generator for the reconciliation service.
+
+:func:`replay_fleet` takes the same :class:`~repro.experiments.fleet.FleetConfig`
+the batch engine runs in one shot and replays it as sustained claim
+traffic: every shard becomes one logical *shard claim*, submitted by a
+simulated vendor client that spreads arrivals over ``duration_s``,
+retries synchronous rejections (rate limiting, backpressure) with a
+deterministic backoff, and — after the loop drains — resubmits any claim
+the workers rejected (*recovery waves*) until the fleet is fully
+settled or the wave budget runs out.
+
+An optional :class:`~repro.netsim.faults.FaultSchedule` degrades the
+ingestion path itself: specs targeting the ``uplink`` injection point
+drop (``burst-loss``/``blackout``), mangle (``corrupt``) or duplicate
+(``duplicate``) submissions, with every probabilistic decision drawn
+from one named stream of ``StreamRegistry(fleet.seed)`` — so a chaotic
+replay reproduces exactly from the fleet seed.
+
+The differential contract: when every claim settles, the returned
+:class:`~repro.experiments.fleet.FleetResult` is bit-identical to
+``run_fleet(fleet)``'s, whatever the worker count, fault schedule or
+cache temperature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..experiments.fleet import (
+    FleetConfig,
+    FleetResult,
+    build_shards,
+    shard_to_dict,
+)
+from ..experiments.parallel import ResultCache
+from ..netsim.events import EventLoop
+from ..netsim.faults import (
+    BLACKOUT,
+    BURST_LOSS,
+    CORRUPT,
+    DUPLICATE,
+    FaultSchedule,
+)
+from ..netsim.rng import StreamRegistry
+from ..obs.metrics import MetricsRegistry
+from .service import ReconciliationService, ServiceConfig, SettlementLedger
+
+#: Where the ingestion path lives in fault-target space.  Named so the
+#: canned profiles (``chaos`` duplicates "uplink" frames and loses
+#: "*link*" traffic) hit the service's front door unmodified.
+INGEST_POINT = "uplink"
+
+_INGEST_KINDS = (BURST_LOSS, BLACKOUT, CORRUPT, DUPLICATE)
+
+#: Admission rejections worth retrying from the client side; everything
+#: else is a terminal verdict on this submission.
+_RETRYABLE = frozenset({"rate-limited", "backpressure"})
+
+
+@dataclass(frozen=True)
+class ReplayConfig:
+    """Client-side knobs for one fleet replay."""
+
+    duration_s: float = 60.0
+    vendors: int = 4
+    retry_backoff_s: float = 0.25
+    max_attempts: int = 12
+    max_waves: int = 8
+    ingest_faults: FaultSchedule | None = None
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError(f"replay duration must be positive, got {self.duration_s}")
+        if self.vendors < 1:
+            raise ValueError(f"need at least one vendor, got {self.vendors}")
+
+
+@dataclass
+class ReplayStats:
+    """What the load generator observed (client-side view)."""
+
+    submitted: int = 0       # physical submissions that reached the wire
+    accepted: int = 0        # admissions the service said yes to
+    retries: int = 0         # client-side resubmissions after sync rejection
+    lost: int = 0            # submissions the ingest faults swallowed
+    corrupted: int = 0       # submissions mangled in flight
+    duplicated: int = 0      # extra copies the ingest faults minted
+    waves: int = 0           # recovery waves that were needed
+    dropped: int = 0         # logical claims never settled (should be 0)
+    rejected: dict[str, int] = field(default_factory=dict)
+
+    def note_rejected(self, reason: str) -> None:
+        self.rejected[reason] = self.rejected.get(reason, 0) + 1
+
+
+def replay_fleet(
+    fleet: FleetConfig,
+    replay: ReplayConfig | None = None,
+    service_config: ServiceConfig | None = None,
+    disk_cache: ResultCache | None = None,
+    ledger: SettlementLedger | None = None,
+    metrics: MetricsRegistry | None = None,
+) -> tuple[FleetResult | None, ReplayStats, ReconciliationService]:
+    """Replay ``fleet`` as claim traffic; returns (result, stats, service).
+
+    ``result`` is None only if some claim never settled within the wave
+    budget — ``stats.dropped`` then says how many.
+    """
+    replay = replay if replay is not None else ReplayConfig()
+    loop = EventLoop()
+    service = ReconciliationService(
+        loop=loop,
+        config=service_config,
+        disk_cache=disk_cache,
+        ledger=ledger,
+        metrics=metrics,
+    )
+    service.start()
+
+    shards = build_shards(fleet)
+    registry = StreamRegistry(fleet.seed).fork("service-replay")
+    fault_rng = registry.stream("ingest-faults")
+    stats = ReplayStats()
+    faults = replay.ingest_faults
+    if faults is not None and faults.is_empty:
+        faults = None
+
+    # ref -> pristine claim payload (retries always restart from this,
+    # so a corruption fault never sticks past one submission).
+    payloads: dict[str, dict] = {}
+    refs: list[str] = []
+    for shard in shards:
+        ref = f"shard-{shard.index}"
+        refs.append(ref)
+        payloads[ref] = {
+            "ref": ref,
+            "vendor": f"vendor-{shard.index % replay.vendors}",
+            "kind": "shard",
+            "shard": shard_to_dict(shard),
+        }
+
+    def fresh_id(ref: str) -> str:
+        # Globally unique physical id per submission; the logical
+        # identity rides in "ref".
+        return f"{ref}#{stats.submitted}"
+
+    def mangle(claim: dict) -> dict:
+        bad = dict(claim)
+        # An in-flight bit flip, CRC-style: the payload still parses as
+        # JSON but the shard spec no longer decodes.
+        bad["shard"] = {"index": claim["shard"]["index"], "seed": "corrupt"}
+        return bad
+
+    def deliver(ref: str, attempt: int) -> None:
+        """One physical submission attempt for the logical claim ``ref``."""
+        if service.is_settled(ref):
+            return
+        if attempt > replay.max_attempts:
+            return  # give up this wave; a recovery wave may pick it up
+        claim = dict(payloads[ref])
+        claim["id"] = fresh_id(ref)
+        stats.submitted += 1
+        if faults is not None:
+            now = loop.now()
+            for spec in faults.active_specs(_INGEST_KINDS, INGEST_POINT, now):
+                if spec.kind in (BURST_LOSS, BLACKOUT):
+                    p = spec.magnitude if spec.kind == BURST_LOSS else 1.0
+                    if fault_rng.random() < p:
+                        stats.lost += 1
+                        stats.retries += 1
+                        loop.schedule(
+                            replay.retry_backoff_s * (attempt + 1),
+                            deliver, ref, attempt + 1,
+                        )
+                        return
+                elif spec.kind == CORRUPT:
+                    if fault_rng.random() < spec.magnitude:
+                        stats.corrupted += 1
+                        claim = mangle(claim)
+                elif spec.kind == DUPLICATE:
+                    if fault_rng.random() < spec.magnitude:
+                        stats.duplicated += 1
+                        copy = dict(claim)
+                        copy["id"] = claim["id"] + "+dup"
+                        loop.schedule(
+                            max(spec.jitter_s, 0.0), submit_copy, copy
+                        )
+        admission = service.submit(claim)
+        if admission.accepted:
+            stats.accepted += 1
+            return
+        stats.note_rejected(admission.reason)
+        if admission.reason in _RETRYABLE and attempt < replay.max_attempts:
+            stats.retries += 1
+            loop.schedule(
+                replay.retry_backoff_s * (attempt + 1), deliver, ref, attempt + 1
+            )
+
+    def submit_copy(claim: dict) -> None:
+        # Fault-minted duplicates are fire-and-forget: the original's
+        # retry machinery owns recovery for this ref.
+        stats.submitted += 1
+        admission = service.submit(claim)
+        if admission.accepted:
+            stats.accepted += 1
+        else:
+            stats.note_rejected(admission.reason)
+
+    spacing = replay.duration_s / len(refs) if refs else 0.0
+    for i, ref in enumerate(refs):
+        loop.schedule(i * spacing, deliver, ref, 0)
+    loop.run()
+
+    # Recovery waves: anything a worker rejected (corrupted payload,
+    # duplicate race, ...) gets resubmitted from the pristine payload.
+    for _ in range(replay.max_waves):
+        unsettled = [ref for ref in refs if not service.is_settled(ref)]
+        if not unsettled:
+            break
+        stats.waves += 1
+        for j, ref in enumerate(unsettled):
+            loop.schedule(j * replay.retry_backoff_s, deliver, ref, 0)
+        loop.run()
+
+    unsettled = [ref for ref in refs if not service.is_settled(ref)]
+    stats.dropped = len(unsettled)
+    service.close()
+
+    result: FleetResult | None = None
+    if not unsettled:
+        result = service.fleet_result(fleet)
+        service.ledger.write({"type": "aggregate", "fleet": result.to_dict()})
+    service.ledger.close()
+    return result, stats, service

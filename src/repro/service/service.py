@@ -1,0 +1,414 @@
+"""The charging-reconciliation service: ingestion, workers, settlement.
+
+One long-running process on the simulated clock, shaped like a small
+network service:
+
+* **Ingestion** (:meth:`ReconciliationService.submit`) admits *claims*
+  — plain dicts a vendor would POST — through a synchronous pipeline:
+  shape checks, duplicate-id rejection, a per-vendor token bucket, and
+  finally bounded-queue admission (:class:`~repro.service.sim_async.QueueFull`
+  maps to a ``backpressure`` rejection the caller can retry).
+* **Workers** (``config.workers`` coroutines on the sim runtime) drain
+  the queue and settle each claim: shard claims are simulated through
+  the tiered result cache, PoC claims run Algorithm 2 via
+  :class:`~repro.poc.verifier.PublicVerifier`, probe claims are cheap
+  no-ops for liveness tests.  A worker never dies on a bad claim — every
+  failure becomes a ``service.rejected{reason=...}`` counter.
+* **Settlement** streams to a :class:`SettlementLedger` as canonical
+  JSON lines.  Shard and per-UE lines are emitted through the
+  :class:`~repro.experiments.fleet.FleetAccumulator`'s strictly-ordered
+  fold, and PoC receipts are flushed sorted by claim id at
+  :meth:`ReconciliationService.close` — so the ledger is bit-identical
+  across worker counts, arrival orders and cache states.
+
+Claim schema (all fields required unless noted)::
+
+    {"id": str, "vendor": str, "kind": "shard", "shard": {...},  "ref": str?}
+    {"id": str, "vendor": str, "kind": "poc",   "poc": hex, "plan": {...}, "ref": str?}
+    {"id": str, "vendor": str, "kind": "probe",                  "ref": str?}
+
+``id`` must be globally unique (duplicates are rejected); ``ref`` names
+the *logical* claim so retries (new id, same ref) settle exactly once.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..core.plan import DataPlan
+from ..crypto.rsa import PublicKey
+from ..experiments.fleet import (
+    FleetAccumulator,
+    FleetConfig,
+    FleetResult,
+    _simulate_shard_to_dict,
+    _usable,
+    fleet_shard_key,
+    shard_from_dict,
+    shard_to_dict,
+)
+from ..experiments.parallel import ResultCache, RunReport
+from ..netsim.events import EventLoop
+from ..obs.metrics import MetricsRegistry
+from ..poc.messages import PlanParams, Poc
+from ..poc.verifier import PublicVerifier
+from .cache import TieredCache
+from .ratelimit import TokenBucket
+from .sim_async import QueueFull, SimQueue, SimRuntime
+
+CLAIM_KINDS = ("shard", "poc", "probe")
+
+_SHUTDOWN = object()
+
+
+def make_poc_claim(
+    claim_id: str, vendor: str, poc: Poc, plan: PlanParams, ref: str | None = None
+) -> dict:
+    """Encode a signed PoC (e.g. a multi-operator settlement receipt)
+    as a submittable ``poc`` claim."""
+    claim = {
+        "id": claim_id,
+        "vendor": vendor,
+        "kind": "poc",
+        "poc": poc.encode().hex(),
+        "plan": {"t_start": plan.t_start, "t_end": plan.t_end, "c": plan.c},
+    }
+    if ref is not None:
+        claim["ref"] = ref
+    return claim
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables for one :class:`ReconciliationService` instance."""
+
+    workers: int = 2
+    queue_depth: int = 16
+    vendor_rate_hz: float = 8.0
+    vendor_burst: float = 16.0
+    shard_service_time_s: float = 0.05
+    poc_service_time_s: float = 0.005
+    probe_service_time_s: float = 0.001
+    memory_cache_entries: int = 64
+    plan_c: float = 0.5
+    cycle_duration_s: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"need at least one worker, got {self.workers}")
+        if self.queue_depth < 1:
+            raise ValueError(f"queue depth must be >= 1, got {self.queue_depth}")
+
+
+@dataclass(frozen=True)
+class Admission:
+    """Synchronous answer to one :meth:`ReconciliationService.submit`."""
+
+    accepted: bool
+    reason: str | None = None
+
+
+class SettlementLedger:
+    """Append-only stream of canonical JSON settlement lines.
+
+    Lines are compact, key-sorted JSON with a monotonically increasing
+    ``seq`` — byte-comparable across runs.  Kept in memory always;
+    mirrored to ``path`` when given.
+    """
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self.lines: list[str] = []
+        self.path = Path(path) if path is not None else None
+        self._fh = self.path.open("w") if self.path is not None else None
+        self._seq = 0
+
+    def write(self, record: dict) -> None:
+        """Append one record as a canonical JSON line."""
+        line = json.dumps(
+            {"seq": self._seq, **record}, sort_keys=True, separators=(",", ":")
+        )
+        self._seq += 1
+        self.lines.append(line)
+        if self._fh is not None:
+            self._fh.write(line + "\n")
+
+    def text(self) -> str:
+        """The full ledger as newline-terminated text."""
+        return "".join(line + "\n" for line in self.lines)
+
+    def close(self) -> None:
+        """Flush and close the file mirror, if any."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+class ReconciliationService:
+    """The reconciliation service; see the module docstring for shape.
+
+    Drive it like any other simulated process: ``start()``, submit
+    claims from event-loop callbacks, run the loop, then ``close()``
+    once the loop has drained.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop | None = None,
+        config: ServiceConfig | None = None,
+        disk_cache: ResultCache | None = None,
+        ledger: SettlementLedger | None = None,
+        vendor_keys: dict[str, tuple[PublicKey, PublicKey]] | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.loop = loop if loop is not None else EventLoop()
+        self.config = config if config is not None else ServiceConfig()
+        self.metrics = (
+            metrics if metrics is not None else MetricsRegistry(clock=self.loop.now)
+        )
+        self.runtime = SimRuntime(self.loop)
+        self.queue = SimQueue(self.config.queue_depth)
+        self.cache = TieredCache(
+            self.config.memory_cache_entries, disk_cache, self.metrics
+        )
+        self.ledger = ledger if ledger is not None else SettlementLedger()
+        self.report = RunReport()
+        self.verifier = PublicVerifier(
+            DataPlan(
+                c=self.config.plan_c, cycle_duration_s=self.config.cycle_duration_s
+            ),
+            metrics=self.metrics,
+        )
+        # vendor -> (edge public key, operator public key) for PoC claims.
+        self.vendor_keys = dict(vendor_keys or {})
+        self.buckets: dict[str, TokenBucket] = {}
+        self.rejections: dict[str, int] = {}
+        self.accumulator = FleetAccumulator(
+            ue_sink=self._emit_ue, shard_sink=self._emit_shard
+        )
+        self._accepted_ids: set[str] = set()
+        self._claimed_refs: set[str] = set()
+        self._settled_refs: set[str] = set()
+        self._folded_indices: set[int] = set()
+        self._poc_receipts: list[dict] = []
+        self._workers = []
+        self._closed = False
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        """Spawn the worker coroutines (idempotence is an error)."""
+        if self._workers:
+            raise RuntimeError("service already started")
+        for index in range(self.config.workers):
+            self._workers.append(
+                self.runtime.spawn(self._worker(index), name=f"settle-worker-{index}")
+            )
+
+    def close(self) -> None:
+        """Shut workers down and flush deferred settlement lines.
+
+        Call after the event loop has drained: every worker is then
+        parked on the queue, so the shutdown sentinels hand off (and the
+        workers exit) synchronously inside this call.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._workers:
+            self.queue.put_nowait(_SHUTDOWN)
+        # PoC receipts settle in worker-completion order, which depends on
+        # the worker count; sorting by claim id at flush time restores the
+        # ledger's bit-identity guarantee.
+        # The ledger itself stays open: its owner may append a trailing
+        # aggregate record (see loadgen) before closing the stream.
+        for receipt in sorted(self._poc_receipts, key=lambda r: r["id"]):
+            self.ledger.write(receipt)
+
+    def crashed_workers(self) -> list:
+        """Worker tasks that died with an exception (should stay empty)."""
+        return self.runtime.crashed_tasks()
+
+    # ------------------------------------------------------------ ingestion
+
+    def _bucket(self, vendor: str) -> TokenBucket:
+        bucket = self.buckets.get(vendor)
+        if bucket is None:
+            bucket = self.buckets[vendor] = TokenBucket(
+                self.config.vendor_rate_hz, self.config.vendor_burst
+            )
+        return bucket
+
+    def _reject(self, reason: str) -> Admission:
+        self.rejections[reason] = self.rejections.get(reason, 0) + 1
+        self.metrics.counter("service.rejected", reason=reason).inc()
+        return Admission(False, reason)
+
+    def submit(self, claim) -> Admission:
+        """Admit one claim; synchronous, safe to call from loop callbacks.
+
+        Pipeline order matters: shape checks and duplicate detection are
+        free, the token bucket spends only when the claim could actually
+        be enqueued, and a full queue surfaces as ``backpressure`` (the
+        token is forfeit — a retrying caller pays for the pressure it
+        adds).
+        """
+        if self._closed:
+            return self._reject("closed")
+        if not isinstance(claim, dict):
+            return self._reject("malformed")
+        claim_id = claim.get("id")
+        vendor = claim.get("vendor")
+        if not isinstance(claim_id, str) or not claim_id:
+            return self._reject("malformed")
+        if not isinstance(vendor, str) or not vendor:
+            return self._reject("malformed")
+        if claim.get("kind") not in CLAIM_KINDS:
+            return self._reject("unknown-kind")
+        if claim_id in self._accepted_ids:
+            return self._reject("duplicate")
+        if not self._bucket(vendor).try_acquire(self.loop.now()):
+            return self._reject("rate-limited")
+        try:
+            self.queue.put_nowait(claim)
+        except QueueFull:
+            return self._reject("backpressure")
+        self._accepted_ids.add(claim_id)
+        self.metrics.counter("service.ingested", vendor=vendor).inc()
+        self.metrics.gauge("service.queue.depth").set(self.queue.qsize())
+        return Admission(True)
+
+    # ------------------------------------------------------------- workers
+
+    async def _worker(self, index: int) -> None:
+        while True:
+            claim = await self.queue.get()
+            self.metrics.gauge("service.queue.depth").set(self.queue.qsize())
+            if claim is _SHUTDOWN:
+                return
+            try:
+                await self._settle(claim)
+            except Exception as error:
+                # Degrade, never die: a poisoned claim costs one rejection.
+                self._reject("internal-error")
+                self.metrics.counter(
+                    "service.errors", type=type(error).__name__
+                ).inc()
+
+    async def _settle(self, claim: dict) -> None:
+        kind = claim["kind"]
+        ref = claim.get("ref", claim["id"])
+        if not isinstance(ref, str) or not ref:
+            self._reject("malformed")
+            return
+        if ref in self._claimed_refs:
+            # A retry raced its settled (or in-flight) twin.
+            self._reject("duplicate")
+            return
+        self._claimed_refs.add(ref)
+        with self.metrics.span("service.settle", kind=kind):
+            if kind == "shard":
+                await self._settle_shard(claim, ref)
+            elif kind == "poc":
+                await self._settle_poc(claim, ref)
+            else:
+                await self.runtime.sleep(self.config.probe_service_time_s)
+                self._mark_settled(ref, "probe")
+
+    def _mark_settled(self, ref: str, kind: str) -> None:
+        self._settled_refs.add(ref)
+        self.metrics.counter("service.settled", kind=kind).inc()
+
+    def _unclaim(self, ref: str, reason: str) -> None:
+        # Failure may be transient (e.g. the payload was corrupted in
+        # flight); release the ref so a clean retry can settle it.
+        self._claimed_refs.discard(ref)
+        self._reject(reason)
+
+    async def _settle_shard(self, claim: dict, ref: str) -> None:
+        try:
+            shard = shard_from_dict(claim["shard"])
+        except Exception:
+            self._unclaim(ref, "malformed-shard")
+            return
+        await self.runtime.sleep(self.config.shard_service_time_s)
+        key = fleet_shard_key(shard)
+        data = self.cache.get(key)
+        if _usable(data):
+            self.report.cached += 1
+        else:
+            data = _simulate_shard_to_dict(shard_to_dict(shard))
+            self.cache.put(key, data)
+            self.report.simulated += 1
+        if shard.index in self._folded_indices:
+            self._unclaim(ref, "duplicate")
+            return
+        self._folded_indices.add(shard.index)
+        self.accumulator.add(data)
+        self._mark_settled(ref, "shard")
+
+    async def _settle_poc(self, claim: dict, ref: str) -> None:
+        keys = self.vendor_keys.get(claim["vendor"])
+        if keys is None:
+            self._unclaim(ref, "unknown-vendor")
+            return
+        try:
+            poc = Poc.decode(bytes.fromhex(claim["poc"]))
+            plan_fields = claim["plan"]
+            plan = PlanParams(
+                float(plan_fields["t_start"]),
+                float(plan_fields["t_end"]),
+                float(plan_fields["c"]),
+            )
+        except Exception:
+            self._unclaim(ref, "malformed-poc")
+            return
+        await self.runtime.sleep(self.config.poc_service_time_s)
+        edge_key, operator_key = keys
+        report = self.verifier.verify(poc, plan, edge_key, operator_key)
+        if not report.ok:
+            self._unclaim(ref, f"poc-{report.failure.value}")
+            return
+        self._poc_receipts.append(
+            {
+                "type": "poc",
+                "id": claim["id"],
+                "ref": ref,
+                "vendor": claim["vendor"],
+                "volume": report.volume,
+                "edge_claim": report.edge_claim,
+                "operator_claim": report.operator_claim,
+            }
+        )
+        self._mark_settled(ref, "poc")
+
+    # ----------------------------------------------------------- settlement
+
+    def _emit_shard(self, data: dict) -> None:
+        self.ledger.write(
+            {
+                "type": "shard",
+                "index": int(data["shard_index"]),
+                "ues": len(data["ues"]),
+            }
+        )
+
+    def _emit_ue(self, row: dict) -> None:
+        self.ledger.write({"type": "ue", **row})
+
+    def is_settled(self, ref: str) -> bool:
+        """Whether the logical claim ``ref`` has settled."""
+        return ref in self._settled_refs
+
+    def settled_count(self) -> int:
+        """Logical claims settled so far."""
+        return len(self._settled_refs)
+
+    def fleet_result(self, fleet: FleetConfig) -> FleetResult:
+        """Seal the shard accumulator into a batch-identical aggregate.
+
+        Raises ``ValueError`` if any shard claim never settled — callers
+        should check coverage (e.g. via retry waves) first.
+        """
+        return self.accumulator.finalize(fleet, self.report)

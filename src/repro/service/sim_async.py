@@ -1,0 +1,220 @@
+"""A deterministic coroutine runtime on the simulated event loop.
+
+``asyncio`` schedules on wall-clock time and OS readiness, both of which
+would break the repo's bit-determinism contract.  This module gives the
+service layer the same programming model — ``async def`` workers,
+awaitable sleeps, bounded queues with backpressure — but every wake-up
+is an event on the discrete-event :class:`~repro.netsim.events.EventLoop`,
+dispatched in ``(time, seq)`` order.  Two runs of the same program are
+therefore bit-identical, and "concurrency" is exactly as reproducible as
+any other simulated process.
+
+Design notes:
+
+* A :class:`SimFuture` resolves synchronously: ``set_result`` runs the
+  registered callbacks inline, inside whatever event-loop callback
+  resolved it.  Determinism comes from the loop's dispatch order, not
+  from deferring wake-ups.
+* A :class:`SimTask` steps its coroutine until it awaits an unresolved
+  future, then parks a done-callback on it.  Tasks are themselves
+  futures (awaitable, with a result or an exception).
+* :class:`SimQueue` is the only synchronization primitive the service
+  needs: FIFO hand-off, bounded capacity, blocking ``put`` for producer
+  backpressure and non-blocking ``put_nowait`` for ingress admission.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Coroutine
+
+from ..netsim.events import EventLoop
+
+
+class QueueFull(Exception):
+    """``put_nowait`` on a queue that is at capacity."""
+
+
+class SimFuture:
+    """A single-assignment result holder, awaitable from a coroutine."""
+
+    __slots__ = ("_done", "_result", "_exception", "_callbacks")
+
+    def __init__(self) -> None:
+        self._done = False
+        self._result: Any = None
+        self._exception: BaseException | None = None
+        self._callbacks: list[Callable[["SimFuture"], None]] = []
+
+    def done(self) -> bool:
+        """Whether a result or exception has been set."""
+        return self._done
+
+    def result(self) -> Any:
+        """The resolved value; raises the stored exception if one was set."""
+        if not self._done:
+            raise RuntimeError("future is not resolved yet")
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+    def exception(self) -> BaseException | None:
+        """The stored exception, or None."""
+        return self._exception
+
+    def _resolve(self) -> None:
+        self._done = True
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def set_result(self, value: Any) -> None:
+        """Resolve with ``value``; wakes waiters synchronously."""
+        if self._done:
+            raise RuntimeError("future already resolved")
+        self._result = value
+        self._resolve()
+
+    def set_exception(self, exc: BaseException) -> None:
+        """Resolve with an exception; waiters re-raise it."""
+        if self._done:
+            raise RuntimeError("future already resolved")
+        self._exception = exc
+        self._resolve()
+
+    def add_done_callback(self, callback: Callable[["SimFuture"], None]) -> None:
+        """Run ``callback(self)`` at resolution (immediately if done)."""
+        if self._done:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def __await__(self):
+        if not self._done:
+            yield self
+        return self.result()
+
+
+class SimTask(SimFuture):
+    """One coroutine driven to completion by future resolutions."""
+
+    __slots__ = ("_coro", "name")
+
+    def __init__(self, coro: Coroutine, name: str = "task") -> None:
+        super().__init__()
+        self._coro = coro
+        self.name = name
+        self._step(None, None)
+
+    def _step(self, value: Any, exc: BaseException | None) -> None:
+        try:
+            if exc is not None:
+                awaited = self._coro.throw(exc)
+            else:
+                awaited = self._coro.send(value)
+        except StopIteration as stop:
+            self.set_result(stop.value)
+            return
+        except BaseException as error:  # the coroutine itself crashed
+            self.set_exception(error)
+            return
+        if not isinstance(awaited, SimFuture):
+            self.set_exception(
+                TypeError(
+                    f"task {self.name!r} awaited {type(awaited).__name__}, "
+                    "only SimFuture-based awaitables run on the sim runtime"
+                )
+            )
+            return
+        awaited.add_done_callback(self._wake)
+
+    def _wake(self, future: SimFuture) -> None:
+        error = future.exception()
+        if error is not None:
+            self._step(None, error)
+        else:
+            self._step(future._result, None)
+
+
+class SimRuntime:
+    """Spawns tasks and sleeps on one simulated event loop."""
+
+    def __init__(self, loop: EventLoop) -> None:
+        self.loop = loop
+        self.tasks: list[SimTask] = []
+
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.loop.now()
+
+    def spawn(self, coro: Coroutine, name: str = "task") -> SimTask:
+        """Start a coroutine; it runs synchronously until its first await."""
+        task = SimTask(coro, name=name)
+        self.tasks.append(task)
+        return task
+
+    def sleep(self, delay: float) -> SimFuture:
+        """An awaitable resolved ``delay`` simulated seconds from now."""
+        future = SimFuture()
+        self.loop.schedule(delay, future.set_result, None)
+        return future
+
+    def crashed_tasks(self) -> list[SimTask]:
+        """Tasks that ended with an exception (service health checks)."""
+        return [t for t in self.tasks if t.done() and t.exception() is not None]
+
+
+class SimQueue:
+    """Bounded FIFO hand-off between producers and consumer tasks.
+
+    ``maxsize=0`` means unbounded.  ``put_nowait`` raises
+    :class:`QueueFull` at capacity — the ingress admission path — while
+    the awaitable ``put`` blocks the producer coroutine until space
+    frees (backpressure).  Waiters wake strictly FIFO, so hand-off order
+    is deterministic.
+    """
+
+    def __init__(self, maxsize: int = 0) -> None:
+        if maxsize < 0:
+            raise ValueError(f"maxsize must be >= 0, got {maxsize}")
+        self.maxsize = maxsize
+        self._items: deque = deque()
+        self._getters: deque[SimFuture] = deque()
+        self._putters: deque[SimFuture] = deque()
+
+    def qsize(self) -> int:
+        """Items currently buffered."""
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        """Whether ``put_nowait`` would raise."""
+        return bool(self.maxsize) and len(self._items) >= self.maxsize
+
+    def put_nowait(self, item: Any) -> None:
+        """Enqueue or hand straight to a waiting getter; raises when full."""
+        if self._getters:
+            self._getters.popleft().set_result(item)
+            return
+        if self.full:
+            raise QueueFull(f"queue at capacity ({self.maxsize})")
+        self._items.append(item)
+
+    async def put(self, item: Any) -> None:
+        """Enqueue, waiting for space if the queue is at capacity."""
+        while self.full and not self._getters:
+            space = SimFuture()
+            self._putters.append(space)
+            await space
+        self.put_nowait(item)
+
+    async def get(self) -> Any:
+        """Dequeue the oldest item, waiting if the queue is empty."""
+        if self._items:
+            item = self._items.popleft()
+            if self._putters:
+                self._putters.popleft().set_result(None)
+            return item
+        slot = SimFuture()
+        self._getters.append(slot)
+        return await slot

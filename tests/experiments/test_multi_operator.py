@@ -1,15 +1,38 @@
-"""Multi-operator extension (§8)."""
+"""Multi-operator extension (§8) and its signed settlement path."""
+
+import random
 
 import pytest
 
+from repro.crypto import generate_keypair
 from repro.experiments.multi_operator import OperatorShare, run_multi_operator
 from repro.experiments.scenarios import WEBCAM_UDP_UL
+from repro.poc.messages import Poc
+from repro.poc.verifier import PublicVerifier
 
 
 @pytest.fixture(scope="module")
 def result():
     shares = [OperatorShare("operator-A", 0.6), OperatorShare("operator-B", 0.4)]
     return run_multi_operator(WEBCAM_UDP_UL, shares, seed=7, n_cycles=2)
+
+
+@pytest.fixture(scope="module")
+def edge_key():
+    return generate_keypair(512, random.Random(101))
+
+
+@pytest.fixture(scope="module")
+def operator_keys():
+    return {
+        "operator-A": generate_keypair(512, random.Random(102)),
+        "operator-B": generate_keypair(512, random.Random(103)),
+    }
+
+
+@pytest.fixture(scope="module")
+def settlement(result, edge_key, operator_keys):
+    return result.settle(edge_key, operator_keys, seed=5)
 
 
 class TestMultiOperator:
@@ -32,6 +55,81 @@ class TestMultiOperator:
 
     def test_rounds_aggregate(self, result):
         assert result.mean_rounds("tlc-optimal") >= 1.0
+
+
+class TestSettlement:
+    def test_one_receipt_per_operator_cycle(self, settlement):
+        assert {op: len(rs) for op, rs in settlement.receipts.items()} == {
+            "operator-A": 2,
+            "operator-B": 2,
+        }
+
+    def test_every_receipt_passes_algorithm2(self, settlement):
+        assert settlement.audit() == []
+
+    def test_receipts_are_real_signed_pocs(self, settlement):
+        for receipts in settlement.receipts.values():
+            for receipt in receipts:
+                # Round-trips the wire encoding: these are the bytes a
+                # vendor would actually submit to the service.
+                blob = receipt.poc.encode()
+                assert Poc.decode(blob).volume == receipt.volume
+
+    def test_volumes_within_theorem2_bracket(self, result, settlement):
+        for operator, receipts in settlement.receipts.items():
+            usages = result.per_operator[operator].usages
+            for receipt in receipts:
+                usage = usages[receipt.cycle_index]
+                x_e = max(usage.edge_sent_record, usage.operator_sent_estimate)
+                x_o = min(
+                    usage.operator_received_record, usage.edge_received_estimate
+                )
+                # Theorem 2: negotiation lands between the two parties'
+                # views (±1 byte of integer rounding).
+                assert x_o - 1 <= receipt.volume <= x_e + 1
+
+    def test_total_volume_tracks_scheme_accounting(self, result, settlement):
+        charged = result.total_charged("tlc-optimal")
+        assert settlement.total_volume() == pytest.approx(charged, rel=0.02)
+
+    def test_tampered_volume_fails_audit(self, settlement):
+        receipt = settlement.receipts["operator-A"][0]
+        forged = Poc(
+            receipt.poc.role, receipt.poc.plan, receipt.poc.volume + 1,
+            receipt.poc.peer_cda, receipt.poc.signature,
+            receipt.poc.nonce_edge, receipt.poc.nonce_operator,
+        )
+        report = PublicVerifier(settlement.plan).verify(
+            forged, receipt.plan_params,
+            settlement.edge_public,
+            settlement.operator_publics["operator-A"],
+        )
+        assert not report.ok
+
+    def test_replayed_receipt_rejected(self, settlement):
+        receipt = settlement.receipts["operator-A"][0]
+        verifier = PublicVerifier(settlement.plan)
+        args = (
+            receipt.poc, receipt.plan_params,
+            settlement.edge_public, settlement.operator_publics["operator-A"],
+        )
+        assert verifier.verify(*args).ok
+        replay = verifier.verify(*args)
+        assert not replay.ok
+        assert replay.failure.value == "replayed-poc"
+
+    def test_wrong_operator_key_fails(self, settlement):
+        receipt = settlement.receipts["operator-A"][0]
+        report = PublicVerifier(settlement.plan).verify(
+            receipt.poc, receipt.plan_params,
+            settlement.edge_public,
+            settlement.operator_publics["operator-B"],  # not A's key
+        )
+        assert not report.ok
+
+    def test_missing_keypair_is_an_error(self, result, edge_key, operator_keys):
+        with pytest.raises(ValueError, match="operator-B"):
+            result.settle(edge_key, {"operator-A": operator_keys["operator-A"]})
 
 
 class TestValidation:

@@ -1,0 +1,106 @@
+"""Differential harness: service settlement ≡ batch aggregate, bitwise.
+
+The reconciliation service must be an *online refactoring* of the batch
+fleet engine, not a reimplementation: replaying a fleet as claim traffic
+has to produce the exact bytes ``run_fleet`` produces — across service
+worker counts, and whether the shared disk cache is cold or warm.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.fleet import FleetConfig, run_fleet
+from repro.experiments.parallel import ResultCache
+from repro.service import ReplayConfig, ServiceConfig, replay_fleet
+
+# 64 UEs over 8 shards: large enough that shard settlement interleaves
+# across workers, small enough for the tier-1 inner loop.
+FLEET = FleetConfig(ues=64, shard_size=8, seed=11, n_cycles=2, cycle_duration_s=10.0)
+REPLAY = ReplayConfig(duration_s=30.0)
+
+WORKER_COUNTS = (1, 3)
+
+
+def aggregate_json(result) -> str:
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def batch():
+    return run_fleet(FLEET, workers=0, cache=False)
+
+
+@pytest.fixture(scope="module")
+def service_runs():
+    runs = {}
+    for workers in WORKER_COUNTS:
+        runs[workers] = replay_fleet(
+            FLEET, REPLAY, ServiceConfig(workers=workers)
+        )
+    return runs
+
+
+class TestBatchParity:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_settlement_settles_every_claim(self, service_runs, workers):
+        result, stats, service = service_runs[workers]
+        assert stats.dropped == 0
+        assert result is not None
+        assert service.crashed_workers() == []
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_aggregate_bit_identical_to_batch(self, batch, service_runs, workers):
+        result, _, _ = service_runs[workers]
+        assert aggregate_json(result) == aggregate_json(batch)
+
+    def test_ledger_bit_identical_across_worker_counts(self, service_runs):
+        ledgers = {
+            workers: service.ledger.text()
+            for workers, (_, _, service) in service_runs.items()
+        }
+        texts = set(ledgers.values())
+        assert len(texts) == 1, "ledger bytes must not depend on worker count"
+
+    def test_ledger_structure(self, service_runs):
+        _, _, service = service_runs[WORKER_COUNTS[0]]
+        records = [json.loads(line) for line in service.ledger.lines]
+        shard_lines = [r for r in records if r["type"] == "shard"]
+        ue_lines = [r for r in records if r["type"] == "ue"]
+        assert [r["index"] for r in shard_lines] == list(range(8))
+        assert len(ue_lines) == FLEET.ues
+        assert records[-1]["type"] == "aggregate"
+        # seq is gap-free: the stream as written is the stream on disk.
+        assert [r["seq"] for r in records] == list(range(len(records)))
+
+
+class TestCacheStateParity:
+    def test_warm_disk_cache_serves_and_stays_bit_identical(self, batch, tmp_path):
+        # Cold pass populates the shared content-addressed store ...
+        cache_dir = tmp_path / "cache"
+        cold, cold_stats, cold_service = replay_fleet(
+            FLEET, REPLAY, disk_cache=ResultCache(cache_dir)
+        )
+        assert cold_stats.dropped == 0
+        assert cold_service.report.simulated == 8
+        assert cold_service.report.cached == 0
+
+        # ... and the warm pass must answer entirely from it, bit-equal.
+        warm, warm_stats, warm_service = replay_fleet(
+            FLEET, REPLAY, disk_cache=ResultCache(cache_dir)
+        )
+        assert warm_stats.dropped == 0
+        assert warm_service.report.cached == 8
+        assert warm_service.report.simulated == 0
+        assert aggregate_json(warm) == aggregate_json(batch)
+        assert warm_service.ledger.text() == cold_service.ledger.text()
+
+    def test_batch_engine_warms_the_service(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        batch = run_fleet(FLEET, workers=0, cache=ResultCache(cache_dir))
+        result, stats, service = replay_fleet(
+            FLEET, REPLAY, disk_cache=ResultCache(cache_dir)
+        )
+        assert stats.dropped == 0
+        assert service.report.cached == 8
+        assert aggregate_json(result) == aggregate_json(batch)
