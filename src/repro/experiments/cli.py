@@ -505,6 +505,7 @@ def _run_fleet(args) -> int:
             handover_interval_s=args.handover_interval,
             handover_x2=args.handover_x2,
             quota_bytes=args.quota_bytes,
+            fault_profile=args.fault_profile or None,
             **mix_kwargs,
         )
     except ValueError as exc:

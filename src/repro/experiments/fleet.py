@@ -33,6 +33,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable
 
+from ..netsim.faults import FAULT_PROFILES
 from ..obs import MetricsSnapshot
 from ..workloads import iperf_profile
 from .parallel import (
@@ -58,7 +59,8 @@ from .scenarios import (
 #: keys embed it (together with the scenario :data:`CODEC_VERSION`, which
 #: governs the embedded per-UE configs and metrics encoding).
 #: v2: FleetConfig chaos overrides (outage_eta / handover / quota).
-FLEET_CODEC_VERSION = 2
+#: v3: FleetConfig.fault_profile (canned FaultSchedule per UE).
+FLEET_CODEC_VERSION = 3
 
 #: A light always-on flow for subscribers that are mostly idle: 2 Mbps of
 #: iperf-style UDP downlink (QCI 9).  Fleet populations are dominated by
@@ -101,6 +103,10 @@ class FleetConfig:
     handover_interval_s: float | None = None
     handover_x2: bool = False
     quota_bytes: int | None = None
+    #: Canned fault profile (a :data:`~repro.netsim.faults.FAULT_PROFILES`
+    #: name) stamped onto every UE's config (None = keep each archetype's
+    #: own / the ``REPRO_FAULT_PROFILE`` default).
+    fault_profile: str | None = None
 
     def __post_init__(self) -> None:
         if self.ues < 1:
@@ -111,6 +117,11 @@ class FleetConfig:
         if unknown or not self.mix:
             raise ValueError(
                 f"unknown archetypes {unknown} (know {', '.join(ARCHETYPES)})"
+            )
+        if self.fault_profile is not None and self.fault_profile not in FAULT_PROFILES:
+            raise ValueError(
+                f"unknown fault profile {self.fault_profile!r} "
+                f"(know {', '.join(FAULT_PROFILES)})"
             )
 
     def to_dict(self) -> dict:
@@ -127,6 +138,7 @@ class FleetConfig:
             "handover_interval_s": self.handover_interval_s,
             "handover_x2": self.handover_x2,
             "quota_bytes": self.quota_bytes,
+            "fault_profile": self.fault_profile,
         }
 
 
@@ -195,6 +207,8 @@ def assign_ues(fleet: FleetConfig) -> list[UeSpec]:
             overrides["handover_x2"] = fleet.handover_x2
         if fleet.quota_bytes is not None:
             overrides["quota_bytes"] = fleet.quota_bytes
+        if fleet.fault_profile is not None:
+            overrides["faults"] = FAULT_PROFILES[fleet.fault_profile]
         config = ARCHETYPES[archetype].with_(**overrides)
         ues.append(
             UeSpec(

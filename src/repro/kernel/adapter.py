@@ -21,7 +21,8 @@ import os
 from ..cellular.mobility import HandoverProcess
 from ..cellular.radio import RadioChannel
 from ..netsim import Direction
-from .engine import _K_HO_BEGIN, _K_OUT_BEGIN, _K_RSS, LaneSpec
+from ..netsim.faults import FaultInjector
+from .engine import _K_HO_BEGIN, _K_OUT_BEGIN, _K_RESET, _K_RSS, LaneSpec
 
 __all__ = [
     "KERNELS",
@@ -46,17 +47,18 @@ def resolve_kernel(explicit: str | None = None) -> str:
     return kernel
 
 
-def _absorb_events(loop, radio, handover) -> tuple[tuple | None, str | None]:
+def _absorb_events(loop, radio, handover, injector=None) -> tuple[tuple | None, str | None]:
     """Collect this UE's construction-time loop events for wheel replay.
 
-    A freshly-built session legitimately holds up to three pending
-    events: the radio's first ``_begin_outage`` and ``_sample_rss`` and
-    the handover process's first ``_begin_handover`` (their RNG draws
-    already happened at ``start()``).  The lane replays them on its
+    A freshly-built session legitimately holds pending events: the
+    radio's first ``_begin_outage`` and ``_sample_rss``, the handover
+    process's first ``_begin_handover`` (their RNG draws already
+    happened at ``start()``), and the fault injector's armed
+    ``_reset_modem`` counter resets.  The lane replays them on its
     wheel and cancels the originals at flush.  Anything *else* owned by
-    this session's radio/handover means the session is mid-flight — the
-    lane refuses.  Other sessions' events (fleet shards share one loop)
-    are ignored.
+    this session's radio/handover/injector means the session is
+    mid-flight — the lane refuses.  Other sessions' events (fleet
+    shards share one loop) are ignored.
     """
     absorbed = []
     for event in loop._queue:
@@ -76,6 +78,11 @@ def _absorb_events(loop, radio, handover) -> tuple[tuple | None, str | None]:
                 absorbed.append((_K_HO_BEGIN, event))
             else:
                 return None, "unrecognized handover event pending on the loop"
+        elif injector is not None and owner is injector:
+            if getattr(event.callback, "__func__", None) is FaultInjector._reset_modem:
+                absorbed.append((_K_RESET, event))
+            else:
+                return None, "unrecognized fault-injector event pending on the loop"
     absorbed.sort(key=lambda pair: pair[1].seq)
     return tuple(absorbed), None
 
@@ -96,8 +103,6 @@ def _build_lane(
     span_recorder=None,
 ) -> tuple[LaneSpec | None, str | None]:
     """Shared eligibility walk; returns (lane, None) or (None, reason)."""
-    if fault_injector is not None:
-        return None, "fault injection active"
     if config.workload.fps > MAX_BATCHED_FPS:
         return None, f"workload fps {config.workload.fps} above the kernel bound ({MAX_BATCHED_FPS})"
     if device.on_receive is not None or server.on_receive is not None:
@@ -152,18 +157,28 @@ def _build_lane(
         if monitor.counter._times:
             return None, f"monitor {monitor.name!r} not fresh"
 
-    absorbed, reason = _absorb_events(loop, radio, handover)
+    absorbed, reason = _absorb_events(loop, radio, handover, fault_injector)
     if reason is not None:
         return None, reason
 
-    # Outage, RSS, quota and handover sessions run the general-mode
-    # executor; everything else takes the faster fold loops.
+    # Path-kind fault schedules replay at the lane's injection points in
+    # general mode; clock-only schedules (skew/drift apply in the shared
+    # collect() phase) and schedules matching neither point keep the fold
+    # loops — the reference draws no fault RNG for them either.  Armed
+    # counter resets ride in via ``absorbed``.
+    fault_view = None
+    if fault_injector is not None:
+        fault_view = fault_injector.lane_view(("uplink", "downlink"))
+
+    # Outage, RSS, quota, handover and path-fault sessions run the
+    # general-mode executor; everything else takes the faster fold loops.
     needs_general = (
         radio.profile.outages_enabled
         or radio.record_rss
         or flow_id in network.pcrf._quotas
         or handover is not None
         or bool(absorbed)
+        or (fault_view is not None and fault_view.any_path_faults)
     )
 
     lane = LaneSpec(
@@ -196,6 +211,7 @@ def _build_lane(
         attach_delay_s=enodeb.config.attach_delay_s,
         span_recorder=span_recorder,
         absorbed=absorbed,
+        fault_view=fault_view,
     )
     return lane, None
 

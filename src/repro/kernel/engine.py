@@ -73,10 +73,19 @@ between any two chunks.  General mode trades the fold speedup for
 coverage — chaos-profile sessions still skip the shared event loop's
 closure allocation and object hops.
 
-What NO lane supports — fault injection, app-level ``on_receive``
-hooks, frame rates above the tie-safety bound — is refused by the
-eligibility check in :mod:`repro.kernel.adapter`, which falls back to
-the reference engine.
+Fault schedules run in general mode too: path-kind decisions
+(burst-loss / reorder / duplicate / corrupt / blackout) are replayed at
+the lane's uplink/downlink injection points through the injector's own
+``decide_at`` — same "faults" RNG stream, same draw order, same trace
+records — via a precomputed :class:`~repro.netsim.faults.LaneFaultView`;
+counter resets are absorbed loop events replayed on the wheel; clock
+skew/drift never touches the lane (both engines apply ``skew_at`` in the
+shared ``collect()`` phase), so clock-only schedules keep the fold
+loops.
+
+What NO lane supports — app-level ``on_receive`` hooks, frame rates
+above the tie-safety bound — is refused by the eligibility check in
+:mod:`repro.kernel.adapter`, which falls back to the reference engine.
 """
 
 from __future__ import annotations
@@ -122,6 +131,9 @@ _K_REATTACH = 10  # post-RLF re-attach (ENodeB._reattach)
 _K_HO_BEGIN = 11  # handover starts (HandoverProcess._begin_handover)
 _K_HO_COMPLETE = 12  # handover interruption ends (HandoverProcess._complete_handover)
 _K_RSS = 13  # periodic RSS sample (RadioChannel._sample_rss)
+_K_RESET = 14  # armed counter reset (FaultInjector._reset_modem)
+_K_UL_SEND = 15  # fault-delayed/duplicated uplink send (UeAccess.send_uplink)
+_K_DL_DELIVER = 16  # fault-delayed/duplicated downlink delivery (ue.deliver)
 
 _INF = float("inf")
 
@@ -201,11 +213,16 @@ class LaneSpec:
     span_recorder: object = None
     #: Pre-existing loop events absorbed into the lane as ``(kind,
     #: Event)`` pairs sorted by loop seq — the construction-time outage /
-    #: RSS / handover chain heads.  Replayed on the wheel with negative
-    #: seqs (they were scheduled before anything the lane pushes) and
-    #: cancelled on flush so the caller's settle run cannot double-fire
-    #: them.
+    #: RSS / handover / counter-reset chain heads.  Replayed on the wheel
+    #: with negative seqs (they were scheduled before anything the lane
+    #: pushes) and cancelled on flush so the caller's settle run cannot
+    #: double-fire them.
     absorbed: tuple = ()
+    #: :class:`~repro.netsim.faults.LaneFaultView` when the session has an
+    #: active fault injector; None otherwise.  Path-kind decisions replay
+    #: through it at the uplink/downlink injection points, counter resets
+    #: through :meth:`~repro.netsim.faults.LaneFaultView.apply_reset`.
+    fault_view: object = None
 
 
 class _LaneRun:
@@ -1116,6 +1133,13 @@ class _GeneralRun:
         self.ho_saved_layer: str | None = None
         self.ho_saved_cap: int | None = None
 
+        # Fault-schedule deciders: ``decide(t) -> (action, delay)`` per
+        # injection point, or None when the schedule can never touch that
+        # point (the reference draws no RNG there either).
+        fv = spec.fault_view
+        self.fault_ul = fv.decider("uplink") if fv is not None else None
+        self.fault_dl = fv.decider("downlink") if fv is not None else None
+
         # radio.outage span mirror: closed (open_t, close_t) pairs plus
         # the currently-open outage, if any (scenario runs only).
         self.span_open_t: float | None = None
@@ -1130,7 +1154,9 @@ class _GeneralRun:
         # relative loop order via negative wheel seqs.
         n = len(spec.absorbed)
         for idx, (kind, event) in enumerate(spec.absorbed):
-            heappush(self.heap, (event.time, idx - n, kind, 0, 0))
+            # The Event rides along so _K_RESET can read its args; the
+            # other absorbed kinds ignore the payload.
+            heappush(self.heap, (event.time, idx - n, kind, event, 0))
         # FrameWorkload.start: first frame at t0 + uniform phase jitter.
         jitter = self.wl._rng.uniform(0.0, 1.0 / self.wl.profile.fps)
         self.seq += 1
@@ -1198,6 +1224,20 @@ class _GeneralRun:
                 self._on_ho_begin(te)
             elif kind == _K_HO_COMPLETE:
                 self._on_ho_complete(te)
+            elif kind == _K_RESET:
+                # Absorbed FaultInjector._reset_modem event: replay the
+                # counter zeroing at the armed instant.
+                modem, point = a.args
+                self.spec.fault_view.apply_reset(modem, te, point)
+            elif kind == _K_UL_SEND:
+                # Fault-delayed (or duplicated) uplink send: the pipe's
+                # deferred downstream(packet) = UeAccess.send_uplink.
+                created, pkt_seq = b
+                self._ul_send(te, a, created, pkt_seq)
+            elif kind == _K_DL_DELIVER:
+                # Fault-delayed (or duplicated) downlink delivery: the
+                # pipe's deferred ue.deliver -> device.dl_monitor.
+                self.device.dl_monitor.counter.add(te, a)
             else:  # _K_RSS
                 radio = self.radio
                 radio._walk_rss()
@@ -1364,6 +1404,21 @@ class _GeneralRun:
 
     # -------------------------------------------------------------- frames
 
+    def _ul_send(self, t: float, size: int, created: float, pkt_seq: int) -> None:
+        # UeAccess.send_uplink at time t.  Fault-delayed sends fire here
+        # after the frame handler returned, so attach and radio state are
+        # re-read at fire time, exactly as the deferred reference call.
+        # A detached UE's packet dies after the app-level count — no
+        # modem count, no buffer, no stats.
+        if not self.ue.attached:
+            return
+        self.modem.ul_sent.add(t, size)  # counts before the radio check
+        if not self.radio.connected:
+            self._ulq_push(size, created, pkt_seq)
+        else:
+            self._rrc_activity(t)
+            self._air_submit(t, size, created, pkt_seq)
+
     def _on_frame_ul(self, te: float) -> None:
         # FrameWorkload._emit_frame with sender = EdgeDevice.send; frame
         # sizing runs live on the workload (its RNG and iframe counter).
@@ -1374,15 +1429,30 @@ class _GeneralRun:
         dev_counter = self.device.ul_monitor.counter
         radio = self.radio
         attached = self.ue.attached
+        fault = self.fault_ul
         while remaining > 0:
             chunk = remaining if remaining < packet_bytes else packet_bytes
             pkt_seq = self.send_seq  # device.send: seq=next(self._seq)
             self.send_seq += 1
             dev_counter.add(te, chunk)  # device.ul_monitor.observe
             wl.bytes_offered += chunk
-            # UeAccess.send_uplink: a detached UE's packet dies after the
-            # app-level count — no modem count, no buffer, no stats.
-            if attached:
+            if fault is not None:
+                # The injector pipe wraps access.send_uplink, so the fate
+                # decision runs before the attached check, per chunk.
+                action, delay = fault(te)
+                if action is None:
+                    self._ul_send(te, chunk, te, pkt_seq)
+                elif action == "delay":
+                    self._push(te + delay, _K_UL_SEND, chunk, (te, pkt_seq))
+                elif action == "dup":
+                    # Original now, the same packet again after the delay
+                    # (the modem counts it twice, like the reference).
+                    self._ul_send(te, chunk, te, pkt_seq)
+                    self._push(te + delay, _K_UL_SEND, chunk, (te, pkt_seq))
+                # drop: the chunk dies after the app-level count
+            elif attached:
+                # UeAccess.send_uplink: a detached UE's packet dies after
+                # the app-level count — no modem count, no buffer, no stats.
                 self.modem.ul_sent.add(te, chunk)  # counts before the radio check
                 if not radio.connected:
                     self._ulq_push(chunk, te, pkt_seq)
@@ -1494,7 +1564,21 @@ class _GeneralRun:
             self._dlq_push(size, created, pkt_seq)  # buffered for the outage drain
         elif radio.survives_air():
             self.modem.dl_received.add(te, size)  # modem.count_downlink
-            self.device.dl_monitor.counter.add(te, size)  # device.deliver
+            fault = self.fault_dl
+            if fault is not None:
+                # The injector pipe wraps ue.deliver, so the fate decision
+                # runs after the modem count, before the device monitor.
+                action, delay = fault(te)
+                if action is None:
+                    self.device.dl_monitor.counter.add(te, size)
+                elif action == "delay":
+                    self._push(te + delay, _K_DL_DELIVER, size)
+                elif action == "dup":
+                    self.device.dl_monitor.counter.add(te, size)
+                    self._push(te + delay, _K_DL_DELIVER, size)
+                # drop: counted at the modem, never at the device
+            else:
+                self.device.dl_monitor.counter.add(te, size)  # device.deliver
         # else: phy-rss loss, counted nowhere
 
     def _on_gw(self, te: float, size: int, created: float) -> None:

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import fnmatch
 import json
+from bisect import bisect_right
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Callable, Iterable
@@ -304,6 +305,9 @@ class FaultInjector:
         registry = rng if rng is not None else StreamRegistry(0)
         self._rng = registry.stream("faults")
         self._metrics = metrics
+        #: Loop events armed by :meth:`attach_modem`; the batched-kernel
+        #: adapter absorbs these into lane-owned wheel events by identity.
+        self._reset_events: list = []
 
     # ------------------------------------------------------------ internals
 
@@ -314,36 +318,48 @@ class FaultInjector:
             self._metrics.counter("netsim.faults.fired", kind=kind).inc()
 
     def _decide(self, point: str) -> tuple[str | None, float]:
-        """One fate decision for a unit of traffic at ``point``, now.
+        """One fate decision for a unit of traffic at ``point``, now."""
+        return self.decide_at(point, self.loop.now())
+
+    def decide_at(
+        self,
+        point: str,
+        t: float,
+        specs: list[FaultSpec] | None = None,
+    ) -> tuple[str | None, float]:
+        """One fate decision for a unit of traffic at ``point`` at time ``t``.
 
         Returns ``(action, delay)`` where action is ``None`` (pass),
         ``"drop"`` (with the kind recorded), ``"delay"`` or ``"dup"``.
         Window kinds (blackout, crash) dominate; probabilistic kinds are
         then consulted in a fixed order so the RNG draw sequence is
-        stable.
+        stable.  ``specs`` may carry a pre-filtered active-spec list (the
+        batched kernel's lane view precomputes the fnmatch walk); it must
+        equal ``schedule.active_specs(_PATH_KINDS, point, t)`` or the RNG
+        consumption order diverges from the reference engine.
         """
-        now = self.loop.now()
-        specs = self.schedule.active_specs(_PATH_KINDS, point, now)
+        if specs is None:
+            specs = self.schedule.active_specs(_PATH_KINDS, point, t)
         if not specs:
             return None, 0.0
         for spec in specs:
             if spec.kind in (BLACKOUT, CRASH):
-                self._record(now, spec.kind, point, "dropped")
+                self._record(t, spec.kind, point, "dropped")
                 return "drop:" + spec.kind, 0.0
         for spec in specs:  # fixed order: the schedule's spec order
             if spec.kind in (BURST_LOSS, CORRUPT):
                 if self._rng.random() < spec.magnitude:
-                    self._record(now, spec.kind, point, "dropped")
+                    self._record(t, spec.kind, point, "dropped")
                     return "drop:" + spec.kind, 0.0
             elif spec.kind == REORDER:
                 if self._rng.random() < spec.magnitude:
                     delay = self._rng.uniform(0.0, spec.jitter_s)
-                    self._record(now, spec.kind, point, f"held {delay:.6f}s")
+                    self._record(t, spec.kind, point, f"held {delay:.6f}s")
                     return "delay", delay
             elif spec.kind == DUPLICATE:
                 if self._rng.random() < spec.magnitude:
                     delay = self._rng.uniform(0.0, spec.jitter_s)
-                    self._record(now, spec.kind, point, f"copy +{delay:.6f}s")
+                    self._record(t, spec.kind, point, f"copy +{delay:.6f}s")
                     return "dup", delay
         return None, 0.0
 
@@ -428,19 +444,37 @@ class FaultInjector:
         At each reset the modem's cumulative counters restart from zero —
         the legitimate detach/reboot behaviour the operator's
         :class:`~repro.edge.monitors.CounterCheckMonitor` re-baselines
-        around (its ``resets_observed`` counts these).
+        around (its ``resets_observed`` counts these).  Resets are armed
+        as bound-method events so the batched-kernel adapter can absorb
+        them by callback identity, like outage and handover timers.
         """
-        from .counters import CumulativeCounter
-
-        def reset() -> None:
-            self._record(self.loop.now(), COUNTER_RESET, point, "counters zeroed")
-            modem.ul_sent = CumulativeCounter()
-            modem.dl_received = CumulativeCounter()
-
         for spec in self.schedule.specs:
             if spec.kind == COUNTER_RESET and spec.matches(point):
                 if spec.start >= self.loop.now():
-                    self.loop.schedule_at(spec.start, reset)
+                    event = self.loop.schedule_at(
+                        spec.start, self._reset_modem, modem, point
+                    )
+                    self._reset_events.append(event)
+
+    def _reset_modem(self, modem, point: str) -> None:
+        """Fire one armed counter reset: zero the modem's counters now."""
+        self.apply_reset(modem, self.loop.now(), point)
+
+    def apply_reset(self, modem, t: float, point: str = "modem") -> None:
+        """Replay one counter reset at lane time ``t`` (batched kernel).
+
+        Identical effect and trace record to :meth:`_reset_modem`, with
+        the timestamp supplied by the lane wheel instead of the loop.
+        """
+        from .counters import CumulativeCounter
+
+        self._record(t, COUNTER_RESET, point, "counters zeroed")
+        modem.ul_sent = CumulativeCounter()
+        modem.dl_received = CumulativeCounter()
+
+    def lane_view(self, points: tuple[str, ...] = ("uplink", "downlink")) -> "LaneFaultView":
+        """A precomputed per-point decision view for the batched kernel."""
+        return LaneFaultView(self, points)
 
     def attach_negotiation(
         self,
@@ -469,6 +503,87 @@ class FaultInjector:
             ]
             self._record(t, kinds[0], point, f"skew {skew:+.6f}s")
         return skew
+
+
+# --------------------------------------------------------------- lane view
+
+
+class LaneFaultView:
+    """Precomputed per-point fault decisions for the batched kernel.
+
+    The lane executor cannot afford the injector's per-packet fnmatch
+    walk, and it must not re-derive the decision logic (any drift is a
+    parity bug).  This view pins, per injection point, the schedule's
+    matching path-kind specs once — time-independent — and hands the
+    lane a ``decide(t)`` closure that filters by window and then calls
+    straight into :meth:`FaultInjector.decide_at`, so the "faults" RNG
+    stream, the trace and the metrics counters are all consumed/updated
+    exactly as the reference engine would.
+    """
+
+    def __init__(self, injector: FaultInjector, points: tuple[str, ...]) -> None:
+        self.injector = injector
+        self._path_specs: dict[str, tuple[FaultSpec, ...]] = {
+            point: tuple(
+                s for s in injector.schedule.specs
+                if s.kind in _PATH_KINDS and s.matches(point)
+            )
+            for point in points
+        }
+
+    def has_path_faults(self, point: str) -> bool:
+        """Whether any path-kind spec can ever fire at ``point``."""
+        return bool(self._path_specs.get(point, ()))
+
+    @property
+    def any_path_faults(self) -> bool:
+        """Whether any lane injection point sees path-kind specs."""
+        return any(self._path_specs.values())
+
+    def decider(self, point: str):
+        """``decide(t) -> (action, delay)`` for ``point``, or None.
+
+        None means the schedule can never touch traffic at this point,
+        so the lane may skip the hook entirely (matching the reference
+        engine, which draws no RNG and records nothing when
+        ``active_specs`` comes back empty).
+
+        Windows are static, so the active-spec set is piecewise
+        constant in time: precompute it per boundary segment and bisect
+        per decision rather than filtering every spec per packet (a
+        canned profile carries dozens of periodic windows).  Segment
+        lists keep schedule order, so the RNG consumption order is
+        exactly :meth:`FaultSchedule.active_specs`'s.
+        """
+        matched = self._path_specs.get(point, ())
+        if not matched:
+            return None
+        injector = self.injector
+
+        bounds = {0.0}
+        for s in matched:
+            bounds.add(s.start)
+            if s.duration is not None:
+                bounds.add(s.start + s.duration)
+        starts = sorted(bounds)
+        # active(t) is constant on [starts[i], starts[i+1]) — windows
+        # are start-inclusive/end-exclusive, so sampling the segment's
+        # left edge classifies the whole segment.
+        segments = [[s for s in matched if s.active(t0)] for t0 in starts]
+        decide_at = injector.decide_at
+        empty = (None, 0.0)
+
+        def decide(t: float) -> tuple[str | None, float]:
+            active = segments[bisect_right(starts, t) - 1]
+            if not active:
+                return empty  # reference draws no RNG, records nothing
+            return decide_at(point, t, specs=active)
+
+        return decide
+
+    def apply_reset(self, modem, t: float, point: str = "modem") -> None:
+        """Replay one absorbed counter-reset event at lane time ``t``."""
+        self.injector.apply_reset(modem, t, point)
 
 
 # ---------------------------------------------------------------- profiles

@@ -167,11 +167,16 @@ def replay_fleet(
                     p = spec.magnitude if spec.kind == BURST_LOSS else 1.0
                     if fault_rng.random() < p:
                         stats.lost += 1
-                        stats.retries += 1
-                        loop.schedule(
-                            replay.retry_backoff_s * (attempt + 1),
-                            deliver, ref, attempt + 1,
-                        )
+                        # Same guard as the _RETRYABLE admission path: a
+                        # retry past max_attempts would be dropped by the
+                        # top-of-deliver check, so scheduling it (and
+                        # counting it) would overstate stats.retries.
+                        if attempt < replay.max_attempts:
+                            stats.retries += 1
+                            loop.schedule(
+                                replay.retry_backoff_s * (attempt + 1),
+                                deliver, ref, attempt + 1,
+                            )
                         return
                 elif spec.kind == CORRUPT:
                     if fault_rng.random() < spec.magnitude:

@@ -46,6 +46,10 @@ class TestConfig:
     def test_to_dict_json_safe(self):
         json.dumps(FAST.to_dict())
 
+    def test_rejects_unknown_fault_profile(self):
+        with pytest.raises(ValueError, match="unknown fault profile"):
+            FleetConfig(ues=4, fault_profile="gremlins")
+
 
 class TestAssignment:
     def test_zipf_weights_normalized_and_rank_ordered(self):
@@ -80,6 +84,22 @@ class TestAssignment:
             assert ue.config.n_cycles == FAST.n_cycles
             assert ue.config.cycle_duration_s == FAST.cycle_duration_s
             assert ue.config.workload == ARCHETYPES[ue.archetype].workload
+
+    def test_fault_profile_resolves_per_ue_and_changes_shard_key(self):
+        from repro.netsim.faults import FAULT_PROFILES
+
+        chaotic = FleetConfig(
+            ues=8, shard_size=2, seed=3, n_cycles=2, cycle_duration_s=10.0,
+            fault_profile="chaos",
+        )
+        for ue in assign_ues(chaotic):
+            assert ue.config.faults == FAULT_PROFILES["chaos"]
+        # The profile rides inside each UE's ScenarioConfig, so the
+        # content-addressed shard cache can never serve a faultless
+        # result for a chaotic sweep.
+        assert fleet_shard_key(build_shards(chaotic)[0]) != fleet_shard_key(
+            build_shards(FAST)[0]
+        )
 
 
 class TestShards:

@@ -1,9 +1,9 @@
 """Adapter eligibility: one test per remaining fallback reason.
 
-The batched kernel now covers outage, quota, RSS and handover sessions,
-so the refusal list shrank to genuine unsupported shapes (fault
-injection, app hooks, extreme frame rates) and not-fresh state that
-would make the lane's bulk counter installs wrong.  Each test builds a
+The batched kernel now covers outage, quota, RSS, handover and
+fault-schedule sessions, so the refusal list shrank to genuine
+unsupported shapes (app hooks, extreme frame rates) and not-fresh state
+that would make the lane's bulk counter installs wrong.  Each test builds a
 real ScenarioRunner, perturbs the *minimal* piece of state that a given
 check guards, and asserts the exact reason string — so a future
 eligibility relaxation has to consciously delete a test, and an
@@ -33,12 +33,6 @@ def reason_for(runner):
 
 
 class TestRefusals:
-    def test_fault_injection(self):
-        runner = make_runner(
-            faults=FaultSchedule(specs=(FaultSpec("burst-loss", magnitude=0.1),))
-        )
-        assert reason_for(runner) == "fault injection active"
-
     def test_fps_above_bound(self):
         runner = make_runner(
             workload=replace(WEBCAM_UDP_UL.workload, fps=500.0)
@@ -152,9 +146,25 @@ class TestRefusals:
         runner.loop.schedule_at(1.0, lambda: None)
         assert reason_for(runner) == "event loop already has pending events"
 
+    def test_unrecognized_fault_injector_event(self):
+        runner = make_runner(
+            faults=FaultSchedule(specs=(FaultSpec("burst-loss", magnitude=0.1),))
+        )
+        runner.loop.schedule_at(1.0, runner.fault_injector._reset_modem,
+                                runner.access.modem, "modem")
+        # A _reset_modem scheduled by anything but attach_modem (no
+        # COUNTER_RESET spec backs it) still absorbs fine; a genuinely
+        # foreign injector method does not.
+        runner.loop.schedule_at(2.0, runner.fault_injector._record,
+                                2.0, "crash", "modem", "boom")
+        assert (
+            reason_for(runner)
+            == "unrecognized fault-injector event pending on the loop"
+        )
+
 
 class TestChaosEligibility:
-    """The four lanes this PR batched must build general-mode lanes."""
+    """The chaos lanes batched in PRs 6 and 9 must build general-mode lanes."""
 
     def assert_general(self, runner, n_absorbed):
         lane, reason = build_scenario_lane(runner)
@@ -189,3 +199,47 @@ class TestChaosEligibility:
             )
         )
         self.assert_general(runner, n_absorbed=3)
+
+    def test_path_fault_session(self):
+        runner = make_runner(
+            faults=FaultSchedule(specs=(FaultSpec("burst-loss", magnitude=0.1),))
+        )
+        self.assert_general(runner, n_absorbed=0)
+
+    def test_counter_reset_session(self):
+        # The armed _reset_modem event is absorbed like outage/handover
+        # chain heads; a reset-only schedule touches no path point, so
+        # ``absorbed`` alone forces general mode.
+        runner = make_runner(
+            faults=FaultSchedule(
+                specs=(FaultSpec("counter-reset", target="modem", start=2.0),)
+            )
+        )
+        self.assert_general(runner, n_absorbed=1)
+
+    def test_clock_only_faults_keep_fold_lane(self):
+        # Skew/drift apply in the shared collect() phase; the lane never
+        # sees them, so a clock-only schedule stays on the fold loops.
+        runner = make_runner(
+            faults=FaultSchedule(
+                specs=(
+                    FaultSpec("clock-drift", target="edge-clock", magnitude=400e-6),
+                    FaultSpec("clock-skew", target="operator-clock", magnitude=0.05),
+                )
+            )
+        )
+        lane, reason = build_scenario_lane(runner)
+        assert reason is None
+        assert lane.general is False
+
+    def test_unmatched_path_faults_keep_fold_lane(self):
+        # A path-kind spec whose glob matches neither lane point draws no
+        # fault RNG in the reference either — the fold proof still holds.
+        runner = make_runner(
+            faults=FaultSchedule(
+                specs=(FaultSpec("burst-loss", target="no-such-point", magnitude=0.5),)
+            )
+        )
+        lane, reason = build_scenario_lane(runner)
+        assert reason is None
+        assert lane.general is False

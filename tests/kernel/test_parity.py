@@ -9,8 +9,13 @@ mirrors: all four shipped workloads, congestion (background demand
 splits), SLA middlebox drops, sparse traffic that cycles the RRC
 state machine through release/re-setup, and the chaos lanes the
 general executor took over from the reference fallback — outage
-windows (with RSS walks and RLF detach), PCRF quota throttling, and
-X2/non-X2 handover.
+windows (with RSS walks and RLF detach), PCRF quota throttling,
+X2/non-X2 handover, and fault schedules (burst loss, reorder,
+duplication, blackouts, counter resets, clock drift) replayed at the
+lane's injection points.  For fault rows the bar includes
+``FaultTrace`` equality and the end-state of every named RNG stream —
+one extra or missing "faults" draw diverges the stream state even when
+the visible outputs happen to agree.
 """
 
 from dataclasses import replace
@@ -28,13 +33,19 @@ from repro.experiments.scenarios import (
     WEBCAM_UDP_UL,
 )
 from repro.kernel import KERNELS, resolve_kernel
-from repro.netsim.faults import FaultSchedule, FaultSpec
+from repro.netsim.faults import FAULT_PROFILES, FaultSchedule, FaultSpec
 
 SHORT = dict(n_cycles=2, cycle_duration_s=10.0)
 
-# Fault injection is the one chaos dimension the batched kernel still
-# refuses; use it wherever a test needs a guaranteed fallback.
 BURST_LOSS = FaultSchedule(specs=(FaultSpec("burst-loss", magnitude=0.1),))
+
+
+def too_fast(config):
+    """Push the workload past MAX_BATCHED_FPS — the one config-expressible
+    shape the kernel still refuses, used wherever a test needs a
+    guaranteed fallback (fault injection no longer is one)."""
+    return config.with_(workload=replace(config.workload, fps=500.0))
+
 
 MATRIX = [
     pytest.param(app.with_(**SHORT), id=app.name) for app in ALL_APPS
@@ -76,6 +87,63 @@ MATRIX = [
         ),
         id="chaos-kitchen-sink",
     ),
+    # Fault-schedule lanes: every canned profile, both directions where
+    # the profile is direction-sensitive.  Durations are chosen so each
+    # row actually crosses its profile's windows (bursty DL fade at
+    # t=7, flaky-link UL blackout at t=11 / DL at t=31, chaos blackout
+    # at t=50 and counter reset at t=95).
+    pytest.param(
+        WEBCAM_UDP_UL.with_(faults=FAULT_PROFILES["bursty"], **SHORT),
+        id="ul-bursty-profile",
+    ),
+    pytest.param(
+        VRIDGE_DL.with_(faults=FAULT_PROFILES["bursty"], **SHORT),
+        id="dl-bursty-profile",
+    ),
+    pytest.param(
+        WEBCAM_RTSP_UL.with_(
+            faults=FAULT_PROFILES["flaky-link"], n_cycles=2, cycle_duration_s=20.0
+        ),
+        id="ul-flaky-link-profile",
+    ),
+    pytest.param(
+        GAMING_DL.with_(
+            faults=FAULT_PROFILES["flaky-link"], n_cycles=2, cycle_duration_s=20.0
+        ),
+        id="dl-flaky-link-profile",
+    ),
+    pytest.param(
+        WEBCAM_UDP_UL.with_(faults=FAULT_PROFILES["clock-drift"], **SHORT),
+        id="ul-clock-drift-profile",
+    ),
+    pytest.param(
+        VRIDGE_DL.with_(faults=FAULT_PROFILES["clock-drift"], **SHORT),
+        id="dl-clock-drift-profile",
+    ),
+    pytest.param(
+        WEBCAM_UDP_UL.with_(
+            faults=FAULT_PROFILES["chaos"], n_cycles=2, cycle_duration_s=60.0
+        ),
+        id="ul-chaos-profile",
+    ),
+    pytest.param(
+        VRIDGE_DL.with_(
+            faults=FAULT_PROFILES["chaos"], n_cycles=2, cycle_duration_s=60.0
+        ),
+        id="dl-chaos-profile",
+    ),
+    pytest.param(
+        GAMING_DL.with_(
+            faults=FAULT_PROFILES["chaos"],
+            outage_eta=0.08,
+            quota_bytes=200_000,
+            handover_interval_s=25.0,
+            handover_x2=True,
+            n_cycles=2,
+            cycle_duration_s=60.0,
+        ),
+        id="faults-kitchen-sink",
+    ),
 ]
 
 
@@ -101,6 +169,14 @@ def test_scenario_bit_exact(config):
     assert ref_result.outcomes == bat_result.outcomes
     assert ref_result.measured_bitrate_bps == bat_result.measured_bitrate_bps
     assert ref_result.metrics == bat_result.metrics
+
+    # Fault replay: same events, same order, same timestamps/details —
+    # and the same number of "faults"-stream draws, pinned by comparing
+    # the end-state of every named RNG stream.
+    assert ref_result.fault_trace == bat_result.fault_trace
+    assert set(ref.rng._streams) == set(bat.rng._streams)
+    for name, stream in ref.rng._streams.items():
+        assert stream.getstate() == bat.rng._streams[name].getstate(), name
 
     # Raw point series: any timestamp or cumulative drift shows up here
     # even when cycle-boundary queries happen to agree.
@@ -210,6 +286,29 @@ class TestFleetParity:
         assert set(runner.kernel_used.values()) == {"batched"}
         assert shard_result_key(ref) == shard_result_key(bat)
 
+    def test_chaos_profile_shard_bit_exact_no_fault_fallbacks(self):
+        """The standard mix under the canned ``chaos`` profile stays
+        entirely on the batched kernel — the acceptance bar for this PR:
+        ``kernel.fallback{reason="fault injection active"}`` is gone."""
+        fleet = FleetConfig(
+            ues=6,
+            shard_size=6,
+            seed=3,
+            n_cycles=2,
+            cycle_duration_s=60.0,
+            fault_profile="chaos",
+        )
+        (shard,) = build_shards(fleet)
+        ref = FleetShardRunner(shard, kernel="reference").run()
+        runner = FleetShardRunner(shard, kernel="auto")
+        auto = runner.run()
+        assert set(runner.kernel_used.values()) == {"batched"}
+        assert not any(
+            k.startswith("kernel.fallback")
+            for k in auto.metrics.to_dict()["counters"]
+        )
+        assert shard_result_key(ref) == shard_result_key(auto)
+
     def test_mixed_shard_auto_falls_back_per_session(self):
         """Ineligible UEs run on the reference engine in the same shard."""
         fleet = FleetConfig(ues=4, shard_size=4, seed=3, n_cycles=2, cycle_duration_s=10.0)
@@ -223,7 +322,7 @@ class TestFleetParity:
                     index=ue.index,
                     archetype=ue.archetype,
                     seed=ue.seed,
-                    config=ue.config.with_(faults=BURST_LOSS),
+                    config=too_fast(ue.config),
                 )
                 if ue is flaky
                 else ue
@@ -235,7 +334,7 @@ class TestFleetParity:
         auto = runner.run()
         assert runner.kernel_used[flaky.index] == "reference"
         assert set(runner.kernel_used.values()) == {"batched", "reference"}
-        assert "fault" in runner.kernel_fallback_reasons[flaky.index]
+        assert "kernel bound" in runner.kernel_fallback_reasons[flaky.index]
         assert shard_result_key(ref) == shard_result_key(auto)
 
     def test_strict_batched_raises_on_ineligible_session(self):
@@ -250,7 +349,7 @@ class TestFleetParity:
                     index=shard.ues[1].index,
                     archetype=shard.ues[1].archetype,
                     seed=shard.ues[1].seed,
-                    config=shard.ues[1].config.with_(faults=BURST_LOSS),
+                    config=too_fast(shard.ues[1].config),
                 ),
             ),
         )
@@ -270,11 +369,11 @@ class TestSelection:
         assert set(KERNELS) == {"auto", "batched", "reference"}
 
     def test_auto_fallback_records_reason(self):
-        config = WEBCAM_UDP_UL.with_(faults=BURST_LOSS, **SHORT)
+        config = too_fast(WEBCAM_UDP_UL.with_(**SHORT))
         runner = ScenarioRunner(config, kernel="auto")
         runner.simulate()
         assert runner.kernel_used == "reference"
-        assert "fault" in runner.kernel_fallback_reason
+        assert "kernel bound" in runner.kernel_fallback_reason
         # Satellite: the fallback reason is an observable counter too.
         counters = runner.metrics.snapshot().counters
         key = f"kernel.fallback{{reason={runner.kernel_fallback_reason}}}"
@@ -289,6 +388,17 @@ class TestSelection:
             pytest.param(
                 dict(handover_interval_s=5.0, handover_x2=True), id="handover-x2"
             ),
+            pytest.param(dict(faults=BURST_LOSS), id="burst-loss"),
+            pytest.param(
+                dict(faults=FAULT_PROFILES["bursty"]), id="bursty-profile"
+            ),
+            pytest.param(
+                dict(faults=FAULT_PROFILES["flaky-link"]), id="flaky-link-profile"
+            ),
+            pytest.param(
+                dict(faults=FAULT_PROFILES["clock-drift"]), id="clock-drift-profile"
+            ),
+            pytest.param(dict(faults=FAULT_PROFILES["chaos"]), id="chaos-profile"),
         ],
     )
     def test_chaos_lanes_no_longer_fall_back(self, chaos):
@@ -303,11 +413,11 @@ class TestSelection:
             for k in runner.metrics.snapshot().counters
         )
 
-    def test_strict_batched_raises_on_faults(self):
-        config = WEBCAM_UDP_UL.with_(faults=BURST_LOSS, **SHORT)
+    def test_strict_batched_accepts_faults(self):
+        config = WEBCAM_UDP_UL.with_(faults=FAULT_PROFILES["chaos"], **SHORT)
         runner = ScenarioRunner(config, kernel="batched")
-        with pytest.raises(RuntimeError, match="fault injection"):
-            runner.simulate()
+        runner.simulate()
+        assert runner.kernel_used == "batched"
 
     def test_env_var_reaches_simulation(self, monkeypatch):
         monkeypatch.setenv("REPRO_SIM_KERNEL", "batched")

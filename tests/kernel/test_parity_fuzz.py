@@ -6,10 +6,12 @@ a :class:`~repro.experiments.scenarios.ScenarioConfig` across every
 dimension the general executor mirrors — direction × workload ×
 congestion × outage η × quota × RRC pressure (cycle length drives the
 counter-check interval, frame rate drives release/re-setup cycling) ×
-handover schedule — runs the same scenario on both kernels and requires
-the *entire observable simulation state* to match bit-for-bit: usage
-records, raw counter point series, RSS walks, queue contents, policer
-internals, every RNG stream's state and the full metrics snapshot.
+handover schedule × fault schedule (random specs over every fault kind
+with glob-targeted injection points) — runs the same scenario on both
+kernels and requires the *entire observable simulation state* to match
+bit-for-bit: usage records, raw counter point series, RSS walks, queue
+contents, policer internals, the fault trace, every RNG stream's state
+and the full metrics snapshot.
 
 Profiles come from ``tests/conftest.py``: ``dev`` (default) runs 25
 derandomized examples for the inner loop; ``HYPOTHESIS_PROFILE=ci``
@@ -25,6 +27,17 @@ from hypothesis import strategies as st
 
 from repro.experiments.runner import ScenarioRunner
 from repro.experiments.scenarios import ALL_APPS
+from repro.netsim.faults import (
+    BURST_LOSS,
+    CLOCK_DRIFT,
+    CLOCK_SKEW,
+    CORRUPT,
+    DUPLICATE,
+    FAULT_KINDS,
+    REORDER,
+    FaultSchedule,
+    FaultSpec,
+)
 
 pytestmark = pytest.mark.slow
 
@@ -117,6 +130,7 @@ def deep_state(runner, result):
             flow(runner.network.middlebox.dropped),
         ),
         "latencies": runner.server.stats.latencies,
+        "fault_trace": result.fault_trace,
         "rng": {
             name: stream.getstate()
             for name, stream in runner.rng._streams.items()
@@ -129,6 +143,47 @@ def deep_state(runner, result):
         else None,
         "metrics": runner.metrics.snapshot().to_dict(),
     }
+
+
+#: Glob patterns exercising every match shape a schedule can take:
+#: exact points, wildcards spanning both lane points, clock-only
+#: targets, and globs matching nothing at all (which must leave the
+#: lane on the fold loops with zero fault RNG draws).
+FUZZ_TARGETS = [
+    "*", "uplink", "downlink", "*link*",
+    "modem", "edge-clock", "operator-clock", "no-match-*",
+]
+
+_PROB_KINDS = (BURST_LOSS, REORDER, DUPLICATE, CORRUPT)
+
+
+@st.composite
+def fault_schedules(draw):
+    """1–4 random specs over every fault kind and target shape."""
+    specs = []
+    for _ in range(draw(st.integers(min_value=1, max_value=4))):
+        kind = draw(st.sampled_from(FAULT_KINDS))
+        if kind in _PROB_KINDS:
+            magnitude = draw(st.sampled_from([0.02, 0.1, 0.3, 0.8]))
+        elif kind == CLOCK_SKEW:
+            magnitude = draw(st.sampled_from([-0.05, 0.05, 0.2]))
+        elif kind == CLOCK_DRIFT:
+            magnitude = draw(st.sampled_from([-400.0, 150.0, 300.0]))
+        else:
+            magnitude = 1.0
+        specs.append(
+            FaultSpec(
+                kind,
+                start=draw(st.sampled_from([0.0, 1.0, 5.0, 9.5])),
+                duration=draw(st.sampled_from([None, 0.5, 2.0, 6.0])),
+                target=draw(st.sampled_from(FUZZ_TARGETS)),
+                magnitude=magnitude,
+                jitter_s=draw(st.sampled_from([0.0, 0.01, 0.05]))
+                if kind in (REORDER, DUPLICATE)
+                else 0.0,
+            )
+        )
+    return FaultSchedule(name="fuzz", specs=tuple(specs))
 
 
 @st.composite
@@ -159,6 +214,8 @@ def chaos_configs(draw):
         kwargs["handover_x2"] = draw(st.booleans())
     if draw(st.booleans()):
         kwargs["sla_budget_s"] = draw(st.sampled_from([0.0001, 0.05]))
+    if draw(st.booleans()):
+        kwargs["faults"] = draw(fault_schedules())
     config = base.with_(**kwargs)
     # RRC release/re-setup cycling: sparse frame rates idle past the
     # 10 s inactivity timeout between frames.

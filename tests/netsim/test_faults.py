@@ -325,3 +325,82 @@ class TestNetdriverCrash:
         assert result.elapsed_s > 1.0  # the crash window stalled progress
         assert result.retransmissions > 0
         assert len(inj.trace) > 0
+
+
+class TestWindowBoundaries:
+    """End-exclusive window semantics, pinned at the exact edges.
+
+    Every consumer of a fault window — ``FaultSpec.active``,
+    ``FaultSchedule.active_specs``/``skew_at``, the injector's decision
+    path, and the batched kernel's :class:`LaneFaultView` deciders —
+    must agree that ``[start, start + duration)`` is half-open.  A
+    single off-by-one here is a parity landmine between the reference
+    engine and the lane replay.
+    """
+
+    WINDOW = dict(start=5.0, duration=2.0)
+
+    @pytest.mark.parametrize(
+        "t, active",
+        [
+            (4.999999, False),  # just before
+            (5.0, True),        # start is inclusive
+            (6.999999, True),   # just inside
+            (7.0, False),       # start + duration is exclusive
+            (7.000001, False),  # just after
+        ],
+    )
+    def test_spec_active_edges(self, t, active):
+        spec = FaultSpec("blackout", **self.WINDOW)
+        assert spec.active(t) is active
+
+    def test_zero_duration_window_never_activates(self):
+        spec = FaultSpec("blackout", start=5.0, duration=0.0)
+        assert spec.active(5.0) is False
+
+    def test_active_specs_agrees_with_spec_active(self):
+        schedule = FaultSchedule(specs=(FaultSpec("blackout", **self.WINDOW),))
+        kinds = ("blackout",)
+        assert schedule.active_specs(kinds, "uplink", 5.0) != []
+        assert schedule.active_specs(kinds, "uplink", 7.0) == []
+
+    def test_skew_window_end_exclusive(self):
+        schedule = FaultSchedule(
+            specs=(FaultSpec("clock-skew", magnitude=0.25, **self.WINDOW),)
+        )
+        assert schedule.skew_at("*", 5.0) == 0.25
+        assert schedule.skew_at("*", 7.0) == 0.0  # offset vanishes at the edge
+
+    def test_drift_skew_persists_capped_after_window_close(self):
+        # 1000 ppm over a 2 s window accumulates 2 ms of error; unlike a
+        # constant offset, that accumulation is *physical* — the clock
+        # ticked wrong for 2 s — so it must persist after the window
+        # closes, capped at the window-end value.
+        schedule = FaultSchedule(
+            specs=(FaultSpec("clock-drift", magnitude=1000.0, **self.WINDOW),)
+        )
+        assert schedule.skew_at("*", 5.0) == 0.0
+        assert schedule.skew_at("*", 6.0) == pytest.approx(1000e-6 * 1.0)
+        cap = 1000e-6 * 2.0
+        assert schedule.skew_at("*", 7.0) == pytest.approx(cap)
+        assert schedule.skew_at("*", 100.0) == pytest.approx(cap)
+
+    def test_injector_decision_edges_draw_no_rng_outside_window(self):
+        loop = EventLoop()
+        inj = injector(loop, [FaultSpec("blackout", target="uplink", **self.WINDOW)])
+        before = inj._rng.getstate()
+        assert inj.decide_at("uplink", 5.0) == ("drop:blackout", 0.0)
+        assert inj.decide_at("uplink", 7.0) == (None, 0.0)
+        # Window membership is deterministic: neither edge drew RNG, and
+        # only the in-window decision hit the trace.
+        assert inj._rng.getstate() == before
+        assert [e.t for e in inj.trace.events] == [5.0]
+
+    def test_lane_view_decider_matches_injector_at_edges(self):
+        loop = EventLoop()
+        inj = injector(loop, [FaultSpec("blackout", target="uplink", **self.WINDOW)])
+        decide = inj.lane_view(("uplink",)).decider("uplink")
+        before = inj._rng.getstate()
+        assert decide(5.0) == ("drop:blackout", 0.0)
+        assert decide(7.0) == (None, 0.0)
+        assert inj._rng.getstate() == before

@@ -1,0 +1,143 @@
+"""Property-based laws for the fault subsystem's value types.
+
+Two families:
+
+* JSON round-trips — :class:`FaultEvent` / :class:`FaultTrace` encode
+  to JSON lines for on-disk traces; decoding must reproduce the exact
+  events (floats, unicode details, order) or trace-diff debugging lies.
+* Schedule algebra — :meth:`FaultSchedule.compose` / ``shifted`` are
+  how experiments build chaos out of reusable pieces; the laws below
+  are what make that composition safe to reason about locally.
+
+Time-like values are drawn from a 0.25-step grid: every grid point is
+an exact binary float, so shifts and window arithmetic incur no
+rounding and the algebra laws hold as float *equality*, not approx.
+"""
+
+import json
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netsim.faults import (
+    BLACKOUT,
+    BURST_LOSS,
+    CLOCK_DRIFT,
+    CLOCK_SKEW,
+    CORRUPT,
+    COUNTER_RESET,
+    CRASH,
+    DUPLICATE,
+    FAULT_KINDS,
+    REORDER,
+    FaultEvent,
+    FaultSchedule,
+    FaultSpec,
+    FaultTrace,
+)
+
+grid = st.integers(min_value=0, max_value=4000).map(lambda n: n * 0.25)
+signed_grid = st.integers(min_value=-4000, max_value=4000).map(lambda n: n * 0.25)
+
+_PROB_KINDS = (BURST_LOSS, REORDER, DUPLICATE, CORRUPT)
+_FREE_KINDS = (BLACKOUT, CLOCK_SKEW, CLOCK_DRIFT, COUNTER_RESET, CRASH)
+
+targets = st.sampled_from(
+    ["*", "uplink", "downlink", "*link*", "modem", "edge-clock", "poc-*", "no-match"]
+)
+
+
+@st.composite
+def fault_specs(draw):
+    kind = draw(st.sampled_from(FAULT_KINDS))
+    if kind in _PROB_KINDS:
+        magnitude = draw(st.integers(min_value=0, max_value=8).map(lambda n: n / 8.0))
+    else:
+        magnitude = draw(signed_grid)
+    return FaultSpec(
+        kind=kind,
+        start=draw(grid),
+        duration=draw(st.none() | grid),
+        target=draw(targets),
+        magnitude=magnitude,
+        jitter_s=draw(grid),
+    )
+
+
+schedules = st.builds(
+    FaultSchedule,
+    name=st.sampled_from(["faults", "chaos", "a", "b"]),
+    specs=st.lists(fault_specs(), max_size=6).map(tuple),
+)
+
+events = st.builds(
+    FaultEvent,
+    t=st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+    kind=st.sampled_from(FAULT_KINDS),
+    point=targets,
+    detail=st.text(max_size=40),  # includes empty and non-ASCII details
+)
+
+
+class TestJsonRoundTrips:
+    @given(events)
+    def test_event_round_trips(self, event):
+        assert FaultEvent.from_json(event.to_json()) == event
+
+    @given(events)
+    def test_event_json_is_one_line(self, event):
+        line = event.to_json()
+        assert "\n" not in line
+        assert json.loads(line)["detail"] == event.detail
+
+    @given(st.lists(events, max_size=12))
+    def test_trace_round_trips_in_order(self, evs):
+        trace = FaultTrace(evs)
+        lines = [event.to_json() for event in trace.events]
+        loaded = FaultTrace(FaultEvent.from_json(line) for line in lines)
+        assert loaded == trace
+        assert loaded.events == list(evs)  # order preserved exactly
+
+    @given(fault_specs())
+    def test_spec_round_trips(self, spec):
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    @given(schedules)
+    def test_schedule_round_trips(self, schedule):
+        assert FaultSchedule.from_dict(schedule.to_dict()) == schedule
+
+
+class TestScheduleAlgebra:
+    @given(schedules)
+    def test_shift_by_zero_is_identity(self, schedule):
+        assert schedule.shifted(0.0) == schedule
+
+    @given(schedules, grid, grid)
+    def test_shifts_accumulate(self, schedule, a, b):
+        assert schedule.shifted(a).shifted(b) == schedule.shifted(a + b)
+
+    @given(schedules, schedules, grid)
+    def test_shift_distributes_over_compose(self, a, b, dt):
+        assert a.compose(b).shifted(dt) == a.shifted(dt).compose(b.shifted(dt))
+
+    @given(schedules, schedules, schedules)
+    def test_compose_is_associative_on_specs(self, a, b, c):
+        # Names record composition history, so compare the payload.
+        assert a.compose(b).compose(c).specs == a.compose(b, c).specs
+
+    @given(schedules, targets, grid, grid)
+    def test_skew_invariant_under_shift_and_query_shift(self, schedule, point, t, dt):
+        # Shifting the schedule and the query by the same dt sees the
+        # same windows at the same relative offsets — grid floats make
+        # (t + dt) - (start + dt) exact, so this is strict equality.
+        assert schedule.shifted(dt).skew_at(point, t + dt) == schedule.skew_at(point, t)
+
+    @given(schedules, targets, grid)
+    def test_active_specs_union_under_compose(self, schedule, point, t):
+        other = FaultSchedule(specs=(FaultSpec(BLACKOUT, start=0.0, target="*"),))
+        composed = schedule.compose(other)
+        kinds = FAULT_KINDS
+        assert composed.active_specs(kinds, point, t) == (
+            schedule.active_specs(kinds, point, t)
+            + other.active_specs(kinds, point, t)
+        )

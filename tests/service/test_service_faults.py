@@ -14,7 +14,13 @@ import pytest
 from repro.crypto import generate_keypair
 from repro.experiments.fleet import FleetConfig
 from repro.netsim.events import EventLoop
-from repro.netsim.faults import CORRUPT, FAULT_PROFILES, FaultSchedule, FaultSpec
+from repro.netsim.faults import (
+    BLACKOUT,
+    CORRUPT,
+    FAULT_PROFILES,
+    FaultSchedule,
+    FaultSpec,
+)
 from repro.poc.messages import PlanParams, Poc
 from repro.poc.protocol import NegotiationDriver
 from repro.core.plan import DataPlan
@@ -81,6 +87,36 @@ class TestChaosIngestion:
         _, _, chaotic = chaos_run
         _, _, clean = clean_run
         assert chaotic.ledger.text() == clean.ledger.text()
+
+
+class TestRetryAccounting:
+    """The loss branch used to schedule (and count) a retry for the
+    final attempt even though the top-of-``deliver`` guard makes it a
+    guaranteed no-op — overstating ``stats.retries`` by one per claim
+    per wave versus the ``_RETRYABLE`` admission path's guard."""
+
+    def test_lost_claims_count_only_real_resubmissions(self):
+        fleet = FleetConfig(
+            ues=2, shard_size=2, seed=3, n_cycles=1, cycle_duration_s=5.0
+        )
+        dead_link = FaultSchedule(
+            name="dead-link",
+            specs=(FaultSpec(BLACKOUT, start=0.0, target="uplink"),),
+        )
+        replay = ReplayConfig(
+            duration_s=1.0, max_attempts=3, max_waves=2, ingest_faults=dead_link
+        )
+        result, stats, service = replay_fleet(fleet, replay)
+        waves = 1 + replay.max_waves  # initial pass + every recovery wave
+        assert result is None
+        assert stats.dropped == 1  # the single shard never settles
+        assert stats.waves == replay.max_waves
+        # Every wave walks attempts 0..max_attempts inclusive; only
+        # attempts 1..max_attempts are real resubmissions.
+        assert stats.submitted == (replay.max_attempts + 1) * waves
+        assert stats.lost == stats.submitted
+        assert stats.retries == replay.max_attempts * waves
+        assert service.crashed_workers() == []
 
 
 class TestMalformedClaims:
