@@ -297,6 +297,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="ingestion queue capacity before backpressure (default: 16)",
     )
     serve.add_argument(
+        "--pool-workers", type=int, default=0, metavar="N",
+        help="offload shard simulation to an N-process pool "
+        "(default: 0 = settle inline)",
+    )
+    serve.add_argument(
         "--vendor-rate", type=float, default=8.0, metavar="HZ",
         help="token-bucket refill rate per vendor (default: 8/s)",
     )
@@ -312,6 +317,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--settlement", metavar="FILE", default=None,
         help="also stream the settlement ledger (JSON lines) to FILE",
+    )
+    serve.add_argument(
+        "--resume", action="store_true",
+        help="resume a killed run from the --settlement ledger's "
+        "write-ahead journal instead of starting fresh",
     )
     serve.add_argument(
         "--assert-clean", action="store_true",
@@ -609,7 +619,13 @@ def _run_fleet(args) -> int:
 def _run_serve(args) -> int:
     """The ``repro serve`` subcommand: service soak under fleet replay."""
     from ..netsim.faults import FAULT_PROFILES
-    from ..service import ReplayConfig, ServiceConfig, SettlementLedger, replay_fleet
+    from ..service import (
+        ReplayConfig,
+        ServiceConfig,
+        SettlementLedger,
+        replay_fleet,
+        resume_fleet_replay,
+    )
     from .fleet import FleetConfig
 
     mix_kwargs = {}
@@ -647,25 +663,39 @@ def _run_serve(args) -> int:
             queue_depth=args.queue_depth,
             vendor_rate_hz=args.vendor_rate,
             vendor_burst=args.vendor_burst,
+            pool_workers=args.pool_workers,
         )
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
 
-    ledger = None
-    if args.settlement:
-        settlement_path = Path(args.settlement)
-        settlement_path.parent.mkdir(parents=True, exist_ok=True)
-        ledger = SettlementLedger(settlement_path)
+    if args.resume and not args.settlement:
+        print("--resume needs --settlement FILE (the journal to replay)",
+              file=sys.stderr)
+        return 2
 
     started = time.time()
-    result, stats, service = replay_fleet(
-        fleet_config,
-        replay=replay_config,
-        service_config=service_config,
-        disk_cache=parallel._default_cache,
-        ledger=ledger,
-    )
+    if args.resume:
+        result, stats, service = resume_fleet_replay(
+            fleet_config,
+            Path(args.settlement),
+            replay=replay_config,
+            service_config=service_config,
+            disk_cache=parallel._default_cache,
+        )
+    else:
+        ledger = None
+        if args.settlement:
+            settlement_path = Path(args.settlement)
+            settlement_path.parent.mkdir(parents=True, exist_ok=True)
+            ledger = SettlementLedger(settlement_path)
+        result, stats, service = replay_fleet(
+            fleet_config,
+            replay=replay_config,
+            service_config=service_config,
+            disk_cache=parallel._default_cache,
+            ledger=ledger,
+        )
     crashed = service.crashed_workers()
     rejected = ", ".join(
         f"{reason}={count}" for reason, count in sorted(service.rejections.items())
@@ -684,6 +714,15 @@ def _run_serve(args) -> int:
           f"{service.cache.spilled} spilled")
     print(f"dropped claims   : {stats.dropped}")
     print(f"crashed workers  : {len(crashed)}")
+    snapshot = service.metrics.snapshot()
+    for kind in ("shard", "poc", "probe"):
+        key = f"service.latency{{kind={kind}}}"
+        hist = snapshot.histograms.get(key)
+        if hist and hist["count"]:
+            pct = snapshot.percentiles(key)
+            print(f"latency ({kind})  : p50={pct['p50']:.3f}s "
+                  f"p95={pct['p95']:.3f}s p99={pct['p99']:.3f}s "
+                  f"over {hist['count']} settlements (simulated time)")
     if result is not None:
         print()
         print(result.render())
@@ -704,6 +743,8 @@ def _run_serve(args) -> int:
                 if parallel._default_cache is not None else None
             ),
             service_workers=args.service_workers,
+            pool_workers=args.pool_workers,
+            resumed=bool(args.resume),
             claims_submitted=stats.submitted,
             claims_accepted=stats.accepted,
             claims_dropped=stats.dropped,

@@ -153,6 +153,42 @@ class MetricsSnapshot:
         """True when nothing has been recorded."""
         return not (self.counters or self.gauges or self.histograms or self.spans)
 
+    def quantile(self, key: str, q: float) -> float:
+        """Estimate the ``q``-quantile of histogram ``key`` (q in [0, 1]).
+
+        Linear interpolation within the catching bucket (mass assumed
+        uniform; the first bucket spans 0..edge0).  Samples in the
+        overflow bucket report the last finite edge — a lower bound.
+        Returns 0.0 for an empty histogram.  Deterministic: a function
+        of the bucket counts only.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        data = self.histograms[key]
+        count = data["count"]
+        if count == 0:
+            return 0.0
+        edges = data["edges"]
+        target = q * count
+        cumulative = 0
+        for i, bucket in enumerate(data["counts"]):
+            below = cumulative
+            cumulative += bucket
+            if bucket and cumulative >= target:
+                if i >= len(edges):
+                    return float(edges[-1])
+                lower = float(edges[i - 1]) if i else 0.0
+                return lower + (target - below) / bucket * (
+                    float(edges[i]) - lower
+                )
+        return float(edges[-1])
+
+    def percentiles(
+        self, key: str, qs: Iterable[float] = (0.5, 0.95, 0.99)
+    ) -> dict[str, float]:
+        """``{"p50": ..., "p95": ..., "p99": ...}`` for histogram ``key``."""
+        return {f"p{round(q * 100):d}": self.quantile(key, q) for q in qs}
+
     def to_dict(self) -> dict:
         """Canonical JSON-safe encoding (all mappings key-sorted)."""
         return {

@@ -13,6 +13,8 @@ This package holds the long-running counterpart:
   :class:`~repro.experiments.parallel.ResultCache`;
 * :mod:`repro.service.ratelimit` — per-vendor token buckets refilled on
   the simulated clock;
+* :mod:`repro.service.pool` — a process-pool bridge that lets settle
+  workers await real CPU-parallel shard simulations as SimFutures;
 * :mod:`repro.service.service` — the service itself: claim ingestion,
   background settlement + PoC-verification workers, streaming JSON-lines
   settlement output, all instrumented through :mod:`repro.obs`;
@@ -23,13 +25,17 @@ This package holds the long-running counterpart:
 
 The differential contract (enforced by ``tests/service/``): every
 service-path answer is bit-identical to the batch path's, across worker
-counts and warm/cold cache states.
+counts, pool sizes, warm/cold cache states — and across a crash-and-
+resume at any point of the run (the ledger doubles as a write-ahead
+journal; see :meth:`ReconciliationService.resume`).
 """
 
 from .cache import TieredCache
-from .loadgen import ReplayConfig, ReplayStats, replay_fleet
+from .loadgen import ReplayConfig, ReplayStats, replay_fleet, resume_fleet_replay
+from .pool import SimProcessPool
 from .ratelimit import TokenBucket
 from .service import (
+    LATENCY_EDGES,
     Admission,
     ReconciliationService,
     ServiceConfig,
@@ -40,6 +46,7 @@ from .sim_async import QueueFull, SimFuture, SimQueue, SimRuntime, SimTask
 
 __all__ = [
     "Admission",
+    "LATENCY_EDGES",
     "QueueFull",
     "ReconciliationService",
     "ReplayConfig",
@@ -47,6 +54,7 @@ __all__ = [
     "ServiceConfig",
     "SettlementLedger",
     "SimFuture",
+    "SimProcessPool",
     "SimQueue",
     "SimRuntime",
     "SimTask",
@@ -54,4 +62,5 @@ __all__ = [
     "TokenBucket",
     "make_poc_claim",
     "replay_fleet",
+    "resume_fleet_replay",
 ]

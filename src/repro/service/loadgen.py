@@ -9,6 +9,13 @@ deterministic backoff, and — after the loop drains — resubmits any claim
 the workers rejected (*recovery waves*) until the fleet is fully
 settled or the wave budget runs out.
 
+:func:`resume_fleet_replay` is the crash-recovery twin: it rebuilds the
+service from a killed run's on-disk ledger journal
+(:meth:`~repro.service.service.ReconciliationService.resume`), drains
+whatever the journal re-enqueued, then drives the same recovery waves
+until the fleet settles.  The resulting settlement view and aggregate
+are byte-identical to an uninterrupted run's.
+
 An optional :class:`~repro.netsim.faults.FaultSchedule` degrades the
 ingestion path itself: specs targeting the ``uplink`` injection point
 drop (``burst-loss``/``blackout``), mangle (``corrupt``) or duplicate
@@ -18,13 +25,15 @@ replay reproduces exactly from the fleet seed.
 
 The differential contract: when every claim settles, the returned
 :class:`~repro.experiments.fleet.FleetResult` is bit-identical to
-``run_fleet(fleet)``'s, whatever the worker count, fault schedule or
-cache temperature.
+``run_fleet(fleet)``'s, whatever the worker count, pool size, fault
+schedule, cache temperature — or how often the service was killed and
+resumed along the way.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from ..experiments.fleet import (
     FleetConfig,
@@ -93,6 +102,150 @@ class ReplayStats:
         self.rejected[reason] = self.rejected.get(reason, 0) + 1
 
 
+class _ReplayDriver:
+    """The vendor-client machinery shared by fresh and resumed replays."""
+
+    def __init__(
+        self,
+        service: ReconciliationService,
+        fleet: FleetConfig,
+        replay: ReplayConfig,
+        stats: ReplayStats,
+        id_salt: str = "",
+    ) -> None:
+        self.service = service
+        self.loop = service.loop
+        self.replay = replay
+        self.stats = stats
+        # A resumed client must not reuse physical ids the dead run may
+        # already have burned; the salt keeps id streams disjoint.
+        self.id_salt = id_salt
+        registry = StreamRegistry(fleet.seed).fork("service-replay")
+        self.fault_rng = registry.stream("ingest-faults")
+        faults = replay.ingest_faults
+        self.faults = None if (faults is None or faults.is_empty) else faults
+        # ref -> pristine claim payload (retries always restart from
+        # this, so a corruption fault never sticks past one submission).
+        self.payloads: dict[str, dict] = {}
+        self.refs: list[str] = []
+        for shard in build_shards(fleet):
+            ref = f"shard-{shard.index}"
+            self.refs.append(ref)
+            self.payloads[ref] = {
+                "ref": ref,
+                "vendor": f"vendor-{shard.index % replay.vendors}",
+                "kind": "shard",
+                "shard": shard_to_dict(shard),
+            }
+
+    def fresh_id(self, ref: str) -> str:
+        # Globally unique physical id per submission; the logical
+        # identity rides in "ref".
+        return f"{ref}#{self.id_salt}{self.stats.submitted}"
+
+    def mangle(self, claim: dict) -> dict:
+        bad = dict(claim)
+        # An in-flight bit flip, CRC-style: the payload still parses as
+        # JSON but the shard spec no longer decodes.
+        bad["shard"] = {"index": claim["shard"]["index"], "seed": "corrupt"}
+        return bad
+
+    def deliver(self, ref: str, attempt: int) -> None:
+        """One physical submission attempt for the logical claim ``ref``."""
+        service, stats, replay, loop = self.service, self.stats, self.replay, self.loop
+        if service.is_settled(ref):
+            return
+        if attempt > replay.max_attempts:
+            return  # give up this wave; a recovery wave may pick it up
+        claim = dict(self.payloads[ref])
+        claim["id"] = self.fresh_id(ref)
+        stats.submitted += 1
+        if self.faults is not None:
+            now = loop.now()
+            for spec in self.faults.active_specs(_INGEST_KINDS, INGEST_POINT, now):
+                if spec.kind in (BURST_LOSS, BLACKOUT):
+                    p = spec.magnitude if spec.kind == BURST_LOSS else 1.0
+                    if self.fault_rng.random() < p:
+                        stats.lost += 1
+                        # Same guard as the _RETRYABLE admission path: a
+                        # retry past max_attempts would be dropped by the
+                        # top-of-deliver check, so scheduling it (and
+                        # counting it) would overstate stats.retries.
+                        if attempt < replay.max_attempts:
+                            stats.retries += 1
+                            loop.schedule(
+                                replay.retry_backoff_s * (attempt + 1),
+                                self.deliver, ref, attempt + 1,
+                            )
+                        return
+                elif spec.kind == CORRUPT:
+                    if self.fault_rng.random() < spec.magnitude:
+                        stats.corrupted += 1
+                        claim = self.mangle(claim)
+                elif spec.kind == DUPLICATE:
+                    if self.fault_rng.random() < spec.magnitude:
+                        stats.duplicated += 1
+                        copy = dict(claim)
+                        copy["id"] = claim["id"] + "+dup"
+                        loop.schedule(
+                            max(spec.jitter_s, 0.0), self.submit_copy, copy
+                        )
+        admission = service.submit(claim)
+        if admission.accepted:
+            stats.accepted += 1
+            return
+        stats.note_rejected(admission.reason)
+        if admission.reason in _RETRYABLE and attempt < replay.max_attempts:
+            stats.retries += 1
+            loop.schedule(
+                replay.retry_backoff_s * (attempt + 1), self.deliver, ref, attempt + 1
+            )
+
+    def submit_copy(self, claim: dict) -> None:
+        # Fault-minted duplicates are fire-and-forget: the original's
+        # retry machinery owns recovery for this ref.
+        self.stats.submitted += 1
+        admission = self.service.submit(claim)
+        if admission.accepted:
+            self.stats.accepted += 1
+        else:
+            self.stats.note_rejected(admission.reason)
+
+    def spread_initial(self) -> None:
+        spacing = self.replay.duration_s / len(self.refs) if self.refs else 0.0
+        for i, ref in enumerate(self.refs):
+            self.loop.schedule(i * spacing, self.deliver, ref, 0)
+
+    def run_recovery_waves(self) -> None:
+        # Anything a worker rejected (corrupted payload, duplicate
+        # race, ...) gets resubmitted from the pristine payload.
+        for _ in range(self.replay.max_waves):
+            unsettled = [
+                ref for ref in self.refs if not self.service.is_settled(ref)
+            ]
+            if not unsettled:
+                break
+            self.stats.waves += 1
+            for j, ref in enumerate(unsettled):
+                self.loop.schedule(
+                    j * self.replay.retry_backoff_s, self.deliver, ref, 0
+                )
+            self.service.drain()
+
+    def finish(self, fleet: FleetConfig) -> FleetResult | None:
+        unsettled = [ref for ref in self.refs if not self.service.is_settled(ref)]
+        self.stats.dropped = len(unsettled)
+        self.service.close()
+        result: FleetResult | None = None
+        if not unsettled:
+            result = self.service.fleet_result(fleet)
+            self.service.ledger.write(
+                {"type": "aggregate", "fleet": result.to_dict()}
+            )
+        self.service.ledger.close()
+        return result
+
+
 def replay_fleet(
     fleet: FleetConfig,
     replay: ReplayConfig | None = None,
@@ -107,133 +260,54 @@ def replay_fleet(
     budget — ``stats.dropped`` then says how many.
     """
     replay = replay if replay is not None else ReplayConfig()
-    loop = EventLoop()
     service = ReconciliationService(
-        loop=loop,
+        loop=EventLoop(),
         config=service_config,
         disk_cache=disk_cache,
         ledger=ledger,
         metrics=metrics,
     )
     service.start()
+    driver = _ReplayDriver(service, fleet, replay, ReplayStats())
+    driver.spread_initial()
+    service.drain()
+    driver.run_recovery_waves()
+    result = driver.finish(fleet)
+    return result, driver.stats, service
 
-    shards = build_shards(fleet)
-    registry = StreamRegistry(fleet.seed).fork("service-replay")
-    fault_rng = registry.stream("ingest-faults")
+
+def resume_fleet_replay(
+    fleet: FleetConfig,
+    ledger_path: str | Path,
+    replay: ReplayConfig | None = None,
+    service_config: ServiceConfig | None = None,
+    disk_cache: ResultCache | None = None,
+    metrics: MetricsRegistry | None = None,
+) -> tuple[FleetResult | None, ReplayStats, ReconciliationService]:
+    """Resume a killed replay of ``fleet`` from its on-disk ledger.
+
+    The journal rebuild settles whatever was accepted but unfinished;
+    recovery waves then resubmit any logical claim still open.  When
+    everything settles, the final ledger file, settlement view and
+    aggregate are byte-identical to an uninterrupted ``replay_fleet``
+    run against the same configuration.
+    """
+    replay = replay if replay is not None else ReplayConfig()
+    service = ReconciliationService.resume(
+        ledger_path,
+        loop=EventLoop(),
+        config=service_config,
+        disk_cache=disk_cache,
+        metrics=metrics,
+    )
+    service.start()
     stats = ReplayStats()
-    faults = replay.ingest_faults
-    if faults is not None and faults.is_empty:
-        faults = None
-
-    # ref -> pristine claim payload (retries always restart from this,
-    # so a corruption fault never sticks past one submission).
-    payloads: dict[str, dict] = {}
-    refs: list[str] = []
-    for shard in shards:
-        ref = f"shard-{shard.index}"
-        refs.append(ref)
-        payloads[ref] = {
-            "ref": ref,
-            "vendor": f"vendor-{shard.index % replay.vendors}",
-            "kind": "shard",
-            "shard": shard_to_dict(shard),
-        }
-
-    def fresh_id(ref: str) -> str:
-        # Globally unique physical id per submission; the logical
-        # identity rides in "ref".
-        return f"{ref}#{stats.submitted}"
-
-    def mangle(claim: dict) -> dict:
-        bad = dict(claim)
-        # An in-flight bit flip, CRC-style: the payload still parses as
-        # JSON but the shard spec no longer decodes.
-        bad["shard"] = {"index": claim["shard"]["index"], "seed": "corrupt"}
-        return bad
-
-    def deliver(ref: str, attempt: int) -> None:
-        """One physical submission attempt for the logical claim ``ref``."""
-        if service.is_settled(ref):
-            return
-        if attempt > replay.max_attempts:
-            return  # give up this wave; a recovery wave may pick it up
-        claim = dict(payloads[ref])
-        claim["id"] = fresh_id(ref)
-        stats.submitted += 1
-        if faults is not None:
-            now = loop.now()
-            for spec in faults.active_specs(_INGEST_KINDS, INGEST_POINT, now):
-                if spec.kind in (BURST_LOSS, BLACKOUT):
-                    p = spec.magnitude if spec.kind == BURST_LOSS else 1.0
-                    if fault_rng.random() < p:
-                        stats.lost += 1
-                        # Same guard as the _RETRYABLE admission path: a
-                        # retry past max_attempts would be dropped by the
-                        # top-of-deliver check, so scheduling it (and
-                        # counting it) would overstate stats.retries.
-                        if attempt < replay.max_attempts:
-                            stats.retries += 1
-                            loop.schedule(
-                                replay.retry_backoff_s * (attempt + 1),
-                                deliver, ref, attempt + 1,
-                            )
-                        return
-                elif spec.kind == CORRUPT:
-                    if fault_rng.random() < spec.magnitude:
-                        stats.corrupted += 1
-                        claim = mangle(claim)
-                elif spec.kind == DUPLICATE:
-                    if fault_rng.random() < spec.magnitude:
-                        stats.duplicated += 1
-                        copy = dict(claim)
-                        copy["id"] = claim["id"] + "+dup"
-                        loop.schedule(
-                            max(spec.jitter_s, 0.0), submit_copy, copy
-                        )
-        admission = service.submit(claim)
-        if admission.accepted:
-            stats.accepted += 1
-            return
-        stats.note_rejected(admission.reason)
-        if admission.reason in _RETRYABLE and attempt < replay.max_attempts:
-            stats.retries += 1
-            loop.schedule(
-                replay.retry_backoff_s * (attempt + 1), deliver, ref, attempt + 1
-            )
-
-    def submit_copy(claim: dict) -> None:
-        # Fault-minted duplicates are fire-and-forget: the original's
-        # retry machinery owns recovery for this ref.
-        stats.submitted += 1
-        admission = service.submit(claim)
-        if admission.accepted:
-            stats.accepted += 1
-        else:
-            stats.note_rejected(admission.reason)
-
-    spacing = replay.duration_s / len(refs) if refs else 0.0
-    for i, ref in enumerate(refs):
-        loop.schedule(i * spacing, deliver, ref, 0)
-    loop.run()
-
-    # Recovery waves: anything a worker rejected (corrupted payload,
-    # duplicate race, ...) gets resubmitted from the pristine payload.
-    for _ in range(replay.max_waves):
-        unsettled = [ref for ref in refs if not service.is_settled(ref)]
-        if not unsettled:
-            break
-        stats.waves += 1
-        for j, ref in enumerate(unsettled):
-            loop.schedule(j * replay.retry_backoff_s, deliver, ref, 0)
-        loop.run()
-
-    unsettled = [ref for ref in refs if not service.is_settled(ref)]
-    stats.dropped = len(unsettled)
-    service.close()
-
-    result: FleetResult | None = None
-    if not unsettled:
-        result = service.fleet_result(fleet)
-        service.ledger.write({"type": "aggregate", "fleet": result.to_dict()})
-    service.ledger.close()
+    # len(_accepted_ids) grows monotonically across incarnations, so
+    # each resume salts its id stream differently — including a resume
+    # of a resume — and never collides with ids the journal recorded.
+    salt = f"r{len(service._accepted_ids)}."
+    driver = _ReplayDriver(service, fleet, replay, stats, id_salt=salt)
+    service.drain()  # settle whatever the journal re-enqueued
+    driver.run_recovery_waves()
+    result = driver.finish(fleet)
     return result, stats, service

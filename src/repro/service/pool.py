@@ -1,0 +1,75 @@
+"""Process-pool bridge: real CPU parallelism under the simulated clock.
+
+The sim runtime is single-threaded and deterministic; shard settlement
+is CPU-bound.  :class:`SimProcessPool` submits picklable calls to a
+``concurrent.futures.ProcessPoolExecutor`` and hands back
+:class:`~repro.service.sim_async.SimFuture` bridges a worker coroutine
+can await — the settle worker parks, the event loop keeps dispatching,
+and :meth:`ReconciliationService.drain` blocks on real completions only
+once the loop has nothing left to do.
+
+Determinism note: when several results are ready together they resolve
+in **submission order**, and the service folds shards strictly by index,
+so the settlement ledger and ``FleetResult`` stay bit-identical to the
+inline path whatever the pool size.  The *virtual timestamps* of
+individual settlements (and thus service-side latency metrics) may vary
+run-to-run — wall-clock completion decides when the loop gets to resume
+a parked worker.
+
+The executor is created lazily on first submit, so a service configured
+with a pool but fed no shard claims never forks a process.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+
+from .sim_async import SimFuture
+
+
+class SimProcessPool:
+    """Bridge a process pool's futures into SimFutures."""
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError(f"need at least one pool worker, got {workers}")
+        self.workers = workers
+        self._executor: ProcessPoolExecutor | None = None
+        self._bridges: dict[Future, SimFuture] = {}
+        self._order: list[Future] = []
+
+    def submit(self, fn, *args) -> SimFuture:
+        """Dispatch ``fn(*args)`` to the pool; returns the awaitable bridge."""
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        bridge = SimFuture()
+        handle = self._executor.submit(fn, *args)
+        self._bridges[handle] = bridge
+        self._order.append(handle)
+        return bridge
+
+    def pending(self) -> int:
+        """Submissions whose bridge has not resolved yet."""
+        return len(self._bridges)
+
+    def wait_next(self) -> None:
+        """Block until at least one in-flight call finishes, then resolve
+        every finished bridge in submission order (waking its awaiter)."""
+        if not self._bridges:
+            return
+        wait(list(self._bridges), return_when=FIRST_COMPLETED)
+        ready = [h for h in self._order if h in self._bridges and h.done()]
+        for handle in ready:
+            bridge = self._bridges.pop(handle)
+            self._order.remove(handle)
+            error = handle.exception()
+            if error is not None:
+                bridge.set_exception(error)
+            else:
+                bridge.set_result(handle.result())
+
+    def shutdown(self) -> None:
+        """Tear the executor down (idempotent; waits for stragglers)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None

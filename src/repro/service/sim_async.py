@@ -12,9 +12,15 @@ any other simulated process.
 Design notes:
 
 * A :class:`SimFuture` resolves synchronously: ``set_result`` runs the
-  registered callbacks inline, inside whatever event-loop callback
-  resolved it.  Determinism comes from the loop's dispatch order, not
-  from deferring wake-ups.
+  registered callbacks before returning, inside whatever event-loop
+  callback resolved it.  Determinism comes from the loop's dispatch
+  order, not from deferring wake-ups.
+* Callback dispatch is a flat trampoline, not direct recursion: a
+  resolution that triggers further resolutions (task A finishing wakes
+  task B, which finishes and wakes task C, ...) appends to one FIFO
+  work queue drained iteratively.  Hand-off chains of any depth
+  therefore run in constant stack space — at soak scale the old
+  ``_step`` → callback → ``_step`` recursion blew the Python stack.
 * A :class:`SimTask` steps its coroutine until it awaits an unresolved
   future, then parks a done-callback on it.  Tasks are themselves
   futures (awaitable, with a result or an exception).
@@ -33,6 +39,34 @@ from ..netsim.events import EventLoop
 
 class QueueFull(Exception):
     """``put_nowait`` on a queue that is at capacity."""
+
+
+#: The trampoline's shared work queue: (callback, future) pairs in FIFO
+#: resolution order.  Module-level because hand-off chains cross future
+#: instances; the runtime is single-threaded so no locking is needed.
+_dispatch_queue: deque = deque()
+_dispatching = False
+
+
+def _dispatch(future: "SimFuture", callbacks) -> None:
+    """Run done-callbacks iteratively.
+
+    The outermost resolution drains the queue; nested resolutions (a
+    callback resolving another future) only enqueue and return, so the
+    stack depth stays constant however long the synchronous hand-off
+    chain grows.
+    """
+    global _dispatching
+    _dispatch_queue.extend((callback, future) for callback in callbacks)
+    if _dispatching:
+        return
+    _dispatching = True
+    try:
+        while _dispatch_queue:
+            callback, resolved = _dispatch_queue.popleft()
+            callback(resolved)
+    finally:
+        _dispatching = False
 
 
 class SimFuture:
@@ -65,8 +99,8 @@ class SimFuture:
     def _resolve(self) -> None:
         self._done = True
         callbacks, self._callbacks = self._callbacks, []
-        for callback in callbacks:
-            callback(self)
+        if callbacks:
+            _dispatch(self, callbacks)
 
     def set_result(self, value: Any) -> None:
         """Resolve with ``value``; wakes waiters synchronously."""
@@ -85,7 +119,7 @@ class SimFuture:
     def add_done_callback(self, callback: Callable[["SimFuture"], None]) -> None:
         """Run ``callback(self)`` at resolution (immediately if done)."""
         if self._done:
-            callback(self)
+            _dispatch(self, (callback,))
         else:
             self._callbacks.append(callback)
 
@@ -198,6 +232,19 @@ class SimQueue:
             return
         if self.full:
             raise QueueFull(f"queue at capacity ({self.maxsize})")
+        self._items.append(item)
+
+    def force_put(self, item: Any) -> None:
+        """Enqueue behind the buffered backlog, ignoring capacity.
+
+        Lifecycle escape hatch (shutdown sentinels, crash-resume queue
+        restoration): these items must never bounce with
+        :class:`QueueFull` and must preserve FIFO order behind whatever
+        is already queued.
+        """
+        if self._getters:
+            self._getters.popleft().set_result(item)
+            return
         self._items.append(item)
 
     async def put(self, item: Any) -> None:

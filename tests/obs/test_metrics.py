@@ -252,3 +252,57 @@ class TestMergeProperties:
             totals.add(accumulator.counters["n"])
         assert len(totals) == 1
         assert isinstance(totals.pop(), int)
+
+
+class TestQuantiles:
+    def _snapshot(self, edges, values):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat", edges)
+        for v in values:
+            hist.observe(v)
+        return reg.snapshot()
+
+    def test_interpolates_within_catching_bucket(self):
+        # Two samples land in the 0..10 bucket; mass assumed uniform.
+        snap = self._snapshot((10.0,), [3.0, 7.0])
+        assert snap.quantile("lat", 0.5) == 5.0
+        assert snap.quantile("lat", 1.0) == 10.0
+
+    def test_one_sample_per_bucket(self):
+        snap = self._snapshot((1.0, 2.0, 4.0), [0.5, 1.5, 3.0, 10.0])
+        assert snap.quantile("lat", 0.25) == 1.0
+        assert snap.quantile("lat", 0.5) == 2.0
+        # The overflow bucket reports the last finite edge (lower bound).
+        assert snap.quantile("lat", 1.0) == 4.0
+
+    def test_empty_histogram_reports_zero(self):
+        snap = self._snapshot((1.0, 2.0), [])
+        assert snap.quantile("lat", 0.99) == 0.0
+
+    def test_out_of_range_q_rejected(self):
+        snap = self._snapshot((1.0,), [0.5])
+        with pytest.raises(ValueError):
+            snap.quantile("lat", 1.5)
+        with pytest.raises(ValueError):
+            snap.quantile("lat", -0.01)
+
+    def test_unknown_key_raises(self):
+        snap = self._snapshot((1.0,), [0.5])
+        with pytest.raises(KeyError):
+            snap.quantile("nope", 0.5)
+
+    def test_percentiles_shape(self):
+        snap = self._snapshot((1.0, 2.0, 4.0), [0.5, 1.5, 3.0, 10.0])
+        p = snap.percentiles("lat")
+        assert set(p) == {"p50", "p95", "p99"}
+        assert p["p50"] == 2.0
+        assert p["p95"] <= 4.0
+
+    def test_quantile_is_monotone_in_q(self):
+        rng = random.Random(3)
+        snap = self._snapshot(
+            (0.01, 0.1, 1.0, 10.0), [rng.uniform(0, 20) for _ in range(100)]
+        )
+        qs = [i / 20 for i in range(21)]
+        estimates = [snap.quantile("lat", q) for q in qs]
+        assert estimates == sorted(estimates)

@@ -1,0 +1,112 @@
+"""Service lifecycle hardening: drain-aware close, sealed ledger,
+eager config validation.
+
+Each class here pins a bug that used to be latent:
+
+* ``close()`` pushed shutdown sentinels with ``put_nowait`` and blew up
+  with ``QueueFull`` whenever the queue was backlogged at shutdown;
+* ``SettlementLedger.write()`` after ``close()`` kept appending to the
+  in-memory view while the file handle silently dropped the line, so
+  memory and disk diverged;
+* ``ServiceConfig`` accepted zero/negative vendor rates, bursts and
+  service times, deferring the blow-up to deep inside a worker.
+"""
+
+import pytest
+
+from repro.netsim.events import EventLoop
+from repro.service import ReconciliationService, ServiceConfig, SettlementLedger
+
+
+class TestDrainAwareClose:
+    def test_close_with_backlogged_queue_drains_and_settles(self):
+        service = ReconciliationService(
+            loop=EventLoop(), config=ServiceConfig(workers=2, queue_depth=4)
+        )
+        service.start()
+        for i in range(6):
+            assert service.submit(
+                {"id": f"c{i}", "vendor": "v0", "kind": "probe"}
+            ).accepted
+        # Two claims are parked with the workers; four fill the queue to
+        # capacity.  close() used to raise QueueFull right here.
+        assert service.queue.qsize() == service.config.queue_depth
+        service.close()
+        assert service.settled_count() == 6
+        assert service.crashed_workers() == []
+
+    def test_close_on_drained_service(self):
+        service = ReconciliationService(loop=EventLoop())
+        service.start()
+        assert service.submit({"id": "x", "vendor": "v0", "kind": "probe"}).accepted
+        service.loop.run()
+        service.close()
+        assert service.settled_count() == 1
+
+    def test_close_is_idempotent(self):
+        service = ReconciliationService(loop=EventLoop())
+        service.start()
+        service.close()
+        service.close()
+        assert service.crashed_workers() == []
+
+
+class TestSealedLedger:
+    def test_write_after_close_raises(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = SettlementLedger(path)
+        ledger.write({"type": "probe"})
+        ledger.close()
+        with pytest.raises(RuntimeError):
+            ledger.write({"type": "late"})
+        with pytest.raises(RuntimeError):
+            ledger.journal({"type": "late"})
+        # Memory and disk agree exactly — no silently dropped lines.
+        assert path.read_text() == ledger.text()
+
+    def test_pathless_ledger_also_seals(self):
+        ledger = SettlementLedger()
+        ledger.close()
+        with pytest.raises(RuntimeError):
+            ledger.write({"type": "late"})
+
+    def test_close_is_idempotent(self, tmp_path):
+        ledger = SettlementLedger(tmp_path / "ledger.jsonl")
+        ledger.close()
+        ledger.close()
+
+    def test_lines_are_durable_before_close(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = SettlementLedger(path)
+        ledger.write({"type": "shard", "index": 0})
+        # Visible on disk immediately: the crash-durability contract.
+        assert path.read_text() == ledger.text()
+        ledger.close()
+
+
+class TestServiceConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"workers": 0},
+            {"queue_depth": 0},
+            {"pool_workers": -1},
+            {"vendor_rate_hz": 0.0},
+            {"vendor_rate_hz": -8.0},
+            {"vendor_burst": 0.0},
+            {"vendor_burst": -1.0},
+            {"shard_service_time_s": -0.05},
+            {"poc_service_time_s": -1e-9},
+            {"probe_service_time_s": -2.0},
+        ],
+    )
+    def test_invalid_config_rejected_up_front(self, kwargs):
+        with pytest.raises(ValueError):
+            ServiceConfig(**kwargs)
+
+    def test_zero_service_times_are_legal(self):
+        ServiceConfig(
+            shard_service_time_s=0.0,
+            poc_service_time_s=0.0,
+            probe_service_time_s=0.0,
+        )

@@ -183,3 +183,70 @@ class TestSimQueue:
             return log
 
         assert run_once() == run_once()
+
+
+class TestDeepHandoffChains:
+    """Resolving one future used to recurse through every dependent
+    callback (``_step`` -> resolve -> ``_step`` ...), so a long relay
+    chain blew the interpreter stack.  The dispatch trampoline flattens
+    the chain to constant stack depth."""
+
+    def test_long_relay_chain_runs_in_constant_stack(self, runtime):
+        depth = 5000  # far past the default recursion limit
+
+        async def relay(upstream):
+            return await upstream + 1
+
+        head = SimFuture()
+        tail = head
+        for _ in range(depth):
+            tail = runtime.spawn(relay(tail))
+        head.set_result(0)
+        assert tail.done()
+        assert tail.result() == depth
+
+    def test_deep_queue_handoff_chain(self, loop, runtime):
+        # Same failure mode through SimQueue's getter hand-off path.
+        queue = SimQueue(maxsize=1)
+        total = 4000
+        seen = []
+
+        async def consumer():
+            for _ in range(total):
+                seen.append(await queue.get())
+
+        runtime.spawn(consumer())
+        for i in range(total):
+            queue.put_nowait(i)
+        loop.run()
+        assert seen == list(range(total))
+
+    def test_force_put_ignores_capacity(self, loop, runtime):
+        queue = SimQueue(maxsize=1)
+        queue.put_nowait("a")
+        with pytest.raises(QueueFull):
+            queue.put_nowait("b")
+        queue.force_put("b")
+        assert queue.qsize() == 2
+
+        got = []
+
+        async def drain():
+            got.append(await queue.get())
+            got.append(await queue.get())
+
+        runtime.spawn(drain())
+        loop.run()
+        assert got == ["a", "b"]
+
+    def test_force_put_hands_to_parked_getter(self, loop, runtime):
+        queue = SimQueue(maxsize=1)
+        got = []
+
+        async def getter():
+            got.append(await queue.get())
+
+        runtime.spawn(getter())
+        loop.run()  # parks the getter
+        queue.force_put("x")
+        assert got == ["x"]
